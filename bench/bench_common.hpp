@@ -1,0 +1,75 @@
+// bench_common.hpp — shared scaffolding for the table/figure regenerators.
+//
+// Every bench binary prints:
+//   * a banner naming the paper asset it regenerates;
+//   * the measured rows/series;
+//   * the paper's published value next to each measured one, so shape
+//     agreement is a one-glance check (EXPERIMENTS.md records the pairs).
+//
+// Common flags: --seed=N, --scale=F (scales campaign sizes; 1.0 = the
+// defaults documented in DESIGN.md, larger = closer to paper scale).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/quantiles.hpp"
+#include "stats/table.hpp"
+#include "util/flags.hpp"
+
+namespace slp::bench {
+
+inline void banner(const std::string& asset, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", asset.c_str(), what.c_str());
+  std::printf("  (reproduction of \"A First Look at Starlink Performance\", IMC'22)\n");
+  std::printf("==============================================================\n");
+}
+
+/// "measured 46.2 (paper 46-52)" helper for prose lines.
+inline std::string vs(double measured, const std::string& paper, int precision = 1) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.*f (paper: %s)", precision, measured, paper.c_str());
+  return buf;
+}
+
+/// Renders one distribution as the boxplot row used across figures.
+inline std::vector<std::string> boxplot_row(const std::string& name,
+                                            const stats::Samples& samples,
+                                            const std::string& paper_median) {
+  if (samples.empty()) {
+    return {name, "-", "-", "-", "-", "-", "-", paper_median};
+  }
+  const stats::BoxplotSummary box = boxplot(samples);
+  using stats::TextTable;
+  return {name,
+          TextTable::num(box.min, 1),
+          TextTable::num(box.p5, 1),
+          TextTable::num(box.p25, 1),
+          TextTable::num(box.median, 1),
+          TextTable::num(box.p75, 1),
+          TextTable::num(box.p95, 1),
+          paper_median};
+}
+
+struct CommonArgs {
+  std::uint64_t seed = 1;
+  double scale = 1.0;
+
+  static CommonArgs parse(int argc, char** argv) {
+    const Flags flags = Flags::parse(argc, argv);
+    CommonArgs args;
+    args.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    args.scale = flags.get_double("scale", 1.0);
+    for (const auto& key : flags.unused()) {
+      std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+    }
+    return args;
+  }
+
+  [[nodiscard]] int scaled(int base) const {
+    return std::max(1, static_cast<int>(base * scale));
+  }
+};
+
+}  // namespace slp::bench

@@ -1,0 +1,118 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot paths: event
+// queue churn, link packet forwarding, congestion-controller updates, QUIC
+// transfer event rate, and constellation visibility queries. These guard the
+// performance envelope that makes the compressed campaigns tractable.
+#include <benchmark/benchmark.h>
+
+#include "leo/constellation.hpp"
+#include "leo/places.hpp"
+#include "quic/quic.hpp"
+#include "sim/network.hpp"
+#include "tcp/congestion.hpp"
+
+namespace {
+
+using namespace slp;
+using namespace slp::literals;
+using sim::make_addr;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_in(Duration::micros(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_TimerRearm(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Timer timer{sim};
+  for (auto _ : state) {
+    timer.arm(1_ms, [] {});
+  }
+  timer.cancel();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerRearm);
+
+void BM_LinkPacketForwarding(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Network net{sim};
+    sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+    sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+    net.connect(a.uplink(), b.uplink(),
+                sim::Network::symmetric(DataRate::gbps(10), 1_ms, 64 * 1024 * 1024));
+    std::uint64_t delivered = 0;
+    b.bind(sim::Protocol::kUdp, 1, [&](const sim::Packet&) { ++delivered; });
+    for (int i = 0; i < 1000; ++i) {
+      sim::Packet pkt;
+      pkt.dst = b.addr();
+      pkt.dst_port = 1;
+      pkt.proto = sim::Protocol::kUdp;
+      pkt.size_bytes = 1250;
+      a.send(std::move(pkt));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkPacketForwarding);
+
+void BM_CubicOnAck(benchmark::State& state) {
+  cc::Cubic cubic{cc::CcConfig{}};
+  TimePoint now;
+  for (auto _ : state) {
+    now = now + Duration::micros(100);
+    cubic.on_ack(1448, Duration::millis(50), now);
+    benchmark::DoNotOptimize(cubic.cwnd_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CubicOnAck);
+
+void BM_QuicOneMegabyteTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim{9};
+    sim::Network net{sim};
+    sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+    sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+    net.connect(a.uplink(), b.uplink(),
+                sim::Network::symmetric(DataRate::mbps(200), 10_ms, 4 * 1024 * 1024));
+    quic::QuicStack ca{a};
+    quic::QuicStack cb{b};
+    std::uint64_t got = 0;
+    cb.listen(443, [&](quic::QuicConnection& c) {
+      c.on_stream_data = [&](std::uint64_t n) { got += n; };
+    });
+    quic::QuicConnection& conn = ca.connect(b.addr(), 443);
+    conn.on_established = [&conn] { conn.send_stream(1'000'000); };
+    sim.run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(state.iterations() * 1'000'000);
+}
+BENCHMARK(BM_QuicOneMegabyteTransfer);
+
+void BM_ConstellationVisibility(benchmark::State& state) {
+  leo::Constellation shell{leo::Constellation::Config{}};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 15;
+    const auto visible = shell.visible_from(leo::places::kLouvainLaNeuve,
+                                            TimePoint::epoch() + Duration::seconds(t), 25.0);
+    benchmark::DoNotOptimize(visible.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConstellationVisibility);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+// starlink_cli — a measurement multi-tool over the simulated testbed, in the
+// spirit of the command-line tools the paper used (ping, speedtest-cli,
+// traceroute, wehe) but pointed at the simulation.
+//
+//   starlink_cli ping       [--access=starlink|satcom|wired] [--anchor=N] [--count=N]
+//   starlink_cli speedtest  [--access=...] [--upload] [--connections=N]
+//   starlink_cli h3         [--upload] [--mb=N] [--qlog]
+//   starlink_cli traceroute [--access=...]
+//   starlink_cli wehe       [--access=...]
+//   common: --seed=N
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "apps/h3.hpp"
+#include "apps/ping.hpp"
+#include "apps/speedtest.hpp"
+#include "mbox/traceroute.hpp"
+#include "mbox/wehe.hpp"
+#include "measure/testbed.hpp"
+#include "quic/qlog.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace slp;
+
+measure::AccessKind parse_access(const std::string& s) {
+  if (s == "satcom") return measure::AccessKind::kSatCom;
+  if (s == "wired") return measure::AccessKind::kWired;
+  return measure::AccessKind::kStarlink;
+}
+
+int cmd_ping(measure::Testbed& bed, const Flags& flags) {
+  const auto access = parse_access(flags.get("access", "starlink"));
+  const auto anchor_index =
+      static_cast<std::size_t>(flags.get_int("anchor", 0)) % bed.anchors().size();
+  const auto& anchor = bed.anchor(anchor_index);
+  apps::PingApp::Config config;
+  config.target = anchor.host->addr();
+  config.count = static_cast<int>(flags.get_int("count", 5));
+  apps::PingApp ping{bed.client(access), config};
+  std::printf("PING %s (%s) from %s\n", anchor.name.c_str(),
+              sim::addr_to_string(anchor.host->addr()).c_str(),
+              std::string{measure::to_string(access)}.c_str());
+  ping.on_complete = [&](const std::vector<apps::PingApp::Probe>& probes) {
+    int lost = 0;
+    for (const auto& probe : probes) {
+      if (probe.lost) {
+        std::printf("  seq=%d timeout\n", probe.seq);
+        ++lost;
+      } else {
+        std::printf("  seq=%d time=%.1f ms\n", probe.seq, probe.rtt.to_millis());
+      }
+    }
+    std::printf("%d probes, %d lost\n", static_cast<int>(probes.size()), lost);
+  };
+  ping.start();
+  bed.sim().run();
+  return 0;
+}
+
+int cmd_speedtest(measure::Testbed& bed, const Flags& flags) {
+  const auto access = parse_access(flags.get("access", "starlink"));
+  tcp::TcpStack client_stack{bed.client(access)};
+  tcp::TcpStack server_stack{bed.ookla_server()};
+  apps::SpeedtestServer server{server_stack};
+  apps::Speedtest::Config config;
+  config.server = bed.ookla_server().addr();
+  config.download = !flags.get_bool("upload", false);
+  config.connections = static_cast<int>(flags.get_int("connections", 8));
+  apps::Speedtest test{client_stack, config};
+  std::printf("Speedtest (%s, %s, %d connections)...\n",
+              std::string{measure::to_string(access)}.c_str(),
+              config.download ? "download" : "upload", config.connections);
+  test.on_complete = [](const apps::Speedtest::Result& result) {
+    std::printf("  %.1f Mbit/s over %.1f s (%llu bytes)\n", result.goodput.to_mbps(),
+                result.window.to_seconds(),
+                static_cast<unsigned long long>(result.bytes_measured));
+  };
+  test.start();
+  bed.sim().run();
+  return 0;
+}
+
+int cmd_h3(measure::Testbed& bed, const Flags& flags) {
+  quic::QuicStack client_stack{bed.client(measure::AccessKind::kStarlink)};
+  quic::QuicStack server_stack{bed.campus_server()};
+  const auto mb = static_cast<std::uint64_t>(flags.get_int("mb", 100));
+  apps::H3Server::Config server_config;
+  server_config.object_bytes = mb * 1'000'000;
+  apps::H3Server server{server_stack, server_config};
+  apps::H3Client::Config config;
+  config.server = bed.campus_server().addr();
+  config.download = !flags.get_bool("upload", false);
+  config.bytes = mb * 1'000'000;
+  apps::H3Client h3{client_stack, config};
+  h3.start();
+  quic::QlogTrace trace;
+  const bool want_qlog = flags.get_bool("qlog", false);
+  if (want_qlog) trace.attach(h3.connection(), "h3-transfer");
+  std::printf("H3 %s of %llu MB over Starlink...\n", config.download ? "GET" : "PUT",
+              static_cast<unsigned long long>(mb));
+  h3.on_complete = [&](const apps::H3Client::Result& result) {
+    std::printf("  %.1f Mbit/s in %.2f s, %llu packets lost\n", result.goodput.to_mbps(),
+                result.duration.to_seconds(),
+                static_cast<unsigned long long>(result.packets_lost));
+  };
+  bed.sim().run();
+  if (want_qlog) {
+    const std::string path = flags.get("qlog-file", "h3.qlog.json");
+    std::ofstream out{path};
+    trace.write_json(out);
+    std::printf("  qlog with %zu events written to %s\n", trace.size(), path.c_str());
+  }
+  return 0;
+}
+
+int cmd_traceroute(measure::Testbed& bed, const Flags& flags) {
+  const auto access = parse_access(flags.get("access", "starlink"));
+  mbox::Traceroute::Config config;
+  config.target = bed.campus_server().addr();
+  mbox::Traceroute traceroute{bed.client(access), config};
+  std::printf("traceroute to campus-server (%s) from %s\n",
+              sim::addr_to_string(config.target).c_str(),
+              std::string{measure::to_string(access)}.c_str());
+  traceroute.on_complete = [](const std::vector<mbox::Traceroute::Hop>& hops) {
+    for (const auto& hop : hops) {
+      if (hop.reporter == 0) {
+        std::printf("  %2d  *\n", hop.ttl);
+      } else {
+        std::printf("  %2d  %-16s %7.1f ms%s\n", hop.ttl,
+                    sim::addr_to_string(hop.reporter).c_str(), hop.rtt.to_millis(),
+                    hop.reached_destination ? "  (destination)" : "");
+      }
+    }
+  };
+  traceroute.start();
+  bed.sim().run();
+  return 0;
+}
+
+int cmd_wehe(measure::Testbed& bed, const Flags& flags) {
+  const auto access = parse_access(flags.get("access", "starlink"));
+  mbox::WeheServer server{bed.campus_server()};
+  mbox::WeheClient::Config config;
+  config.server = bed.campus_server().addr();
+  config.repetitions = static_cast<int>(flags.get_int("reps", 3));
+  mbox::WeheClient wehe{bed.client(access), config};
+  std::printf("Wehe differential replay (%d repetitions) over %s...\n", config.repetitions,
+              std::string{measure::to_string(access)}.c_str());
+  wehe.on_complete = [](const mbox::WeheClient::Report& report) {
+    std::printf("  original %.2f Mbit/s vs randomized %.2f Mbit/s -> %s\n",
+                report.mean_original_mbps, report.mean_randomized_mbps,
+                report.differentiation_detected ? "DIFFERENTIATION DETECTED"
+                                                : "no differentiation");
+  };
+  wehe.start();
+  bed.sim().run();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slp;
+  const Flags flags = Flags::parse(argc, argv);
+  if (flags.positional().empty()) {
+    std::printf("usage: starlink_cli <ping|speedtest|h3|traceroute|wehe> [flags]\n"
+                "flags: --access=starlink|satcom|wired --seed=N, plus per-command "
+                "flags (see the file header)\n");
+    return 1;
+  }
+  measure::TestbedConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  measure::Testbed bed{config};
+
+  const std::string& command = flags.positional()[0];
+  if (command == "ping") return cmd_ping(bed, flags);
+  if (command == "speedtest") return cmd_speedtest(bed, flags);
+  if (command == "h3") return cmd_h3(bed, flags);
+  if (command == "traceroute") return cmd_traceroute(bed, flags);
+  if (command == "wehe") return cmd_wehe(bed, flags);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}

@@ -1,0 +1,64 @@
+#include "apps/h3.hpp"
+
+namespace slp::apps {
+
+H3Server::H3Server(quic::QuicStack& stack, Config config) : config_{config} {
+  stack.listen(config_.get_port, [this](quic::QuicConnection& conn) {
+    auto responded = std::make_shared<bool>(false);
+    conn.on_stream_data = [this, &conn, responded](std::uint64_t n) {
+      bytes_received_ += n;
+      if (!*responded) {
+        *responded = true;
+        requests_served_++;
+        conn.send_stream(config_.object_bytes);
+      }
+    };
+    if (on_connection) on_connection(conn);
+  }, config_.quic);
+  stack.listen(config_.put_port, [this](quic::QuicConnection& conn) {
+    conn.on_stream_data = [this](std::uint64_t n) { bytes_received_ += n; };
+    if (on_connection) on_connection(conn);
+  }, config_.quic);
+}
+
+H3Client::H3Client(quic::QuicStack& stack, Config config) : stack_{&stack}, config_{config} {}
+
+void H3Client::start() {
+  conn_ = &stack_->connect(config_.server,
+                           config_.download ? config_.get_port : config_.put_port,
+                           config_.quic);
+  quic::QuicConnection& conn = *conn_;
+
+  if (config_.download) {
+    conn.on_established = [this, &conn] {
+      started_ = stack_->sim().now();
+      conn.send_stream(config_.request_bytes);  // the request
+    };
+    conn.on_stream_data = [this](std::uint64_t n) {
+      transferred_ += n;
+      if (transferred_ >= config_.bytes) finish();
+    };
+  } else {
+    conn.on_established = [this, &conn] {
+      started_ = stack_->sim().now();
+      conn.send_stream(config_.bytes);
+    };
+    conn.on_stream_acked = [this](std::uint64_t acked) {
+      transferred_ = acked;
+      if (acked >= config_.bytes) finish();
+    };
+  }
+}
+
+void H3Client::finish() {
+  if (done_) return;
+  done_ = true;
+  Result result;
+  result.duration = stack_->sim().now() - started_;
+  result.bytes = transferred_;
+  result.goodput = rate_of(result.bytes, result.duration);
+  result.packets_lost = conn_->stats().packets_lost;
+  if (on_complete) on_complete(result);
+}
+
+}  // namespace slp::apps

@@ -1,0 +1,82 @@
+// h3.hpp — HTTP/3-style bulk transfers over QUIC (§2 "QUIC measurements").
+//
+// The paper's H3 workload is a single-connection 100 MB transfer, download
+// (server -> client) or upload (client -> server). H3Server answers any
+// request with a configured object size; H3Client runs one transfer and
+// reports timing. Loss/RTT hooks hang off the exposed QuicConnection, which
+// is how measure::LossAnalyzer instruments the transfers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "quic/quic.hpp"
+
+namespace slp::apps {
+
+class H3Server {
+ public:
+  struct Config {
+    std::uint16_t get_port = 443;     ///< GET: respond with the object
+    std::uint16_t put_port = 444;     ///< PUT: absorb the upload
+    std::uint64_t object_bytes = 100ull * 1000 * 1000;  ///< response size
+    quic::QuicConfig quic;
+  };
+
+  H3Server(quic::QuicStack& stack, Config config);
+  explicit H3Server(quic::QuicStack& stack) : H3Server(stack, Config{}) {}
+
+  /// Fires for every accepted connection, before any data flows — attach
+  /// measurement hooks here.
+  std::function<void(quic::QuicConnection&)> on_connection;
+
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_served_; }
+  /// Upload bytes received across all connections.
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  Config config_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+class H3Client {
+ public:
+  struct Config {
+    sim::Ipv4Addr server = 0;
+    std::uint16_t get_port = 443;
+    std::uint16_t put_port = 444;
+    bool download = true;
+    std::uint64_t bytes = 100ull * 1000 * 1000;
+    std::uint32_t request_bytes = 300;
+    quic::QuicConfig quic;
+  };
+
+  struct Result {
+    Duration duration = Duration::zero();   ///< established -> last byte
+    DataRate goodput;
+    std::uint64_t bytes = 0;
+    std::uint64_t packets_lost = 0;          ///< sender-side view
+  };
+
+  H3Client(quic::QuicStack& stack, Config config);
+
+  void start();
+
+  /// The underlying connection (valid after start()); attach hooks here.
+  [[nodiscard]] quic::QuicConnection& connection() { return *conn_; }
+
+  std::function<void(const Result&)> on_complete;
+
+ private:
+  void finish();
+
+  quic::QuicStack* stack_;
+  Config config_;
+  quic::QuicConnection* conn_ = nullptr;
+  std::uint64_t transferred_ = 0;
+  TimePoint started_;
+  bool done_ = false;
+};
+
+}  // namespace slp::apps

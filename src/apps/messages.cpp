@@ -1,0 +1,38 @@
+#include "apps/messages.hpp"
+
+namespace slp::apps {
+
+MessageSender::MessageSender(quic::QuicConnection& conn, Config config, Rng rng)
+    : conn_{&conn}, config_{config}, rng_{rng}, timer_{conn.sim()} {}
+
+void MessageSender::start() {
+  start_time_ = conn_->sim().now();
+  tick();
+}
+
+void MessageSender::tick() {
+  const TimePoint now = conn_->sim().now();
+  if (now - start_time_ >= config_.duration) {
+    finished_ = true;
+    if (on_complete) on_complete();
+    return;
+  }
+  const auto bytes = static_cast<std::uint64_t>(rng_.uniform_int(
+      static_cast<std::int64_t>(config_.min_bytes), static_cast<std::int64_t>(config_.max_bytes)));
+  conn_->send_message(bytes);
+  ++sent_;
+  timer_.arm(Duration::from_seconds(1.0 / config_.rate_hz), [this] { tick(); });
+}
+
+MessageReceiver::MessageReceiver(quic::QuicConnection& conn) {
+  conn.on_message = [this, &conn](std::uint64_t msg_id, std::uint64_t bytes, TimePoint queued_at) {
+    Delivery d;
+    d.msg_id = msg_id;
+    d.bytes = bytes;
+    d.latency = conn.sim().now() - queued_at;
+    deliveries_.push_back(d);
+    if (on_delivery) on_delivery(d);
+  };
+}
+
+}  // namespace slp::apps

@@ -1,0 +1,65 @@
+// messages.hpp — the low-bitrate messaging workload (§2 "QUIC measurements").
+//
+// "The latter sends 25 variable length messages per second during 2 minutes.
+// Each message has a size in the 5-25kB range. The average bitrate of this
+// transfer is 3 Mbit/s" — a stand-in for real-time video traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "quic/quic.hpp"
+#include "util/rng.hpp"
+
+namespace slp::apps {
+
+/// Drives an established QuicConnection with the paper's message schedule.
+/// The *receiving* endpoint observes completions via its on_message hook.
+class MessageSender {
+ public:
+  struct Config {
+    double rate_hz = 25.0;
+    std::uint64_t min_bytes = 5'000;
+    std::uint64_t max_bytes = 25'000;
+    Duration duration = Duration::minutes(2);
+  };
+
+  MessageSender(quic::QuicConnection& conn, Config config, Rng rng);
+
+  void start();
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] int messages_sent() const { return sent_; }
+  std::function<void()> on_complete;
+
+ private:
+  void tick();
+
+  quic::QuicConnection* conn_;
+  Config config_;
+  Rng rng_;
+  sim::Timer timer_;
+  TimePoint start_time_;
+  int sent_ = 0;
+  bool finished_ = false;
+};
+
+/// Collects per-message delivery latency on the receiving connection.
+class MessageReceiver {
+ public:
+  struct Delivery {
+    std::uint64_t msg_id = 0;
+    std::uint64_t bytes = 0;
+    Duration latency = Duration::zero();  ///< queued at sender -> complete
+  };
+
+  explicit MessageReceiver(quic::QuicConnection& conn);
+
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const { return deliveries_; }
+  std::function<void(const Delivery&)> on_delivery;
+
+ private:
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace slp::apps

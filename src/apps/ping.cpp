@@ -1,0 +1,72 @@
+#include "apps/ping.hpp"
+
+#include <cassert>
+
+namespace slp::apps {
+
+PingApp::PingApp(sim::Host& host, Config config)
+    : host_{&host},
+      config_{config},
+      icmp_id_{host.ephemeral_port()},  // unique id per app instance
+      send_timer_{host.sim()},
+      timeout_timer_{host.sim()} {}
+
+PingApp::~PingApp() {
+  if (running_) host_->unbind_echo_reply(icmp_id_);
+}
+
+void PingApp::start() {
+  assert(!running_);
+  running_ = true;
+  probes_.clear();
+  sent_at_.clear();
+  next_seq_ = 0;
+  outstanding_ = 0;
+
+  host_->bind_echo_reply(icmp_id_, [this](const sim::Packet& pkt) {
+    const int seq = pkt.icmp->seq;
+    if (seq < 0 || static_cast<std::size_t>(seq) >= probes_.size()) return;
+    Probe& probe = probes_[static_cast<std::size_t>(seq)];
+    if (probe.lost || probe.rtt > Duration::zero()) return;  // late or dup
+    probe.rtt = host_->sim().now() - sent_at_[static_cast<std::size_t>(seq)];
+    if (--outstanding_ == 0 && next_seq_ >= config_.count) finish();
+  });
+  send_next();
+}
+
+void PingApp::send_next() {
+  if (next_seq_ >= config_.count) return;
+  const int seq = next_seq_++;
+  probes_.push_back(Probe{seq, Duration::zero(), false});
+  sent_at_.push_back(host_->sim().now());
+  ++outstanding_;
+
+  sim::Packet ping;
+  ping.dst = config_.target;
+  ping.proto = sim::Protocol::kIcmp;
+  ping.size_bytes = config_.packet_bytes;
+  ping.icmp = sim::IcmpHeader{sim::IcmpType::kEchoRequest, icmp_id_,
+                              static_cast<std::uint16_t>(seq), nullptr};
+  host_->send(std::move(ping));
+
+  if (next_seq_ < config_.count) {
+    send_timer_.arm(config_.interval, [this] { send_next(); });
+  } else {
+    // After the last probe, wait out the timeout for stragglers.
+    timeout_timer_.arm(config_.timeout, [this] { finish(); });
+  }
+}
+
+void PingApp::finish() {
+  if (!running_) return;
+  running_ = false;
+  send_timer_.cancel();
+  timeout_timer_.cancel();
+  host_->unbind_echo_reply(icmp_id_);
+  for (Probe& probe : probes_) {
+    if (probe.rtt.is_zero()) probe.lost = true;
+  }
+  if (on_complete) on_complete(probes_);
+}
+
+}  // namespace slp::apps

@@ -1,0 +1,63 @@
+// ping.hpp — the ICMP echo measurement tool (§2 "Latency").
+//
+// The paper probes 11 anchors with 3 pings every five minutes for five
+// months. PingApp performs one such round: `count` echo requests at
+// `interval`, RTTs collected, losses marked by timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/simulator.hpp"
+
+namespace slp::apps {
+
+class PingApp {
+ public:
+  struct Config {
+    sim::Ipv4Addr target = 0;
+    int count = 3;
+    Duration interval = Duration::seconds(1);
+    Duration timeout = Duration::seconds(2);
+    std::uint32_t packet_bytes = 64;
+  };
+
+  struct Probe {
+    int seq = 0;
+    Duration rtt = Duration::zero();
+    bool lost = false;
+  };
+
+  PingApp(sim::Host& host, Config config);
+  ~PingApp();
+
+  PingApp(const PingApp&) = delete;
+  PingApp& operator=(const PingApp&) = delete;
+
+  /// Begins the round; on_complete fires after the last reply or timeout.
+  void start();
+
+  std::function<void(const std::vector<Probe>&)> on_complete;
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void send_next();
+  void finish();
+
+  sim::Host* host_;
+  Config config_;
+  std::uint16_t icmp_id_;
+  std::vector<Probe> probes_;
+  std::vector<TimePoint> sent_at_;
+  int next_seq_ = 0;
+  int outstanding_ = 0;
+  bool running_ = false;
+  sim::Timer send_timer_;
+  sim::Timer timeout_timer_;
+};
+
+}  // namespace slp::apps

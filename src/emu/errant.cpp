@@ -1,0 +1,166 @@
+#include "emu/errant.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "phy/outage.hpp"
+
+namespace slp::emu {
+
+double ErrantProfile::LogNormal::median() const { return std::exp(mu); }
+
+double ErrantProfile::LogNormal::sample(Rng& rng) const { return rng.lognormal(mu, sigma); }
+
+ErrantProfile::ErrantProfile(std::string name, LogNormal down_mbps, LogNormal up_mbps,
+                             LogNormal rtt_ms, double jitter_fraction, double loss_ratio)
+    : name_{std::move(name)},
+      down_mbps_{down_mbps},
+      up_mbps_{up_mbps},
+      rtt_ms_{rtt_ms},
+      jitter_fraction_{jitter_fraction},
+      loss_ratio_{loss_ratio} {}
+
+namespace {
+
+ErrantProfile::LogNormal fit_lognormal(const stats::Samples& samples) {
+  // Moment fit on the logs.
+  stats::StreamingSummary logs;
+  for (const double x : samples.values()) {
+    if (x > 0.0) logs.add(std::log(x));
+  }
+  ErrantProfile::LogNormal ln;
+  ln.mu = logs.mean();
+  ln.sigma = logs.stddev();
+  return ln;
+}
+
+}  // namespace
+
+ErrantProfile ErrantProfile::fit(std::string name, const stats::Samples& down_mbps,
+                                 const stats::Samples& up_mbps, const stats::Samples& rtt_ms,
+                                 double loss_ratio) {
+  ErrantProfile profile;
+  profile.name_ = std::move(name);
+  profile.down_mbps_ = fit_lognormal(down_mbps);
+  profile.up_mbps_ = fit_lognormal(up_mbps);
+  profile.rtt_ms_ = fit_lognormal(rtt_ms);
+  // Jitter fraction: dispersion of the RTT distribution (IQR over median).
+  if (rtt_ms.size() >= 4) {
+    const double iqr = rtt_ms.percentile(75) - rtt_ms.percentile(25);
+    profile.jitter_fraction_ = std::clamp(iqr / (2.0 * rtt_ms.median()), 0.02, 0.5);
+  }
+  profile.loss_ratio_ = loss_ratio;
+  return profile;
+}
+
+NetemParams ErrantProfile::sample(Rng& rng) const {
+  NetemParams params;
+  params.profile = name_;
+  params.rate_down = DataRate::mbps(down_mbps_.sample(rng));
+  params.rate_up = DataRate::mbps(up_mbps_.sample(rng));
+  const double rtt = rtt_ms_.sample(rng);
+  params.delay_one_way = Duration::from_millis(rtt / 2.0);
+  params.jitter = Duration::from_millis(rtt * jitter_fraction_ / 2.0);
+  params.loss_ratio = loss_ratio_;
+  return params;
+}
+
+NetemParams ErrantProfile::median() const {
+  NetemParams params;
+  params.profile = name_;
+  params.rate_down = DataRate::mbps(down_mbps_.median());
+  params.rate_up = DataRate::mbps(up_mbps_.median());
+  params.delay_one_way = Duration::from_millis(rtt_ms_.median() / 2.0);
+  params.jitter = Duration::from_millis(rtt_ms_.median() * jitter_fraction_ / 2.0);
+  params.loss_ratio = loss_ratio_;
+  return params;
+}
+
+std::string ErrantProfile::describe() const {
+  std::ostringstream os;
+  os << name_ << ": down ~LogN(median " << std::exp(down_mbps_.mu) << " Mbit/s, sigma "
+     << down_mbps_.sigma << "), up ~LogN(median " << std::exp(up_mbps_.mu) << " Mbit/s, sigma "
+     << up_mbps_.sigma << "), RTT ~LogN(median " << std::exp(rtt_ms_.mu) << " ms, sigma "
+     << rtt_ms_.sigma << "), loss " << loss_ratio_ * 100.0 << "%";
+  return os.str();
+}
+
+std::vector<std::string> NetemParams::netem_commands(const std::string& dev,
+                                                     const std::string& ifb_dev) const {
+  auto fmt_rate = [](DataRate r) {
+    std::ostringstream os;
+    os << r.to_mbps() << "mbit";
+    return os.str();
+  };
+  std::ostringstream egress;
+  egress << "tc qdisc add dev " << dev << " root netem rate " << fmt_rate(rate_up) << " delay "
+         << delay_one_way.to_millis() << "ms " << jitter.to_millis() << "ms loss "
+         << loss_ratio * 100.0 << "%";
+  std::ostringstream redirect;
+  redirect << "tc filter add dev " << dev << " parent ffff: protocol ip u32 match u32 0 0 "
+           << "action mirred egress redirect dev " << ifb_dev;
+  std::ostringstream ingress;
+  ingress << "tc qdisc add dev " << ifb_dev << " root netem rate " << fmt_rate(rate_down)
+          << " delay " << delay_one_way.to_millis() << "ms " << jitter.to_millis()
+          << "ms loss " << loss_ratio * 100.0 << "%";
+  return {egress.str(), redirect.str(), ingress.str()};
+}
+
+ErrantProfile profile_4g_good() {
+  // MONROE campaigns [29]: 4G good signal, ~29.5 down / 14 up Mbit/s median.
+  return ErrantProfile{"4g-good",
+                       {std::log(29.5), 0.45},
+                       {std::log(14.0), 0.5},
+                       {std::log(45.0), 0.35},
+                       0.2,
+                       0.002};
+}
+
+ErrantProfile profile_3g() {
+  return ErrantProfile{"3g",
+                       {std::log(7.5), 0.55},
+                       {std::log(2.5), 0.6},
+                       {std::log(75.0), 0.4},
+                       0.25,
+                       0.005};
+}
+
+ErrantProfile profile_geo_satcom() {
+  // The paper's SatCom subscription: ~82/4.5 Mbit/s medians, ~600 ms RTT.
+  return ErrantProfile{"geo-satcom",
+                       {std::log(82.0), 0.25},
+                       {std::log(4.5), 0.35},
+                       {std::log(600.0), 0.05},
+                       0.04,
+                       0.003};
+}
+
+ErrantProfile profile_wired() {
+  return ErrantProfile{"wired",
+                       {std::log(940.0), 0.05},
+                       {std::log(940.0), 0.05},
+                       {std::log(8.0), 0.2},
+                       0.1,
+                       0.0001};
+}
+
+void apply(const NetemParams& params, sim::Link& link,
+           std::vector<std::unique_ptr<sim::LossModel>>& loss_models, Rng rng) {
+  link.set_rate(0, params.rate_up);
+  link.set_rate(1, params.rate_down);
+  link.set_delay(0, params.delay_one_way);
+  link.set_delay(1, params.delay_one_way);
+  if (params.loss_ratio > 0.0) {
+    auto up = std::make_unique<phy::BernoulliLoss>(params.loss_ratio, rng.fork("netem-up"));
+    auto down = std::make_unique<phy::BernoulliLoss>(params.loss_ratio, rng.fork("netem-down"));
+    link.set_loss(0, up.get());
+    link.set_loss(1, down.get());
+    loss_models.push_back(std::move(up));
+    loss_models.push_back(std::move(down));
+  } else {
+    link.set_loss(0, nullptr);
+    link.set_loss(1, nullptr);
+  }
+}
+
+}  // namespace slp::emu

@@ -1,0 +1,97 @@
+// errant.hpp — data-driven network emulation profiles (the paper's artifact).
+//
+// The paper's contribution to tooling is a Starlink model for the ERRANT
+// emulator (Trevisan et al., Computer Networks 2020): per-technology
+// distributions of rate/delay/jitter/loss fitted from measurements, which
+// ERRANT replays through netem. This module reproduces that artifact:
+//   * ErrantProfile::fit() builds a profile from campaign samples;
+//   * built-in reference profiles for 3G/4G (from the MONROE campaigns the
+//     paper compares against) and for GEO SatCom and wired;
+//   * NetemParams::netem_commands() emits the tc/netem invocations a user
+//     would run, and apply() configures a simulated link the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "stats/quantiles.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace slp::emu {
+
+/// One concrete emulation setting (a netem instance).
+struct NetemParams {
+  std::string profile;
+  DataRate rate_down;
+  DataRate rate_up;
+  Duration delay_one_way;
+  Duration jitter;
+  double loss_ratio = 0.0;
+
+  /// The tc commands that realize this setting on `dev` (egress) and
+  /// `ifb_dev` (ingress redirect), ERRANT-style.
+  [[nodiscard]] std::vector<std::string> netem_commands(const std::string& dev = "eth0",
+                                                        const std::string& ifb_dev = "ifb0") const;
+};
+
+/// A distributional profile: lognormal rates and RTT (the canonical ERRANT
+/// choice), plus a mean loss ratio.
+class ErrantProfile {
+ public:
+  struct LogNormal {
+    double mu = 0.0;     ///< of the underlying normal
+    double sigma = 0.0;
+    [[nodiscard]] double median() const;
+    [[nodiscard]] double sample(Rng& rng) const;
+  };
+
+  ErrantProfile() = default;
+  ErrantProfile(std::string name, LogNormal down_mbps, LogNormal up_mbps, LogNormal rtt_ms,
+                double jitter_fraction, double loss_ratio);
+
+  /// Fits a profile from measured samples (download/upload in Mbit/s, RTT in
+  /// ms, loss as a ratio). This is what the campaign runs on its own output.
+  static ErrantProfile fit(std::string name, const stats::Samples& down_mbps,
+                           const stats::Samples& up_mbps, const stats::Samples& rtt_ms,
+                           double loss_ratio);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Draws one concrete emulation setting.
+  [[nodiscard]] NetemParams sample(Rng& rng) const;
+  /// The distribution medians as a setting.
+  [[nodiscard]] NetemParams median() const;
+
+  /// Renders the profile line ERRANT stores per technology.
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] const LogNormal& down_mbps() const { return down_mbps_; }
+  [[nodiscard]] const LogNormal& up_mbps() const { return up_mbps_; }
+  [[nodiscard]] const LogNormal& rtt_ms() const { return rtt_ms_; }
+  [[nodiscard]] double loss_ratio() const { return loss_ratio_; }
+
+ private:
+  std::string name_;
+  LogNormal down_mbps_;
+  LogNormal up_mbps_;
+  LogNormal rtt_ms_;
+  double jitter_fraction_ = 0.15;
+  double loss_ratio_ = 0.0;
+};
+
+/// Reference profiles from the related work the paper compares against
+/// ([29, 43]: MONROE 3G/4G medians) plus GEO SatCom and wired baselines.
+[[nodiscard]] ErrantProfile profile_4g_good();
+[[nodiscard]] ErrantProfile profile_3g();
+[[nodiscard]] ErrantProfile profile_geo_satcom();
+[[nodiscard]] ErrantProfile profile_wired();
+
+/// Configures a simulated link (direction 0 = a->b = uplink) to one drawn
+/// setting. `loss_models` receives ownership of the Bernoulli loss models
+/// (they must outlive the link).
+void apply(const NetemParams& params, sim::Link& link,
+           std::vector<std::unique_ptr<sim::LossModel>>& loss_models, Rng rng);
+
+}  // namespace slp::emu

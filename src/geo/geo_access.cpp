@@ -1,0 +1,80 @@
+#include "geo/geo_access.hpp"
+
+namespace slp::geo {
+
+namespace {
+
+using sim::make_addr;
+
+constexpr sim::Ipv4Addr kClientAddr = make_addr(192, 168, 3, 100);
+constexpr sim::Ipv4Addr kModemLan = make_addr(192, 168, 3, 1);
+constexpr sim::Ipv4Addr kModemExternal = make_addr(185, 44, 3, 2);
+constexpr sim::Ipv4Addr kGatewaySatIf = make_addr(185, 44, 3, 1);
+constexpr sim::Ipv4Addr kGatewayNetIf = make_addr(185, 12, 0, 1);
+constexpr sim::Ipv4Addr kPopPepIf = make_addr(185, 12, 0, 254);
+
+}  // namespace
+
+GeoAccess::GeoAccess(sim::Network& net, Config config)
+    : config_{std::move(config)},
+      jitter_rng_{net.sim().fork_rng(config_.rng_label + "/jitter")} {
+  loss_up_ = std::make_unique<phy::GilbertElliott>(
+      config_.medium_loss, net.sim().fork_rng(config_.rng_label + "/ge-up"));
+  loss_down_ = std::make_unique<phy::GilbertElliott>(
+      config_.medium_loss, net.sim().fork_rng(config_.rng_label + "/ge-down"));
+
+  client_ = &net.add_host("pc-satcom", kClientAddr);
+  modem_ = &net.add_nat("satcom-modem", kModemLan, kModemExternal);
+  gateway_ = &net.add_router("satcom-gateway");
+  pep_ = &net.add_node<Pep>("satcom-pep", config_.pep);
+  pop_ = &net.add_router("satcom-pop");
+
+  // LAN: client <-> modem.
+  net.connect(client_->uplink(), modem_->inside(),
+              sim::Network::symmetric(DataRate::gbps(1), Duration::from_micros(250),
+                                      8 * 1024 * 1024));
+
+  // Satellite link: modem <-> gateway, plan-shaped.
+  sim::Interface& gw_sat = gateway_->add_interface(kGatewaySatIf);
+  sim::Link::Config sat;
+  sat.a_to_b.rate = config_.plan_uplink;
+  sat.a_to_b.delay_fn = [this](TimePoint t) { return access_delay(t, 0); };
+  sat.a_to_b.queue_capacity_bytes = config_.uplink_queue_bytes;
+  sat.a_to_b.loss = loss_up_.get();
+  sat.b_to_a.rate = config_.plan_downlink;
+  sat.b_to_a.delay_fn = [this](TimePoint t) { return access_delay(t, 1); };
+  sat.b_to_a.queue_capacity_bytes = config_.downlink_queue_bytes;
+  sat.b_to_a.loss = loss_down_.get();
+  sat_link_ = &net.connect(modem_->outside(), gw_sat, std::move(sat));
+
+  // Gateway <-> PEP <-> exit PoP (fast terrestrial hops).
+  sim::Interface& gw_net = gateway_->add_interface(kGatewayNetIf);
+  net.connect(gw_net, pep_->sat_side(),
+              sim::Network::symmetric(DataRate::gbps(10), Duration::from_micros(200)));
+  sim::Interface& pop_if = pop_->add_interface(kPopPepIf);
+  net.connect(pep_->net_side(), pop_if,
+              sim::Network::symmetric(DataRate::gbps(10), Duration::from_micros(200)));
+
+  // Routing: the gateway sends user-bound traffic over the satellite and
+  // everything else toward the PEP; the PoP returns user traffic to the PEP.
+  gateway_->routes().add_route(make_addr(185, 44, 3, 0), 24, gw_sat);
+  gateway_->routes().add_default(gw_net);
+  pop_->routes().add_route(make_addr(185, 44, 3, 0), 24, pop_if);
+}
+
+sim::Ipv4Addr GeoAccess::public_addr() const { return kModemExternal; }
+
+Duration GeoAccess::access_delay(TimePoint t, int direction) {
+  Duration delay = config_.propagation_one_way + config_.processing_one_way;
+  delay += Duration::from_seconds(
+      jitter_rng_.uniform(0.0, config_.frame_jitter.to_seconds()));
+  // FIFO per direction: jitter must never reorder packets.
+  TimePoint arrival = t + delay;
+  if (arrival <= last_arrival_[direction]) {
+    arrival = last_arrival_[direction] + Duration::nanos(1);
+  }
+  last_arrival_[direction] = arrival;
+  return arrival - t;
+}
+
+}  // namespace slp::geo

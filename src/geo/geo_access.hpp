@@ -1,0 +1,81 @@
+// geo_access.hpp — the traditional geostationary SatCom access (PC-SatCom).
+//
+//   client -- modem NAT ==GEO satellite link (100/10 plan)== gateway router
+//          -- PEP -- exit router -- (caller attaches the internet)
+//
+// Latency: 35,786 km geostationary altitude; user terminal and gateway in
+// Western Europe at ~51 deg N see slant ranges near 38,600 km. Two hops
+// (up + down) per direction give ~258 ms propagation one-way; modem/gateway
+// processing and DVB-S2 framing push the minimum RTT to the ~560-600 ms the
+// paper's reference [37] reports.
+#pragma once
+
+#include <memory>
+
+#include "geo/pep.hpp"
+#include "leo/geodesy.hpp"
+#include "phy/gilbert_elliott.hpp"
+#include "sim/network.hpp"
+
+namespace slp::geo {
+
+class GeoAccess {
+ public:
+  struct Config {
+    /// Plan shaping. The subscription says "up to 100 Mbit/s downlink and
+    /// 10 Mbit/s uplink"; the IP-layer rates below account for DVB-S2(X)
+    /// forward-link overhead and the MF-TDMA return channel's much poorer
+    /// efficiency — the paper measured medians of 82 and 4.5 Mbit/s.
+    DataRate plan_downlink = DataRate::mbps(90);
+    DataRate plan_uplink = DataRate::mbps(5.2);
+
+    /// One-way satellite path: ~2x 38,600 km slant + processing.
+    Duration propagation_one_way = Duration::from_millis(258);
+    Duration processing_one_way = Duration::from_millis(22);
+    /// DVB-S2 frame scheduling jitter, U(0, x) per packet.
+    Duration frame_jitter = Duration::from_millis(12);
+
+    std::size_t downlink_queue_bytes = 2 * 1024 * 1024;
+    std::size_t uplink_queue_bytes = 256 * 1024;
+
+    /// Rain-fade / medium loss: rare, mild.
+    phy::GilbertElliott::Config medium_loss{
+        .mean_good = Duration::minutes(30),
+        .mean_bad = Duration::from_millis(40),
+        .loss_good = 0.0,
+        .loss_bad = 0.5};
+
+    Pep::Config pep;  ///< pep.enabled=false for the ablation
+
+    std::string rng_label = "geo-access";
+  };
+
+  GeoAccess(sim::Network& net, Config config);
+
+  [[nodiscard]] sim::Host& client() { return *client_; }
+  /// Exit router on the terrestrial side; attach the internet here.
+  [[nodiscard]] sim::Router& pop() { return *pop_; }
+  [[nodiscard]] Pep& pep() { return *pep_; }
+  [[nodiscard]] sim::Nat& modem() { return *modem_; }
+  [[nodiscard]] sim::Link& satellite_link() { return *sat_link_; }
+  [[nodiscard]] sim::Ipv4Addr public_addr() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  [[nodiscard]] Duration access_delay(TimePoint t, int direction);
+
+  Config config_;
+  std::unique_ptr<phy::GilbertElliott> loss_up_;
+  std::unique_ptr<phy::GilbertElliott> loss_down_;
+  Rng jitter_rng_;
+
+  sim::Host* client_ = nullptr;
+  sim::Nat* modem_ = nullptr;
+  sim::Router* gateway_ = nullptr;
+  Pep* pep_ = nullptr;
+  sim::Router* pop_ = nullptr;
+  sim::Link* sat_link_ = nullptr;
+  TimePoint last_arrival_[2];
+};
+
+}  // namespace slp::geo

@@ -1,0 +1,78 @@
+#include "geo/pep.hpp"
+
+#include "util/log.hpp"
+
+namespace slp::geo {
+
+Pep::Pep(sim::Simulator& sim, std::string name, Config config)
+    : Node(sim, std::move(name)), config_{config} {
+  // Interface addresses are internal only: the PEP is transparent (no TTL
+  // decrement, no ICMP) and never appears as a traceroute hop.
+  add_interface(sim::make_addr(10, 255, 0, 1));
+  add_interface(sim::make_addr(10, 255, 0, 2));
+  sat_stack_ = std::make_unique<tcp::TcpStack>(
+      sim, [this](sim::Packet pkt) { sat_side().send(std::move(pkt)); });
+  net_stack_ = std::make_unique<tcp::TcpStack>(
+      sim, [this](sim::Packet pkt) { net_side().send(std::move(pkt)); });
+}
+
+void Pep::intercept_syn(const sim::Packet& pkt) {
+  const FlowKey key{pkt.src, pkt.src_port, pkt.dst, pkt.dst_port};
+  if (flows_.contains(key)) return;  // duplicate SYN: leg handles retransmit
+
+  Flow& flow = flows_[key];
+  stats_.flows_split++;
+
+  // Client leg: impersonate the server.
+  flow.client_leg =
+      &sat_stack_->accept_spoofed(pkt.dst, pkt.dst_port, pkt.src, pkt.src_port, config_.sat_leg);
+  // Server leg: impersonate the client.
+  flow.server_leg =
+      &net_stack_->connect_spoofed(pkt.src, pkt.src_port, pkt.dst, pkt.dst_port, config_.net_leg);
+
+  tcp::TcpConnection* client_leg = flow.client_leg;
+  tcp::TcpConnection* server_leg = flow.server_leg;
+
+  // Relay plumbing. Byte counts only: the data is synthetic. The server leg
+  // uses manual reads: bytes stay "unread" (closing its receive window)
+  // until the client leg has acked them downstream — real split-TCP relay
+  // backpressure.
+  server_leg->set_manual_read(true);
+  client_leg->on_data = [this, server_leg](std::uint64_t n) {
+    stats_.bytes_relayed_up += n;
+    server_leg->send(n);
+  };
+  server_leg->on_data = [this, client_leg](std::uint64_t n) {
+    stats_.bytes_relayed_down += n;
+    client_leg->send(n);
+  };
+  client_leg->on_bytes_acked = [server_leg](std::uint64_t n) { server_leg->consume(n); };
+  client_leg->on_closed = [server_leg] { server_leg->close(); };
+  server_leg->on_closed = [client_leg] { client_leg->close(); };
+  client_leg->on_error = [server_leg] { server_leg->abort(); };
+  server_leg->on_error = [client_leg] { client_leg->abort(); };
+}
+
+void Pep::handle_packet(sim::Packet pkt, sim::Interface& in) {
+  const bool from_sat = &in == &sat_side();
+  sim::Interface& out = from_sat ? net_side() : sat_side();
+
+  if (!config_.enabled || pkt.proto != sim::Protocol::kTcp || !pkt.tcp) {
+    // Transparent wire for non-TCP (QUIC/UDP, ICMP) and when disabled.
+    stats_.forwarded_non_tcp++;
+    out.send(std::move(pkt));
+    return;
+  }
+
+  if (from_sat) {
+    if (pkt.tcp->syn && !pkt.tcp->ack_flag) intercept_syn(pkt);
+    if (sat_stack_->deliver(pkt)) return;
+  } else {
+    if (net_stack_->deliver(pkt)) return;
+  }
+  // TCP traffic that belongs to no split flow (e.g. a server-initiated
+  // connection) passes through untouched.
+  out.send(std::move(pkt));
+}
+
+}  // namespace slp::geo

@@ -1,0 +1,174 @@
+#include "leo/access.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace slp::leo {
+
+namespace {
+
+using sim::make_addr;
+
+constexpr sim::Ipv4Addr kClientAddr = make_addr(192, 168, 1, 100);
+constexpr sim::Ipv4Addr kCpeExternal = make_addr(100, 64, 7, 23);
+constexpr sim::Ipv4Addr kCgnExternal = make_addr(149, 6, 50, 1);
+constexpr sim::Ipv4Addr kPopGatewayIf = make_addr(149, 6, 50, 254);
+
+}  // namespace
+
+StarlinkAccess::StarlinkAccess(sim::Network& net, Config config)
+    : config_{std::move(config)},
+      jitter_rng_{net.sim().fork_rng(config_.rng_label + "/jitter")} {
+  constellation_ = std::make_unique<Constellation>(config_.shell);
+
+  HandoverScheduler::Config ho;
+  ho.terminal = config_.terminal;
+  ho.slot = config_.handover_slot;
+  ho.terminal_min_elevation_deg = config_.terminal_min_elevation_deg;
+  ho.gateways = default_european_gateways();
+  ho.active_planes_fn = config_.active_planes_fn;
+  scheduler_ = std::make_unique<HandoverScheduler>(*constellation_, std::move(ho),
+                                                   net.sim().fork_rng(config_.rng_label + "/ho"));
+
+  down_load_ = std::make_unique<phy::LoadProcess>(
+      config_.downlink_load, net.sim().fork_rng(config_.rng_label + "/load-down"));
+  up_load_ = std::make_unique<phy::LoadProcess>(
+      config_.uplink_load, net.sim().fork_rng(config_.rng_label + "/load-up"));
+
+  phy::GilbertElliott::Config up_loss = config_.medium_loss;
+  up_loss.mean_good = config_.uplink_medium_good;
+  loss_up_ = std::make_unique<phy::GilbertElliott>(
+      up_loss, net.sim().fork_rng(config_.rng_label + "/ge-up"));
+  loss_down_ = std::make_unique<phy::GilbertElliott>(
+      config_.medium_loss, net.sim().fork_rng(config_.rng_label + "/ge-down"));
+  outage_up_ = std::make_unique<phy::OutageProcess>(
+      config_.outage, net.sim().fork_rng(config_.rng_label + "/outage"));
+  // Outages hit both directions simultaneously (the link is gone): share the
+  // window by forking the *same* label so both processes draw identically.
+  outage_down_ = std::make_unique<phy::OutageProcess>(
+      config_.outage, net.sim().fork_rng(config_.rng_label + "/outage"));
+  composite_up_ = std::make_unique<phy::CompositeLossModel>(
+      std::vector<sim::LossModel*>{loss_up_.get(), outage_up_.get()});
+  composite_down_ = std::make_unique<phy::CompositeLossModel>(
+      std::vector<sim::LossModel*>{loss_down_.get(), outage_down_.get()});
+  loaded_up_ = std::make_unique<phy::UtilizationLoss>(
+      config_.loaded_loss, net.sim().fork_rng(config_.rng_label + "/loaded-up"));
+  loaded_down_ = std::make_unique<phy::UtilizationLoss>(
+      config_.loaded_loss, net.sim().fork_rng(config_.rng_label + "/loaded-down"));
+
+  // --- nodes ---------------------------------------------------------
+  client_ = &net.add_host("pc-starlink", kClientAddr);
+  cpe_ = &net.add_nat("starlink-cpe", sim::kCpeNatAddr, kCpeExternal);
+  cgn_ = &net.add_nat("starlink-cgn", sim::kCgnNatAddr, kCgnExternal);
+  pop_ = &net.add_router("starlink-pop");
+
+  // --- LAN: client <-> CPE ------------------------------------------
+  // Generous queue: the host NIC/qdisc absorbs cwnd-sized bursts; drops
+  // must happen at the satellite bottleneck, not on gigabit Ethernet.
+  net.connect(client_->uplink(), cpe_->inside(),
+              sim::Network::symmetric(DataRate::gbps(1), Duration::from_micros(250),
+                                      /*queue_bytes=*/8 * 1024 * 1024));
+
+  // --- satellite link: CPE <-> CGN -----------------------------------
+  sim::Link::Config sat;
+  sat.a_to_b.rate_fn = [this](TimePoint t) { return uplink_capacity(t); };
+  sat.a_to_b.delay_fn = [this](TimePoint t) { return access_delay(t, /*up=*/true); };
+  sat.a_to_b.queue_capacity_bytes = config_.uplink_queue_bytes;
+  sat.a_to_b.loss = composite_up_.get();
+  sat.a_to_b.aqm = [this](TimePoint t, const sim::Packet& pkt, double fraction) {
+    note_enqueue(0, pkt.size_bytes, t);
+    return loaded_up_->should_drop(t, pkt, fraction);
+  };
+  sat.b_to_a.rate_fn = [this](TimePoint t) { return downlink_capacity(t); };
+  sat.b_to_a.delay_fn = [this](TimePoint t) { return access_delay(t, /*up=*/false); };
+  sat.b_to_a.queue_capacity_bytes = config_.downlink_queue_bytes;
+  sat.b_to_a.loss = composite_down_.get();
+  sat.b_to_a.aqm = [this](TimePoint t, const sim::Packet& pkt, double fraction) {
+    note_enqueue(1, pkt.size_bytes, t);
+    return loaded_down_->should_drop(t, pkt, fraction);
+  };
+  sat_link_ = &net.connect(cpe_->outside(), cgn_->inside(), std::move(sat));
+
+  // --- backhaul: CGN <-> exit PoP -------------------------------------
+  sim::Interface& pop_if = pop_->add_interface(kPopGatewayIf);
+  net.connect(cgn_->outside(), pop_if,
+              sim::Network::symmetric(DataRate::gbps(10), config_.backhaul_delay));
+  pop_->routes().add_route(make_addr(149, 6, 50, 0), 24, pop_if);
+}
+
+sim::Ipv4Addr StarlinkAccess::public_addr() const { return kCgnExternal; }
+
+DataRate StarlinkAccess::downlink_capacity(TimePoint t) {
+  double fraction = down_load_->available_fraction(t);
+  if (config_.epoch_capacity_factor) fraction *= config_.epoch_capacity_factor(t);
+  const DataRate r = config_.cell_downlink * fraction;
+  return std::max(r, DataRate::mbps(1));
+}
+
+DataRate StarlinkAccess::uplink_capacity(TimePoint t) {
+  double fraction = up_load_->available_fraction(t);
+  if (config_.epoch_capacity_factor) fraction *= config_.epoch_capacity_factor(t);
+  const DataRate r = config_.cell_uplink * fraction;
+  return std::max(r, DataRate::mbps(1));
+}
+
+Duration StarlinkAccess::propagation_one_way(TimePoint t) {
+  const HandoverScheduler::Path& path = scheduler_->path_at(t);
+  if (!path.connected) return config_.handover_slot;  // effectively stalled
+  return path.propagation_one_way();
+}
+
+void StarlinkAccess::note_enqueue(int direction, std::uint32_t bytes, TimePoint now) {
+  const double window_s = config_.utilization_window.to_seconds();
+  const double dt = (now - ema_last_[direction]).to_seconds();
+  if (dt > 0) {
+    ema_bytes_[direction] *= std::exp(-dt / window_s);
+    ema_last_[direction] = now;
+  }
+  ema_bytes_[direction] += bytes;
+}
+
+double StarlinkAccess::own_utilization(int direction, TimePoint now, DataRate capacity) {
+  const double window_s = config_.utilization_window.to_seconds();
+  const double dt = (now - ema_last_[direction]).to_seconds();
+  const double bytes = ema_bytes_[direction] * std::exp(-std::max(0.0, dt) / window_s);
+  const double rate_bps = bytes * 8.0 / window_s;
+  return std::clamp(rate_bps / capacity.bits_per_second(), 0.0, 1.0);
+}
+
+Duration StarlinkAccess::access_delay(TimePoint t, bool up) {
+  Duration delay = propagation_one_way(t);
+  delay += up ? config_.processing_up : config_.processing_down;
+
+  // Sub-IP (MAC/PHY) queueing under own load.
+  const int direction = up ? 0 : 1;
+  const DataRate capacity = up ? uplink_capacity(t) : downlink_capacity(t);
+  const double utilization = own_utilization(direction, t, capacity);
+  delay += (up ? config_.loaded_latency_max_up : config_.loaded_latency_max_down) *
+           (utilization * utilization);
+
+  // Frame-scheduling wait: fresh draw per packet.
+  const Duration frame = up ? config_.uplink_frame : config_.downlink_frame;
+  delay += Duration::from_seconds(jitter_rng_.uniform(0.0, frame.to_seconds()));
+  // Heavy-tail component (PHY retransmissions, scheduling collisions).
+  delay += Duration::from_seconds(
+      jitter_rng_.exponential(config_.tail_jitter_mean.to_seconds()));
+
+  // Beam/MCS allocation penalty: constant within a 15s slot & direction.
+  const std::int64_t slot = t.ns() / config_.handover_slot.ns();
+  Rng slot_rng = jitter_rng_.fork((up ? "slot-up/" : "slot-down/") + std::to_string(slot));
+  delay += Duration::from_seconds(
+      slot_rng.uniform(0.0, config_.slot_penalty_max.to_seconds()));
+
+  if (config_.epoch_latency_offset) delay += config_.epoch_latency_offset(t);
+
+  // FIFO preservation: never deliver before the previous packet in this
+  // direction (real schedulers drain queues in order).
+  TimePoint& last = up ? last_arrival_up_ : last_arrival_down_;
+  TimePoint arrival = t + delay;
+  if (arrival <= last) arrival = last + Duration::nanos(1);
+  last = arrival;
+  return arrival - t;
+}
+
+}  // namespace slp::leo

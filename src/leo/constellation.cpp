@@ -1,0 +1,97 @@
+#include "leo/constellation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace slp::leo {
+
+Constellation::Constellation(Config config) : config_{config} {
+  assert(config_.num_planes > 0 && config_.sats_per_plane > 0);
+  semi_major_m_ = kEarthRadiusM + config_.altitude_m;
+  mean_motion_rad_s_ = std::sqrt(kMuEarth / (semi_major_m_ * semi_major_m_ * semi_major_m_));
+}
+
+Duration Constellation::orbital_period() const {
+  return Duration::from_seconds(2.0 * std::numbers::pi / mean_motion_rad_s_);
+}
+
+Vec3 Constellation::position_ecef(SatIndex sat, TimePoint t) const {
+  assert(sat.plane >= 0 && sat.plane < config_.num_planes);
+  assert(sat.slot >= 0 && sat.slot < config_.sats_per_plane);
+  const double ts = t.to_seconds();
+
+  // In-plane true anomaly: slot spacing + Walker inter-plane phasing + motion.
+  const double slot_angle =
+      2.0 * std::numbers::pi * static_cast<double>(sat.slot) / config_.sats_per_plane;
+  const double phase_angle = 2.0 * std::numbers::pi * config_.phase_factor *
+                             static_cast<double>(sat.plane) /
+                             (config_.num_planes * config_.sats_per_plane);
+  const double theta = slot_angle + phase_angle + mean_motion_rad_s_ * ts;
+
+  // Ascending node: planes spread over 360 deg; Earth rotation moves the
+  // ECEF-frame node westward, and J2 nodal regression precesses the planes
+  // (~-4.5 deg/day at 550 km / 53 deg). Without precession the geometry
+  // repeats every sidereal day and manufactures a spurious hour-of-day RTT
+  // pattern that the paper's Mood's test (correctly) does not see.
+  const double cos_i = std::cos(deg_to_rad(config_.inclination_deg));
+  const double j2_rate = -1.5 * 1.08263e-3 *
+                         (kEarthRadiusM / semi_major_m_) * (kEarthRadiusM / semi_major_m_) *
+                         mean_motion_rad_s_ * cos_i;
+  const double raan = deg_to_rad(config_.raan0_deg) +
+                      2.0 * std::numbers::pi * static_cast<double>(sat.plane) /
+                          config_.num_planes +
+                      (j2_rate - kEarthRotationRadS) * ts;
+  const double incl = deg_to_rad(config_.inclination_deg);
+
+  // Position in the orbital plane, then rotate by inclination and RAAN.
+  const double xp = semi_major_m_ * std::cos(theta);
+  const double yp = semi_major_m_ * std::sin(theta);
+  const Vec3 in_plane{xp, yp * std::cos(incl), yp * std::sin(incl)};
+  return Vec3{in_plane.x * std::cos(raan) - in_plane.y * std::sin(raan),
+              in_plane.x * std::sin(raan) + in_plane.y * std::cos(raan), in_plane.z};
+}
+
+std::vector<Constellation::VisibleSat> Constellation::visible_from(const GeoPoint& ground,
+                                                                   TimePoint t,
+                                                                   double min_elevation_deg,
+                                                                   int active_planes) const {
+  const int planes = (active_planes <= 0 || active_planes > config_.num_planes)
+                         ? config_.num_planes
+                         : active_planes;
+  std::vector<VisibleSat> out;
+  for (int plane = 0; plane < planes; ++plane) {
+    for (int slot = 0; slot < config_.sats_per_plane; ++slot) {
+      const SatIndex idx{plane, slot};
+      const Vec3 pos = position_ecef(idx, t);
+      const double el = elevation_deg(ground, pos);
+      if (el >= min_elevation_deg) {
+        out.push_back(VisibleSat{idx, el, slant_range_m(ground, pos)});
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Constellation::VisibleSat> Constellation::best_visible(const GeoPoint& ground,
+                                                                     TimePoint t,
+                                                                     double min_elevation_deg,
+                                                                     int active_planes) const {
+  const auto all = visible_from(ground, t, min_elevation_deg, active_planes);
+  std::optional<VisibleSat> best;
+  for (const auto& v : all) {
+    if (!best || v.elevation_deg > best->elevation_deg) best = v;
+  }
+  return best;
+}
+
+std::vector<Gateway> default_european_gateways() {
+  // Early Starlink gateways serving Benelux beta users; the paper observed
+  // exit points in the Netherlands and Germany.
+  return {
+      Gateway{"aerzen-de", GeoPoint{52.05, 9.26, 0.0}},
+      Gateway{"turnhout-be", GeoPoint{51.32, 4.95, 0.0}},
+      Gateway{"gravelines-fr", GeoPoint{50.99, 2.13, 0.0}},
+  };
+}
+
+}  // namespace slp::leo

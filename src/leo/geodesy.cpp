@@ -1,0 +1,50 @@
+#include "leo/geodesy.hpp"
+
+#include <algorithm>
+
+namespace slp::leo {
+
+Vec3 to_ecef(const GeoPoint& p) {
+  const double lat = deg_to_rad(p.lat_deg);
+  const double lon = deg_to_rad(p.lon_deg);
+  const double r = kEarthRadiusM + p.alt_m;
+  return Vec3{r * std::cos(lat) * std::cos(lon), r * std::cos(lat) * std::sin(lon),
+              r * std::sin(lat)};
+}
+
+double great_circle_distance_m(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  // Haversine formula.
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double slant_range_m(const GeoPoint& ground, const Vec3& sat_ecef) {
+  return (sat_ecef - to_ecef(ground)).norm();
+}
+
+double elevation_deg(const GeoPoint& ground, const Vec3& sat_ecef) {
+  const Vec3 g = to_ecef(ground);
+  const Vec3 to_sat = sat_ecef - g;
+  const double range = to_sat.norm();
+  if (range == 0.0) return 90.0;
+  // sin(elevation) = (up-vector . to_sat) / |to_sat|, with up = g / |g|.
+  const double sin_el = g.dot(to_sat) / (g.norm() * range);
+  return rad_to_deg(std::asin(std::clamp(sin_el, -1.0, 1.0)));
+}
+
+Duration rf_propagation_delay(double distance_m) {
+  return Duration::from_seconds(distance_m / kRfSpeedMps);
+}
+
+Duration fiber_delay(const GeoPoint& a, const GeoPoint& b, double path_stretch) {
+  const double path_m = great_circle_distance_m(a, b) * path_stretch;
+  const double glass_speed = kSpeedOfLightMps * 2.0 / 3.0;
+  return Duration::from_seconds(path_m / glass_speed);
+}
+
+}  // namespace slp::leo

@@ -1,0 +1,64 @@
+// geodesy.hpp — Earth geometry for satellite links.
+//
+// A spherical Earth is accurate to ~0.3% in distance, far below the latency
+// calibration tolerances of this reproduction, and keeps the math auditable.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace slp::leo {
+
+inline constexpr double kEarthRadiusM = 6'371'000.0;
+inline constexpr double kMuEarth = 3.986004418e14;        ///< gravitational parameter, m^3/s^2
+inline constexpr double kEarthRotationRadS = 7.2921159e-5;
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+/// Effective propagation speed in RF free space is c (unlike fiber's ~2c/3).
+inline constexpr double kRfSpeedMps = kSpeedOfLightMps;
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return {a.x * s, a.y * s, a.z * s}; }
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  [[nodiscard]] constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+};
+
+/// A point on (or above) the Earth surface.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double alt_m = 0.0;
+};
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+[[nodiscard]] constexpr double rad_to_deg(double rad) { return rad * 180.0 / std::numbers::pi; }
+
+/// Earth-centred, Earth-fixed cartesian coordinates of a geographic point.
+[[nodiscard]] Vec3 to_ecef(const GeoPoint& p);
+
+/// Great-circle (surface) distance between two points, metres.
+[[nodiscard]] double great_circle_distance_m(const GeoPoint& a, const GeoPoint& b);
+
+/// Straight-line distance between a ground point and a position in ECEF.
+[[nodiscard]] double slant_range_m(const GeoPoint& ground, const Vec3& sat_ecef);
+
+/// Elevation angle (degrees above horizon) of `sat_ecef` seen from `ground`.
+/// Negative if below the horizon.
+[[nodiscard]] double elevation_deg(const GeoPoint& ground, const Vec3& sat_ecef);
+
+/// One-way propagation delay over a straight-line RF path.
+[[nodiscard]] Duration rf_propagation_delay(double distance_m);
+
+/// One-way delay of a terrestrial fiber path between two points, assuming a
+/// typical path-stretch factor and 2/3 c in glass.
+[[nodiscard]] Duration fiber_delay(const GeoPoint& a, const GeoPoint& b,
+                                   double path_stretch = 1.7);
+
+}  // namespace slp::leo

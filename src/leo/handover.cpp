@@ -1,0 +1,73 @@
+#include "leo/handover.hpp"
+
+#include <cassert>
+#include <limits>
+#include <string>
+
+namespace slp::leo {
+
+HandoverScheduler::HandoverScheduler(const Constellation& constellation, Config config, Rng rng)
+    : constellation_{&constellation}, config_{std::move(config)}, rng_{rng} {
+  assert(!config_.gateways.empty());
+}
+
+const HandoverScheduler::Path& HandoverScheduler::path_at(TimePoint t) {
+  const std::int64_t slot = t.ns() / config_.slot.ns();
+  if (slot != cached_slot_) {
+    cached_slot_ = slot;
+    cached_path_ = compute_path(TimePoint::from_ns(slot * config_.slot.ns()));
+    stats_.slots_computed++;
+    if (cached_path_.connected) {
+      if (last_sat_.valid() && !(cached_path_.sat == last_sat_)) stats_.handovers++;
+      last_sat_ = cached_path_.sat;
+    } else {
+      stats_.unconnected_slots++;
+    }
+  }
+  return cached_path_;
+}
+
+HandoverScheduler::Path HandoverScheduler::compute_path(TimePoint slot_start) {
+  const int active_planes =
+      config_.active_planes_fn ? config_.active_planes_fn(slot_start) : 0;
+  const auto candidates = constellation_->visible_from(
+      config_.terminal, slot_start, config_.terminal_min_elevation_deg, active_planes);
+
+  // Deterministic per-slot choice, independent of query order: derive the
+  // randomness from the slot index, not from a shared advancing stream.
+  Rng slot_rng = rng_.fork(std::to_string(slot_start.ns() / config_.slot.ns()));
+
+  // Random serving satellite among candidates that can also reach a gateway
+  // (bent-pipe requirement: same satellite must see UT and gateway).
+  std::vector<std::pair<Constellation::VisibleSat, int>> usable;  // sat, gateway idx
+  for (const auto& cand : candidates) {
+    const Vec3 sat_pos = constellation_->position_ecef(cand.sat, slot_start);
+    int best_gw = -1;
+    double best_slant = std::numeric_limits<double>::max();
+    for (std::size_t g = 0; g < config_.gateways.size(); ++g) {
+      const GeoPoint& gw = config_.gateways[g].location;
+      if (elevation_deg(gw, sat_pos) < config_.gateway_min_elevation_deg) continue;
+      const double slant = slant_range_m(gw, sat_pos);
+      if (slant < best_slant) {
+        best_slant = slant;
+        best_gw = static_cast<int>(g);
+      }
+    }
+    if (best_gw >= 0) usable.emplace_back(cand, best_gw);
+  }
+
+  Path path;
+  if (usable.empty()) return path;  // not connected this slot
+
+  const auto& [sat, gw] = usable[slot_rng.index(usable.size())];
+  path.connected = true;
+  path.sat = sat.sat;
+  path.gateway = gw;
+  path.terminal_slant_m = sat.slant_range_m;
+  path.terminal_elevation_deg = sat.elevation_deg;
+  path.gateway_slant_m =
+      slant_range_m(config_.gateways[gw].location, constellation_->position_ecef(sat.sat, slot_start));
+  return path;
+}
+
+}  // namespace slp::leo

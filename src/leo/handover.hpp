@@ -1,0 +1,74 @@
+// handover.hpp — serving-satellite selection on the 15-second grid.
+//
+// Starlink user terminals are re-scheduled onto a (possibly different)
+// satellite every 15 seconds. The scheduler below reproduces the observable
+// consequences: the UT<->satellite<->gateway geometry (and hence the
+// propagation component of RTT) is piecewise-constant over 15 s slots and
+// jumps at slot boundaries. Satellite choice is *randomized among visible
+// candidates* rather than always-best — the operator balances cells, the
+// user does not get the optimal beam — which produces the few-ms slot-to-slot
+// RTT dispersion seen in the paper's Figure 1 boxplots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "leo/constellation.hpp"
+#include "util/rng.hpp"
+
+namespace slp::leo {
+
+class HandoverScheduler {
+ public:
+  struct Config {
+    GeoPoint terminal;
+    Duration slot = Duration::seconds(15);
+    double terminal_min_elevation_deg = 25.0;
+    double gateway_min_elevation_deg = 20.0;
+    std::vector<Gateway> gateways;
+    /// Number of orbital planes in service at time t (densification epochs).
+    /// Null = all planes.
+    std::function<int(TimePoint)> active_planes_fn;
+  };
+
+  HandoverScheduler(const Constellation& constellation, Config config, Rng rng);
+
+  struct Path {
+    bool connected = false;
+    SatIndex sat;
+    int gateway = -1;               ///< index into config().gateways
+    double terminal_slant_m = 0.0;  ///< UT -> satellite
+    double gateway_slant_m = 0.0;   ///< satellite -> gateway
+    double terminal_elevation_deg = 0.0;
+
+    /// One-way bent-pipe propagation delay (UT -> sat -> gateway).
+    [[nodiscard]] Duration propagation_one_way() const {
+      return rf_propagation_delay(terminal_slant_m + gateway_slant_m);
+    }
+  };
+
+  /// The serving path during the slot containing t. Cached per slot.
+  [[nodiscard]] const Path& path_at(TimePoint t);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t slots_computed = 0;
+    std::uint64_t handovers = 0;     ///< serving satellite changed
+    std::uint64_t unconnected_slots = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] Path compute_path(TimePoint slot_start);
+
+  const Constellation* constellation_;
+  Config config_;
+  Rng rng_;
+  std::int64_t cached_slot_ = -1;
+  Path cached_path_;
+  SatIndex last_sat_;
+  Stats stats_;
+};
+
+}  // namespace slp::leo

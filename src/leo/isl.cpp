@@ -1,0 +1,27 @@
+#include "leo/isl.hpp"
+
+#include <cmath>
+
+namespace slp::leo {
+
+IslEstimate isl_latency(const GeoPoint& a, const GeoPoint& b, const IslModelConfig& config) {
+  IslEstimate est;
+  // Up and down legs: assume a satellite at ~40 deg elevation near each end.
+  const double slant_m = config.altitude_m / std::sin(deg_to_rad(40.0));
+  // The ISL segment rides above the ground track: arc at orbit radius.
+  const double ground_m = great_circle_distance_m(a, b);
+  const double arc_m =
+      ground_m * (kEarthRadiusM + config.altitude_m) / kEarthRadiusM * config.path_stretch;
+  est.hops = std::max(1, static_cast<int>(std::ceil(arc_m / config.hop_length_m)));
+  const double path_m = 2.0 * slant_m + arc_m;
+  est.path_km = path_m / 1000.0;
+  est.one_way = rf_propagation_delay(path_m) +
+                config.per_hop_processing * static_cast<double>(est.hops) +
+                config.end_processing;
+  est.rtt = est.one_way * 2.0;
+  return est;
+}
+
+Duration fiber_rtt(const GeoPoint& a, const GeoPoint& b) { return fiber_delay(a, b) * 2.0; }
+
+}  // namespace slp::leo

@@ -1,0 +1,41 @@
+// isl.hpp — inter-satellite-link latency estimation (the paper's §4 outlook).
+//
+// The paper observed that ISLs were not yet enabled (transatlantic traffic
+// exited in Europe) and anticipated their activation. This analytic model
+// estimates what ISL routing would do to the RTTs of Figure 1's distant
+// anchors: up to the constellation, a grid of laser hops approximating the
+// great circle, and back down near the destination — at c in vacuum, which
+// beats terrestrial fiber (2c/3 with path stretch) on long routes.
+#pragma once
+
+#include "leo/geodesy.hpp"
+
+namespace slp::leo {
+
+struct IslEstimate {
+  double path_km = 0.0;
+  Duration one_way;
+  Duration rtt;
+  int hops = 0;  ///< inter-satellite hops
+};
+
+struct IslModelConfig {
+  double altitude_m = 550'000.0;
+  /// Mean hop length of the ISL grid (neighbours in Shell 1 geometry).
+  double hop_length_m = 1'900'000.0;
+  /// Zig-zag factor of grid routing vs the great circle.
+  double path_stretch = 1.25;
+  /// Per-satellite forwarding latency.
+  Duration per_hop_processing = Duration::from_micros(300);
+  /// Ground-segment processing at both ends (UT + gateway/PoP).
+  Duration end_processing = Duration::from_millis(6);
+};
+
+/// Estimated latency from ground point `a` to ground point `b` over ISLs.
+[[nodiscard]] IslEstimate isl_latency(const GeoPoint& a, const GeoPoint& b,
+                                      const IslModelConfig& config = {});
+
+/// Terrestrial-fiber reference for the same pair (for the comparison table).
+[[nodiscard]] Duration fiber_rtt(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace slp::leo

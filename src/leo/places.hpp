@@ -1,0 +1,26 @@
+// places.hpp — geographic fixed points of the paper's measurement universe.
+#pragma once
+
+#include "leo/geodesy.hpp"
+
+namespace slp::leo::places {
+
+// The vantage point: UCLouvain campus, Louvain-la-Neuve, Belgium.
+inline constexpr GeoPoint kLouvainLaNeuve{50.668, 4.611, 0.0};
+
+// RIPE Atlas anchor cities from §2 ("Latency").
+inline constexpr GeoPoint kBrussels{50.850, 4.352, 0.0};
+inline constexpr GeoPoint kAntwerp{51.219, 4.402, 0.0};
+inline constexpr GeoPoint kGhent{51.054, 3.725, 0.0};
+inline constexpr GeoPoint kLiege{50.633, 5.567, 0.0};
+inline constexpr GeoPoint kAmsterdam{52.370, 4.895, 0.0};
+inline constexpr GeoPoint kNuremberg{49.452, 11.077, 0.0};
+inline constexpr GeoPoint kNewYork{40.713, -74.006, 0.0};
+inline constexpr GeoPoint kFremont{37.548, -121.989, 0.0};
+inline constexpr GeoPoint kSingapore{1.352, 103.820, 0.0};
+
+// Exit PoPs the paper observed (Netherlands and Germany).
+inline constexpr GeoPoint kPopAmsterdam{52.303, 4.941, 0.0};   // AMS metro
+inline constexpr GeoPoint kPopFrankfurt{50.110, 8.682, 0.0};   // FRA metro
+
+}  // namespace slp::leo::places

@@ -1,0 +1,130 @@
+#include "mbox/tracebox.hpp"
+
+#include <algorithm>
+
+namespace slp::mbox {
+
+Tracebox::Tracebox(sim::Host& host, Config config)
+    : host_{&host}, config_{config}, timeout_timer_{host.sim()} {}
+
+Tracebox::~Tracebox() {
+  if (listening_) host_->remove_error_listener(listener_id_);
+  if (probe_port_ != 0) host_->unbind(sim::Protocol::kTcp, probe_port_);
+}
+
+void Tracebox::start() {
+  // Phase 1: UDP hop distance.
+  Traceroute::Config udp_cfg;
+  udp_cfg.target = config_.target;
+  udp_cfg.max_hops = config_.max_hops;
+  udp_cfg.hop_timeout = config_.hop_timeout;
+  udp_phase_ = std::make_unique<Traceroute>(*host_, udp_cfg);
+  udp_phase_->on_complete = [this](const std::vector<Traceroute::Hop>& hops) {
+    for (const auto& hop : hops) {
+      if (hop.reached_destination) report_.destination_distance = hop.ttl;
+    }
+    start_tcp_phase();
+  };
+  udp_phase_->start();
+}
+
+void Tracebox::start_tcp_phase() {
+  tcp_running_ = true;
+  listening_ = true;
+  listener_id_ = host_->add_error_listener([this](const sim::Packet& pkt) { on_icmp(pkt); });
+  probe_port_ = host_->ephemeral_port();
+  host_->bind(sim::Protocol::kTcp, probe_port_, [this](const sim::Packet& pkt) {
+    if (!tcp_running_ || !pkt.tcp || !pkt.tcp->syn || !pkt.tcp->ack_flag) return;
+    // SYN/ACK observed for the current TTL.
+    report_.hops.push_back(HopObservation{current_ttl_, pkt.src, true, {}});
+    report_.handshake_ttl = current_ttl_;
+    timeout_timer_.cancel();
+    finish();
+  });
+  probe_next();
+}
+
+void Tracebox::probe_next() {
+  ++current_ttl_;
+  probe_seq_ = 1000ull + static_cast<std::uint64_t>(current_ttl_);
+
+  sim::Packet probe;
+  probe.src = host_->addr();
+  probe.dst = config_.target;
+  probe.src_port = probe_port_;
+  probe.dst_port = config_.port;
+  probe.proto = sim::Protocol::kTcp;
+  probe.size_bytes = 60;
+  probe.ttl = static_cast<std::uint8_t>(current_ttl_);
+  sim::TcpHeader hdr;
+  hdr.seq = probe_seq_;
+  hdr.syn = true;
+  hdr.window = 65'535;
+  probe.tcp = std::move(hdr);
+  sim::refresh_checksum(probe);
+  sent_checksum_ = probe.checksum;
+  host_->send(std::move(probe));
+
+  timeout_timer_.arm(config_.hop_timeout, [this] {
+    if (current_ttl_ >= config_.max_hops) {
+      finish();
+    } else {
+      probe_next();
+    }
+  });
+}
+
+void Tracebox::on_icmp(const sim::Packet& pkt) {
+  if (!tcp_running_ || !pkt.icmp || !pkt.icmp->quoted) return;
+  const sim::Packet& quoted = *pkt.icmp->quoted;
+  if (quoted.proto != sim::Protocol::kTcp || quoted.src_port != probe_port_) return;
+
+  HopObservation hop;
+  hop.ttl = current_ttl_;
+  hop.reporter = pkt.src;
+  // Diff the quoted header against what we sent. TTL differs by design and
+  // is ignored; everything else a middlebox touched shows up here.
+  if (quoted.checksum != sent_checksum_) hop.modified_fields.emplace_back("tcp-checksum");
+  if (quoted.src != host_->addr()) hop.modified_fields.emplace_back("ip-saddr");
+  if (quoted.src_port != probe_port_) hop.modified_fields.emplace_back("tcp-sport");
+  if (quoted.tcp && quoted.tcp->seq != probe_seq_) hop.modified_fields.emplace_back("tcp-seq");
+  if (quoted.dst != config_.target) hop.modified_fields.emplace_back("ip-daddr");
+  report_.hops.push_back(hop);
+
+  timeout_timer_.cancel();
+  if (current_ttl_ >= config_.max_hops) {
+    finish();
+  } else {
+    probe_next();
+  }
+}
+
+void Tracebox::finish() {
+  tcp_running_ = false;
+  timeout_timer_.cancel();
+  if (listening_) {
+    host_->remove_error_listener(listener_id_);
+    listening_ = false;
+  }
+  if (probe_port_ != 0) {
+    host_->unbind(sim::Protocol::kTcp, probe_port_);
+    probe_port_ = 0;
+  }
+
+  for (const HopObservation& hop : report_.hops) {
+    for (const std::string& field : hop.modified_fields) {
+      if (field == "tcp-checksum") report_.nat_detected = true;
+      if (std::find(report_.all_modified_fields.begin(), report_.all_modified_fields.end(),
+                    field) == report_.all_modified_fields.end()) {
+        report_.all_modified_fields.push_back(field);
+      }
+    }
+  }
+  // PEP signature: the handshake completed before the destination distance.
+  report_.pep_detected = report_.handshake_ttl > 0 &&
+                         report_.destination_distance > 0 &&
+                         report_.handshake_ttl < report_.destination_distance;
+  if (on_complete) on_complete(report_);
+}
+
+}  // namespace slp::mbox

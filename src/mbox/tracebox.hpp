@@ -1,0 +1,77 @@
+// tracebox.hpp — middlebox interference detection (Detal et al., IMC'13),
+// as used in §3.5 of the paper.
+//
+// Two phases:
+//   1. UDP traceroute to locate the destination's hop distance;
+//   2. TCP SYN probes with increasing TTL. Each ICMP time-exceeded quotes
+//      the probe *as seen at that hop*: diffing the quote against the sent
+//      header reveals rewrites (the paper: "only the TCP and UDP checksums
+//      are altered by the NATs"). A SYN/ACK arriving while the TTL could
+//      not yet have reached the destination unmasks a PEP terminating the
+//      handshake mid-path ("the TCP handshake is correctly performed in the
+//      destination network" = no PEP).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mbox/traceroute.hpp"
+#include "sim/host.hpp"
+
+namespace slp::mbox {
+
+class Tracebox {
+ public:
+  struct Config {
+    sim::Ipv4Addr target = 0;
+    std::uint16_t port = 80;
+    int max_hops = 16;
+    Duration hop_timeout = Duration::seconds(2);
+  };
+
+  struct HopObservation {
+    int ttl = 0;
+    sim::Ipv4Addr reporter = 0;
+    bool synack = false;  ///< handshake answered at this TTL
+    std::vector<std::string> modified_fields;  ///< e.g. "tcp-checksum"
+  };
+
+  struct Report {
+    std::vector<HopObservation> hops;
+    int destination_distance = -1;  ///< hops to target (UDP phase)
+    int handshake_ttl = -1;         ///< smallest TTL that produced a SYN/ACK
+    bool nat_detected = false;      ///< some hop rewrote the checksum
+    bool pep_detected = false;      ///< SYN/ACK from inside the path
+    /// Union of all fields any hop modified.
+    std::vector<std::string> all_modified_fields;
+  };
+
+  Tracebox(sim::Host& host, Config config);
+  ~Tracebox();
+
+  void start();
+  std::function<void(const Report&)> on_complete;
+
+ private:
+  void start_tcp_phase();
+  void probe_next();
+  void on_icmp(const sim::Packet& pkt);
+  void finish();
+
+  sim::Host* host_;
+  Config config_;
+  Report report_;
+  std::unique_ptr<Traceroute> udp_phase_;
+  int current_ttl_ = 0;
+  std::uint16_t probe_port_ = 0;
+  std::uint64_t probe_seq_ = 0;
+  std::uint16_t sent_checksum_ = 0;
+  std::uint64_t listener_id_ = 0;
+  bool listening_ = false;
+  bool tcp_running_ = false;
+  sim::Timer timeout_timer_;
+};
+
+}  // namespace slp::mbox

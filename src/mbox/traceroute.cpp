@@ -1,0 +1,68 @@
+#include "mbox/traceroute.hpp"
+
+namespace slp::mbox {
+
+Traceroute::Traceroute(sim::Host& host, Config config)
+    : host_{&host}, config_{config}, timeout_timer_{host.sim()} {}
+
+Traceroute::~Traceroute() {
+  if (listening_) host_->remove_error_listener(listener_id_);
+}
+
+void Traceroute::start() {
+  running_ = true;
+  listening_ = true;
+  listener_id_ = host_->add_error_listener([this](const sim::Packet& pkt) {
+    if (!running_ || !pkt.icmp || !pkt.icmp->quoted) return;
+    if (pkt.icmp->quoted->src_port != probe_port_) return;  // not our probe
+    Hop& hop = hops_.back();
+    hop.reporter = pkt.src;
+    hop.rtt = host_->sim().now() - probe_sent_;
+    hop.reached_destination = pkt.icmp->type == sim::IcmpType::kDestUnreachable &&
+                              pkt.src == config_.target;
+    timeout_timer_.cancel();
+    if (hop.reached_destination || current_ttl_ >= config_.max_hops) {
+      finish();
+    } else {
+      probe_next();
+    }
+  });
+  probe_next();
+}
+
+void Traceroute::probe_next() {
+  ++current_ttl_;
+  hops_.push_back(Hop{current_ttl_, 0, Duration::zero(), false});
+  probe_port_ = host_->ephemeral_port();
+  probe_sent_ = host_->sim().now();
+
+  sim::Packet probe;
+  probe.dst = config_.target;
+  probe.src_port = probe_port_;
+  probe.dst_port = static_cast<std::uint16_t>(config_.base_port + current_ttl_);
+  probe.proto = sim::Protocol::kUdp;
+  probe.size_bytes = 60;
+  probe.ttl = static_cast<std::uint8_t>(current_ttl_);
+  host_->send(std::move(probe));
+
+  timeout_timer_.arm(config_.hop_timeout, [this] {
+    // Silent hop: leave reporter 0 and continue.
+    if (current_ttl_ >= config_.max_hops) {
+      finish();
+    } else {
+      probe_next();
+    }
+  });
+}
+
+void Traceroute::finish() {
+  running_ = false;
+  timeout_timer_.cancel();
+  if (listening_) {
+    host_->remove_error_listener(listener_id_);
+    listening_ = false;
+  }
+  if (on_complete) on_complete(hops_);
+}
+
+}  // namespace slp::mbox

@@ -1,0 +1,55 @@
+// traceroute.hpp — classic UDP traceroute (§3.5 "PEPs and middleboxes").
+//
+// Sends probes with increasing TTL and records the ICMP time-exceeded
+// reporters; the paper's run over Starlink surfaces 192.168.1.1 (CPE) and
+// 100.64.0.1 (carrier-grade NAT) as the first two hops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/simulator.hpp"
+
+namespace slp::mbox {
+
+class Traceroute {
+ public:
+  struct Config {
+    sim::Ipv4Addr target = 0;
+    int max_hops = 16;
+    Duration hop_timeout = Duration::seconds(2);
+    std::uint16_t base_port = 33434;
+  };
+
+  struct Hop {
+    int ttl = 0;
+    sim::Ipv4Addr reporter = 0;  ///< 0 = no reply (silent hop)
+    Duration rtt = Duration::zero();
+    bool reached_destination = false;
+  };
+
+  Traceroute(sim::Host& host, Config config);
+  ~Traceroute();
+
+  void start();
+  std::function<void(const std::vector<Hop>&)> on_complete;
+
+ private:
+  void probe_next();
+  void finish();
+
+  sim::Host* host_;
+  Config config_;
+  std::vector<Hop> hops_;
+  int current_ttl_ = 0;
+  TimePoint probe_sent_;
+  std::uint16_t probe_port_ = 0;
+  std::uint64_t listener_id_ = 0;
+  bool listening_ = false;
+  bool running_ = false;
+  sim::Timer timeout_timer_;
+};
+
+}  // namespace slp::mbox

@@ -1,0 +1,411 @@
+#include "measure/campaign.hpp"
+
+#include <memory>
+
+#include "apps/h3.hpp"
+#include "apps/messages.hpp"
+#include "apps/ping.hpp"
+#include "apps/speedtest.hpp"
+#include "web/browser.hpp"
+#include "web/page.hpp"
+#include "web/server.hpp"
+
+namespace slp::measure {
+
+void apply_paper_epochs(leo::StarlinkAccess::Config& config) {
+  const TimePoint feb11 = TimePoint::epoch() + Duration::days(53);
+  const TimePoint late_april = TimePoint::epoch() + Duration::days(125);
+  const TimePoint early_may = TimePoint::epoch() + Duration::days(139);
+  const TimePoint session2 = TimePoint::epoch() + Duration::days(126);
+
+  config.active_planes_fn = [feb11](TimePoint t) { return t < feb11 ? 56 : 72; };
+  config.epoch_latency_offset = [feb11, late_april, early_may](TimePoint t) {
+    // Pre-densification: sparser candidate set means worse assigned beams
+    // on top of the longer slant ranges (the Figure 2 step is ~2-3 ms).
+    if (t < feb11) return Duration::from_millis(1.4);
+    if (t >= late_april && t < early_may) return Duration::from_millis(4.0);
+    return Duration::zero();
+  };
+  config.epoch_capacity_factor = [late_april, early_may, session2](TimePoint t) {
+    double factor = 1.0;
+    if (t >= session2) factor *= 1.05;                     // more downlink capacity
+    if (t >= late_april && t < early_may) factor *= 0.92;  // loaded period
+    return factor;
+  };
+}
+
+// ===================================================================== pings
+
+PingCampaign::Result PingCampaign::run(const Config& config) {
+  TestbedConfig tb_config;
+  tb_config.seed = config.seed;
+  tb_config.with_satcom = false;  // the paper pings over Starlink only
+  if (config.epochs) apply_paper_epochs(tb_config.starlink);
+  Testbed bed{tb_config};
+
+  Result result;
+  for (const auto& anchor : bed.anchors()) {
+    result.anchors.push_back(AnchorResult{anchor.name, anchor.european, anchor.local, {}});
+  }
+
+  sim::Host& client = bed.starlink().client();
+  std::vector<std::unique_ptr<apps::PingApp>> live;
+
+  const auto rounds = static_cast<std::int64_t>(config.duration / config.cadence);
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    const TimePoint at = TimePoint::epoch() + config.cadence * static_cast<double>(round);
+    bed.sim().schedule_at(at, [&, at] {
+      // Anchors are probed staggered, like a sequential ping script: packets
+      // launched back-to-back would otherwise share the access link's FIFO
+      // and let later probes inherit earlier probes' worst-case jitter.
+      for (std::size_t a = 0; a < bed.anchors().size(); ++a) {
+        apps::PingApp::Config ping_cfg;
+        ping_cfg.target = bed.anchor(a).host->addr();
+        ping_cfg.count = config.pings_per_round;
+        auto app = std::make_unique<apps::PingApp>(client, ping_cfg);
+        apps::PingApp* raw = app.get();
+        app->on_complete = [&, a, at, raw](const std::vector<apps::PingApp::Probe>& probes) {
+          AnchorResult& anchor = result.anchors[a];
+          for (const auto& probe : probes) {
+            result.pings_sent++;
+            if (probe.lost) {
+              result.pings_lost++;
+              continue;
+            }
+            const double ms = probe.rtt.to_millis();
+            anchor.rtt_ms.add(ms);
+            if (anchor.european) {
+              result.eu_timeline.add(at, ms);
+              const auto hour =
+                  static_cast<std::size_t>((at.ns() / Duration::hours(1).ns()) % 24);
+              result.eu_by_hour[hour].push_back(ms);
+            }
+          }
+          // Self-cleanup.
+          for (auto& slot : live) {
+            if (slot.get() == raw) {
+              slot.reset();
+              break;
+            }
+          }
+        };
+        bed.sim().schedule_in(Duration::from_millis(350.0 * static_cast<double>(a)),
+                              [raw] { raw->start(); });
+        live.push_back(std::move(app));
+      }
+      // Compact the pool occasionally.
+      if (live.size() > 256) {
+        std::erase_if(live, [](const auto& p) { return p == nullptr; });
+      }
+    });
+  }
+  bed.sim().run();
+  return result;
+}
+
+// ===================================================================== H3
+
+H3Campaign::Result H3Campaign::run(const Config& config) {
+  TestbedConfig tb_config;
+  tb_config.seed = config.seed;
+  tb_config.with_satcom = false;
+  if (config.epochs) apply_paper_epochs(tb_config.starlink);
+  Testbed bed{tb_config};
+
+  // The paper's second H3 session: run inside the post-April-25 epoch.
+  const TimePoint session_start =
+      config.epochs ? TimePoint::epoch() + Duration::days(140) : TimePoint::epoch();
+  bed.sim().run_until(session_start);
+
+  Result result;
+  quic::QuicStack client_stack{bed.starlink().client()};
+  quic::QuicStack server_stack{bed.campus_server()};
+
+  quic::QuicConfig quic_config;
+  quic_config.pacing = config.pacing;
+
+  apps::H3Server::Config server_config;
+  server_config.object_bytes = config.bytes;
+  server_config.quic = quic_config;
+  apps::H3Server server{server_stack, server_config};
+
+  LossAnalyzer analyzer;
+  std::vector<std::unique_ptr<apps::H3Client>> clients;
+
+  // RTT sampling happens at the data *sender*: the server for downloads
+  // (the paper captured at the server for its download curves), the client
+  // for uploads. Loss is observed at the receiver's packet-number gaps.
+  server.on_connection = [&](quic::QuicConnection& conn) {
+    if (config.download) {
+      conn.hooks.on_packet_acked = [&result](std::uint64_t, Duration rtt) {
+        result.rtt_ms.add(rtt.to_millis());
+      };
+    } else {
+      analyzer.attach(conn);
+    }
+  };
+
+  std::function<void(int)> launch = [&](int remaining) {
+    if (remaining <= 0) return;
+    apps::H3Client::Config cc;
+    cc.server = bed.campus_server().addr();
+    cc.download = config.download;
+    cc.bytes = config.bytes;
+    cc.quic = quic_config;
+    clients.push_back(std::make_unique<apps::H3Client>(client_stack, cc));
+    apps::H3Client& h3 = *clients.back();
+    h3.start();
+    if (config.download) {
+      analyzer.attach(h3.connection());
+    } else {
+      h3.connection().hooks.on_packet_acked = [&result](std::uint64_t, Duration rtt) {
+        result.rtt_ms.add(rtt.to_millis());
+      };
+    }
+    auto done = std::make_shared<bool>(false);
+    h3.on_complete = [&, remaining, done](const apps::H3Client::Result& r) {
+      *done = true;
+      result.goodput_mbps.add(r.goodput.to_mbps());
+      result.transfers_completed++;
+      bed.sim().schedule_in(config.gap, [&launch, remaining] { launch(remaining - 1); });
+    };
+    // Watchdog: a transfer stuck past the timeout is abandoned.
+    bed.sim().schedule_in(config.transfer_timeout, [&, remaining, done] {
+      if (!*done) {
+        *done = true;
+        bed.sim().schedule_in(config.gap, [&launch, remaining] { launch(remaining - 1); });
+      }
+    });
+  };
+  launch(config.transfers);
+  bed.sim().run();
+
+  result.loss = analyzer.analyze();
+  return result;
+}
+
+// ================================================================= messages
+
+MessageCampaign::Result MessageCampaign::run(const Config& config) {
+  TestbedConfig tb_config;
+  tb_config.seed = config.seed;
+  tb_config.with_satcom = false;
+  Testbed bed{tb_config};
+
+  Result result;
+  quic::QuicStack client_stack{bed.starlink().client()};
+  quic::QuicStack server_stack{bed.campus_server()};
+
+  quic::QuicConfig quic_config;
+  quic_config.pacing = config.pacing;
+
+  LossAnalyzer analyzer;
+  std::vector<std::unique_ptr<apps::MessageSender>> senders;
+  std::vector<std::unique_ptr<apps::MessageReceiver>> receivers;
+
+  // For downloads the *server* drives the messages; its connection appears
+  // via the listener. For uploads the client drives.
+  quic::QuicConnection* server_conn = nullptr;
+  server_stack.listen(443, [&](quic::QuicConnection& conn) {
+    server_conn = &conn;
+    if (config.upload) {
+      analyzer.attach(conn);
+      receivers.push_back(std::make_unique<apps::MessageReceiver>(conn));
+      receivers.back()->on_delivery = [&result](const apps::MessageReceiver::Delivery& d) {
+        result.latency_ms.add(d.latency.to_millis());
+      };
+    } else {
+      conn.hooks.on_packet_acked = [&result](std::uint64_t, Duration rtt) {
+        result.rtt_ms.add(rtt.to_millis());
+      };
+    }
+  }, quic_config);
+
+  std::function<void(int)> launch = [&](int remaining) {
+    if (remaining <= 0) return;
+    quic::QuicConnection& conn = client_stack.connect(bed.campus_server().addr(), 443,
+                                                      quic_config);
+    if (config.upload) {
+      conn.hooks.on_packet_acked = [&result](std::uint64_t, Duration rtt) {
+        result.rtt_ms.add(rtt.to_millis());
+      };
+    } else {
+      analyzer.attach(conn);
+      receivers.push_back(std::make_unique<apps::MessageReceiver>(conn));
+      receivers.back()->on_delivery = [&result](const apps::MessageReceiver::Delivery& d) {
+        result.latency_ms.add(d.latency.to_millis());
+      };
+    }
+    conn.on_established = [&, remaining] {
+      apps::MessageSender::Config sender_config;
+      sender_config.duration = config.session_duration;
+      // Downloads: the sender runs on the server side of this connection.
+      quic::QuicConnection& driving = config.upload ? conn : *server_conn;
+      senders.push_back(std::make_unique<apps::MessageSender>(
+          driving, sender_config,
+          bed.sim().fork_rng("msg-session-" + std::to_string(remaining))));
+      apps::MessageSender& sender = *senders.back();
+      sender.on_complete = [&, remaining] {
+        result.messages_sent += sender.messages_sent();
+        bed.sim().schedule_in(config.gap, [&launch, remaining] { launch(remaining - 1); });
+      };
+      sender.start();
+    };
+  };
+  launch(config.sessions);
+  bed.sim().run();
+
+  result.loss = analyzer.analyze();
+  return result;
+}
+
+// ================================================================ speedtest
+
+SpeedtestCampaign::Result SpeedtestCampaign::run(const Config& config) {
+  TestbedConfig tb_config;
+  tb_config.seed = config.seed;
+  tb_config.with_satcom = config.access == AccessKind::kSatCom;
+  tb_config.geo.pep.enabled = config.satcom_pep;
+  Testbed bed{tb_config};
+
+  Result result;
+  tcp::TcpStack client_stack{bed.client(config.access)};
+  tcp::TcpStack server_stack{bed.ookla_server()};
+  apps::SpeedtestServer server{server_stack};
+
+  std::vector<std::unique_ptr<apps::Speedtest>> tests;
+  std::function<void(int)> launch = [&](int remaining) {
+    if (remaining <= 0) return;
+    apps::Speedtest::Config test_config;
+    test_config.server = bed.ookla_server().addr();
+    test_config.connections = config.connections;
+    test_config.duration = config.test_duration;
+    test_config.download = config.download;
+    tests.push_back(std::make_unique<apps::Speedtest>(client_stack, test_config));
+    apps::Speedtest& test = *tests.back();
+    test.on_complete = [&, remaining](const apps::Speedtest::Result& r) {
+      result.mbps.add(r.goodput.to_mbps());
+      bed.sim().schedule_in(config.gap, [&launch, remaining] { launch(remaining - 1); });
+    };
+    test.start();
+  };
+  launch(config.tests);
+  bed.sim().run();
+  return result;
+}
+
+// ====================================================================== web
+
+WebCampaign::Result WebCampaign::run(const Config& config) {
+  TestbedConfig tb_config;
+  tb_config.seed = config.seed;
+  tb_config.with_satcom = config.access == AccessKind::kSatCom;
+  tb_config.geo.pep.enabled = config.satcom_pep;
+  Testbed bed{tb_config};
+
+  Result result;
+  const web::SiteCatalog catalog =
+      web::SiteCatalog::generate(config.catalog_sites, bed.sim().fork_rng("catalog"));
+
+  tcp::TcpStack client_stack{bed.client(config.access)};
+  tcp::TcpStack server_stack{bed.web_server_host(config.access)};
+  web::WebServer::Config server_config;
+  server_config.num_origins = catalog.max_origins();
+  web::WebServer server{server_stack, server_config, bed.sim().fork_rng("webserver")};
+
+  // DNS: register every origin hostname of the catalog at the resolver and
+  // give the browser a stub resolver on the client.
+  std::unique_ptr<web::DnsResolver> resolver;
+  web::Browser::Config browser_config;
+  browser_config.server_addr = bed.web_server_host(config.access).addr();
+  browser_config.visit_timeout = config.visit_timeout;
+  if (config.dns) {
+    for (const web::WebPage& page : catalog.sites()) {
+      for (int origin = 0; origin < page.num_origins; ++origin) {
+        bed.dns().add_record(web::Browser::origin_hostname(page, origin),
+                             bed.web_server_host(config.access).addr());
+      }
+    }
+    web::DnsResolver::Config dns_config;
+    dns_config.server = bed.resolver_host().addr();
+    resolver = std::make_unique<web::DnsResolver>(bed.client(config.access), dns_config);
+    browser_config.dns = resolver.get();
+  }
+  web::Browser browser{client_stack, server, browser_config};
+
+  Rng site_rng = bed.sim().fork_rng("site-choice");
+  double total_connections = 0.0;
+
+  std::function<void(int)> visit_next = [&](int remaining) {
+    if (remaining <= 0) return;
+    const web::WebPage& page = catalog.site(site_rng.index(catalog.size()));
+    server.clear_plans();
+    browser.visit(page, [&, remaining](const web::Browser::VisitResult& r) {
+      if (r.complete) {
+        result.visits_completed++;
+        result.onload_s.add(r.on_load.to_seconds());
+        result.speedindex_s.add(r.speed_index.to_seconds());
+        result.setup_ms.add(r.mean_connection_setup.to_millis());
+        total_connections += r.connections_opened;
+      } else {
+        result.visits_timed_out++;
+      }
+      bed.sim().schedule_in(config.gap, [&visit_next, remaining] { visit_next(remaining - 1); });
+    });
+  };
+  visit_next(config.visits);
+  bed.sim().run();
+
+  if (result.visits_completed > 0) {
+    result.mean_connections = total_connections / result.visits_completed;
+  }
+  return result;
+}
+
+// =============================================================== middleboxes
+
+MiddleboxAudit::Result MiddleboxAudit::run(const Config& config) {
+  TestbedConfig tb_config;
+  tb_config.seed = config.seed;
+  tb_config.with_satcom = config.access == AccessKind::kSatCom;
+  Testbed bed{tb_config};
+
+  Result result;
+  sim::Host& client = bed.client(config.access);
+
+  // The campus server answers TCP on port 80 for Tracebox and hosts Wehe.
+  tcp::TcpStack server_stack{bed.campus_server()};
+  server_stack.listen(80, [](tcp::TcpConnection&) {});
+  mbox::WeheServer wehe_server{bed.campus_server()};
+
+  // Phase 1: traceroute.
+  mbox::Traceroute::Config tr_config;
+  tr_config.target = bed.campus_server().addr();
+  mbox::Traceroute traceroute{client, tr_config};
+  traceroute.on_complete = [&](const std::vector<mbox::Traceroute::Hop>& hops) {
+    result.traceroute = hops;
+  };
+  traceroute.start();
+  bed.run_for(Duration::minutes(2));
+
+  // Phase 2: Tracebox.
+  mbox::Tracebox::Config tb_cfg;
+  tb_cfg.target = bed.campus_server().addr();
+  mbox::Tracebox tracebox{client, tb_cfg};
+  tracebox.on_complete = [&](const mbox::Tracebox::Report& r) { result.tracebox = r; };
+  tracebox.start();
+  bed.run_for(Duration::minutes(3));
+
+  // Phase 3: Wehe.
+  mbox::WeheClient::Config wehe_config;
+  wehe_config.server = bed.campus_server().addr();
+  wehe_config.repetitions = config.wehe_repetitions;
+  mbox::WeheClient wehe{client, wehe_config};
+  wehe.on_complete = [&](const mbox::WeheClient::Report& r) { result.wehe = r; };
+  wehe.start();
+  bed.sim().run();
+
+  return result;
+}
+
+}  // namespace slp::measure

@@ -1,0 +1,184 @@
+// campaign.hpp — the paper's measurement campaigns as runnable experiments.
+//
+// Each sub-campaign reproduces one slice of Table 1 and feeds one or more
+// figures/tables (the experiment index lives in DESIGN.md §3):
+//
+//   PingCampaign       -> Figure 1, Figure 2, Mood's-test paragraph
+//   H3Campaign         -> Figure 3, Table 2, Figure 4a, Figure 5 (H3 bars)
+//   MessageCampaign    -> §3.1 messages RTT, Table 2, Figure 4b
+//   SpeedtestCampaign  -> Figure 5 (Ookla bars, Starlink & SatCom)
+//   WebCampaign        -> Figure 6 (onLoad / SpeedIndex ECDFs)
+//   MiddleboxAudit     -> §3.5 (traceroute, Tracebox, Wehe)
+//
+// Every run() builds its own Testbed from a seed, so campaigns are
+// independent and reproducible. Timeline compression: cadences are
+// parameters; the paper's five months are replayed at a configurable pace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "measure/loss.hpp"
+#include "measure/testbed.hpp"
+#include "mbox/tracebox.hpp"
+#include "mbox/traceroute.hpp"
+#include "mbox/wehe.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/timeseries.hpp"
+
+namespace slp::measure {
+
+/// Installs the paper's campaign epochs on a Starlink config:
+///   * constellation densification on day 53 (the Feb-11 step of Figure 2);
+///   * a loaded/reorganization period over days 125-139 (the late-April
+///     RTT rise) with higher cell utilization;
+///   * a QUIC download-capacity increase from day 126 (the paper's second
+///     H3 session measured more downlink).
+void apply_paper_epochs(leo::StarlinkAccess::Config& config);
+
+// ===================================================================== pings
+
+struct PingCampaign {
+  struct Config {
+    std::uint64_t seed = 1;
+    Duration duration = Duration::days(146);  ///< Dec 20 -> mid May
+    Duration cadence = Duration::minutes(5);
+    int pings_per_round = 3;
+    bool epochs = true;
+  };
+
+  struct AnchorResult {
+    std::string name;
+    bool european = false;
+    bool local = false;
+    stats::Samples rtt_ms;
+  };
+
+  struct Result {
+    std::vector<AnchorResult> anchors;
+    stats::TimeBinner eu_timeline{Duration::hours(6)};  ///< Figure 2
+    std::array<std::vector<double>, 24> eu_by_hour;     ///< Mood's test input
+    std::uint64_t pings_sent = 0;
+    std::uint64_t pings_lost = 0;
+  };
+
+  static Result run(const Config& config);
+};
+
+// ===================================================================== H3
+
+struct H3Campaign {
+  struct Config {
+    std::uint64_t seed = 2;
+    int transfers = 12;
+    bool download = true;
+    std::uint64_t bytes = 100ull * 1000 * 1000;
+    Duration gap = Duration::seconds(20);
+    bool pacing = false;     ///< quiche default; true for the ablation
+    bool epochs = true;      ///< second-session capacity applies
+    Duration transfer_timeout = Duration::minutes(5);
+  };
+
+  struct Result {
+    stats::Samples rtt_ms;            ///< RTT of every acked packet (Fig. 3)
+    stats::Samples goodput_mbps;      ///< per transfer (Fig. 5)
+    LossAnalyzer::Report loss;        ///< Table 2 / Fig. 4a / §3.2 durations
+    int transfers_completed = 0;
+  };
+
+  static Result run(const Config& config);
+};
+
+// ================================================================= messages
+
+struct MessageCampaign {
+  struct Config {
+    std::uint64_t seed = 3;
+    int sessions = 6;
+    bool upload = true;                    ///< client -> server
+    Duration session_duration = Duration::minutes(2);
+    Duration gap = Duration::seconds(10);
+    bool pacing = false;
+  };
+
+  struct Result {
+    stats::Samples rtt_ms;        ///< per acked packet, §3.1 messages RTT
+    stats::Samples latency_ms;    ///< per message, queue -> delivered
+    LossAnalyzer::Report loss;    ///< Table 2 / Fig. 4b
+    int messages_sent = 0;
+  };
+
+  static Result run(const Config& config);
+};
+
+// ================================================================ speedtest
+
+struct SpeedtestCampaign {
+  struct Config {
+    std::uint64_t seed = 4;
+    AccessKind access = AccessKind::kStarlink;
+    int tests = 24;
+    bool download = true;
+    int connections = 8;
+    Duration test_duration = Duration::seconds(12);
+    Duration gap = Duration::minutes(2);
+    bool satcom_pep = true;  ///< PEP ablation switch (SatCom access only)
+  };
+
+  struct Result {
+    stats::Samples mbps;  ///< one sample per test (Fig. 5)
+  };
+
+  static Result run(const Config& config);
+};
+
+// ====================================================================== web
+
+struct WebCampaign {
+  struct Config {
+    std::uint64_t seed = 5;
+    AccessKind access = AccessKind::kStarlink;
+    int catalog_sites = 120;
+    int visits = 60;              ///< total page loads
+    Duration gap = Duration::seconds(4);
+    Duration visit_timeout = Duration::seconds(90);
+    bool satcom_pep = true;  ///< PEP ablation switch (SatCom access only)
+    /// Name resolution across the access link (one lookup per origin per
+    /// cold cache) — part of every real onLoad.
+    bool dns = true;
+  };
+
+  struct Result {
+    stats::Samples onload_s;       ///< Figure 6a
+    stats::Samples speedindex_s;   ///< Figure 6b
+    stats::Samples setup_ms;       ///< per-connection TCP+TLS setup
+    double mean_connections = 0.0;
+    int visits_completed = 0;
+    int visits_timed_out = 0;
+  };
+
+  static Result run(const Config& config);
+};
+
+// =============================================================== middleboxes
+
+struct MiddleboxAudit {
+  struct Config {
+    std::uint64_t seed = 6;
+    AccessKind access = AccessKind::kStarlink;
+    int wehe_repetitions = 10;  ///< the paper ran the suite ten times
+  };
+
+  struct Result {
+    std::vector<mbox::Traceroute::Hop> traceroute;
+    mbox::Tracebox::Report tracebox;
+    mbox::WeheClient::Report wehe;
+  };
+
+  static Result run(const Config& config);
+};
+
+}  // namespace slp::measure

@@ -1,0 +1,32 @@
+#include "phy/gilbert_elliott.hpp"
+
+namespace slp::phy {
+
+GilbertElliott::GilbertElliott(Config config, Rng rng) : config_{config}, rng_{rng} {
+  next_transition_ =
+      TimePoint::epoch() + Duration::from_seconds(rng_.exponential(config_.mean_good.to_seconds()));
+}
+
+void GilbertElliott::advance_to(TimePoint now) {
+  while (next_transition_ <= now) {
+    bad_ = !bad_;
+    if (bad_) stats_.bad_periods++;
+    const Duration mean = bad_ ? config_.mean_bad : config_.mean_good;
+    Duration sojourn = Duration::from_seconds(rng_.exponential(mean.to_seconds()));
+    // Guard against a zero draw stalling the chain at one instant.
+    if (sojourn <= Duration::zero()) sojourn = Duration::nanos(1);
+    next_transition_ = next_transition_ + sojourn;
+  }
+}
+
+bool GilbertElliott::should_drop(TimePoint now, const sim::Packet& pkt) {
+  (void)pkt;
+  advance_to(now);
+  stats_.evaluated++;
+  const double p = bad_ ? config_.loss_bad : config_.loss_good;
+  const bool drop = rng_.chance(p);
+  if (drop) stats_.dropped++;
+  return drop;
+}
+
+}  // namespace slp::phy

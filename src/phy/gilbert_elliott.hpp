@@ -1,0 +1,51 @@
+// gilbert_elliott.hpp — two-state Markov (Gilbert-Elliott) medium loss.
+//
+// §3.2 of the paper attributes the messages-mode losses to the medium: rare
+// events, but bursty when they happen (sometimes >100 consecutive packets).
+// A continuous-time Gilbert-Elliott chain reproduces this: the channel
+// alternates between a long-lived Good state (near-zero loss) and short Bad
+// states (high loss). Because the chain evolves in *time*, a low-rate flow
+// sees few loss events while a bulk flow crossing the same Bad window loses
+// a burst of consecutive packets — exactly the paper's contrast between H3
+// and messaging transfers.
+#pragma once
+
+#include "sim/link.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace slp::phy {
+
+class GilbertElliott final : public sim::LossModel {
+ public:
+  struct Config {
+    Duration mean_good = Duration::seconds(120);  ///< mean Good sojourn
+    Duration mean_bad = Duration::millis(30);     ///< mean Bad sojourn
+    double loss_good = 0.0;                       ///< P[drop | Good]
+    double loss_bad = 0.8;                        ///< P[drop | Bad]
+  };
+
+  GilbertElliott(Config config, Rng rng);
+
+  [[nodiscard]] bool should_drop(TimePoint now, const sim::Packet& pkt) override;
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+  struct Stats {
+    std::uint64_t evaluated = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bad_periods = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void advance_to(TimePoint now);
+
+  Config config_;
+  Rng rng_;
+  bool bad_ = false;
+  TimePoint next_transition_;
+  Stats stats_;
+};
+
+}  // namespace slp::phy

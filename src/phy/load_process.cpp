@@ -1,0 +1,26 @@
+#include "phy/load_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace slp::phy {
+
+double LoadProcess::utilization(TimePoint t) {
+  const auto idx = static_cast<std::size_t>(std::max<std::int64_t>(0, t.ns() / config_.step.ns()));
+  while (noise_.size() <= idx) {
+    const double prev = noise_.empty() ? 0.0 : noise_.back();
+    const double next =
+        prev * (1.0 - config_.reversion) + rng_.normal(0.0, config_.volatility);
+    noise_.push_back(next);
+  }
+  double u = config_.mean_utilization + noise_[idx];
+  if (config_.diurnal_amplitude > 0.0) {
+    const double phase =
+        2.0 * std::numbers::pi * t.to_seconds() / config_.diurnal_period.to_seconds();
+    u += config_.diurnal_amplitude * std::sin(phase);
+  }
+  return std::clamp(u, config_.floor, config_.ceiling);
+}
+
+}  // namespace slp::phy

@@ -1,0 +1,49 @@
+// load_process.hpp — time-varying shared-cell utilization.
+//
+// Starlink capacity is shared per cell. The paper found *no* diurnal pattern
+// ("median throughput varies by less than ±10% with no apparent day-night
+// cycle") and attributed this to low infrastructure utilization. We model
+// utilization as a mean-reverting AR(1) process sampled on a fixed step,
+// optionally with a (disabled-by-default) diurnal component — the ablation
+// benches flip it on to show what a loaded network would have looked like.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace slp::phy {
+
+class LoadProcess {
+ public:
+  struct Config {
+    double mean_utilization = 0.25;   ///< long-run average share of cell in use
+    double volatility = 0.06;         ///< AR(1) innovation std-dev
+    double reversion = 0.2;           ///< pull toward the mean per step
+    Duration step = Duration::seconds(10);
+    double diurnal_amplitude = 0.0;   ///< 0 = flat (paper's observation)
+    Duration diurnal_period = Duration::hours(24);
+    double floor = 0.02;
+    double ceiling = 0.95;
+  };
+
+  LoadProcess(Config config, Rng rng) : config_{config}, rng_{rng} {}
+
+  /// Utilization in [floor, ceiling] at time t. Deterministic per seed:
+  /// samples are generated lazily and cached per step index.
+  [[nodiscard]] double utilization(TimePoint t);
+
+  /// Fraction of nominal capacity available to our user at time t.
+  [[nodiscard]] double available_fraction(TimePoint t) { return 1.0 - utilization(t); }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::vector<double> noise_;  ///< AR(1) deviation per step, grown lazily
+};
+
+}  // namespace slp::phy

@@ -1,0 +1,34 @@
+#include "phy/outage.hpp"
+
+namespace slp::phy {
+
+OutageProcess::OutageProcess(Config config, Rng rng) : config_{config}, rng_{rng} {
+  outage_start_ = TimePoint::epoch() +
+                  Duration::from_seconds(rng_.exponential(config_.mean_interarrival.to_seconds()));
+  outage_end_ = outage_start_ +
+                Duration::from_seconds(rng_.lognormal(config_.duration_mu, config_.duration_sigma));
+}
+
+void OutageProcess::advance_to(TimePoint now) {
+  while (outage_end_ <= now) {
+    outage_start_ = outage_end_ + Duration::from_seconds(
+                                      rng_.exponential(config_.mean_interarrival.to_seconds()));
+    outage_end_ = outage_start_ + Duration::from_seconds(
+                                      rng_.lognormal(config_.duration_mu, config_.duration_sigma));
+    stats_.outages_started++;
+  }
+}
+
+bool OutageProcess::in_outage(TimePoint t) {
+  advance_to(t);
+  return t >= outage_start_ && t < outage_end_;
+}
+
+bool OutageProcess::should_drop(TimePoint now, const sim::Packet& pkt) {
+  (void)pkt;
+  const bool drop = in_outage(now);
+  if (drop) stats_.dropped++;
+  return drop;
+}
+
+}  // namespace slp::phy

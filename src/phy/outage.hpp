@@ -1,0 +1,126 @@
+// outage.hpp — rare full-connectivity gaps.
+//
+// Both H3 and messaging captures in the paper contain loss events lasting
+// more than one second, "identifying a possible loss of connectivity". The
+// OutageProcess models these: Poisson-arriving windows during which every
+// packet is destroyed (e.g. a handover glitch or momentary obstruction).
+#pragma once
+
+#include <vector>
+
+#include "sim/link.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace slp::phy {
+
+class OutageProcess final : public sim::LossModel {
+ public:
+  struct Config {
+    Duration mean_interarrival = Duration::hours(4);
+    /// Outage durations are lognormal: exp(N(mu, sigma)) seconds.
+    double duration_mu = 0.2;     ///< median ~1.2 s
+    double duration_sigma = 0.5;
+  };
+
+  OutageProcess(Config config, Rng rng);
+
+  [[nodiscard]] bool should_drop(TimePoint now, const sim::Packet& pkt) override;
+
+  /// True if `t` falls inside the current/next outage window (advances lazily).
+  [[nodiscard]] bool in_outage(TimePoint t);
+
+  struct Stats {
+    std::uint64_t outages_started = 0;
+    std::uint64_t dropped = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void advance_to(TimePoint now);
+
+  Config config_;
+  Rng rng_;
+  TimePoint outage_start_;
+  TimePoint outage_end_;
+  Stats stats_;
+};
+
+/// Drops when any child model drops; children are advanced for every packet
+/// so their clocks stay in sync. Children are not owned.
+class CompositeLossModel final : public sim::LossModel {
+ public:
+  explicit CompositeLossModel(std::vector<sim::LossModel*> children)
+      : children_{std::move(children)} {}
+
+  [[nodiscard]] bool should_drop(TimePoint now, const sim::Packet& pkt) override {
+    bool drop = false;
+    for (sim::LossModel* child : children_) {
+      if (child->should_drop(now, pkt)) drop = true;
+    }
+    return drop;
+  }
+
+ private:
+  std::vector<sim::LossModel*> children_;
+};
+
+/// Fixed-probability i.i.d. loss — the simplest possible model, used by the
+/// ERRANT profiles and as a test fixture.
+class BernoulliLoss final : public sim::LossModel {
+ public:
+  BernoulliLoss(double p, Rng rng) : p_{p}, rng_{rng} {}
+
+  [[nodiscard]] bool should_drop(TimePoint now, const sim::Packet& pkt) override {
+    (void)now;
+    (void)pkt;
+    return rng_.chance(p_);
+  }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+}  // namespace slp::phy
+
+namespace slp::phy {
+
+/// Utilization-coupled loss: the drop process §3.2 of the paper observes
+/// during bulk transfers — frequent events of a few consecutive packets that
+/// only occur while the link is loaded. Physically: scheduler/PHY drops at
+/// high cell utilization. Engages once the queue fill crosses `threshold`;
+/// a short self-exciting boost after each drop produces 1-4 packet bursts.
+class UtilizationLoss {
+ public:
+  struct Config {
+    double threshold = 0.35;   ///< queue fill fraction that arms the process
+    double p_drop = 0.010;     ///< per-packet drop probability when armed
+    double burst_continue = 0.55;  ///< P[next packet also drops]
+    int max_burst = 6;
+  };
+
+  UtilizationLoss(Config config, Rng rng) : config_{config}, rng_{rng} {}
+
+  [[nodiscard]] bool should_drop(TimePoint now, const sim::Packet& pkt, double queue_fraction) {
+    (void)now;
+    (void)pkt;
+    if (burst_remaining_ > 0) {
+      --burst_remaining_;
+      if (rng_.chance(config_.burst_continue)) return true;
+      burst_remaining_ = 0;
+      return false;
+    }
+    if (queue_fraction < config_.threshold) return false;
+    if (!rng_.chance(config_.p_drop)) return false;
+    burst_remaining_ = config_.max_burst - 1;
+    return true;
+  }
+
+ private:
+  Config config_;
+  Rng rng_;
+  int burst_remaining_ = 0;
+};
+
+}  // namespace slp::phy

@@ -1,0 +1,79 @@
+#include "quic/qlog.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace slp::quic {
+
+std::string_view to_string(QlogTrace::EventType type) {
+  switch (type) {
+    case QlogTrace::EventType::kPacketSent: return "packet_sent";
+    case QlogTrace::EventType::kPacketReceived: return "packet_received";
+    case QlogTrace::EventType::kPacketAcked: return "packet_acked";
+    case QlogTrace::EventType::kPacketLost: return "packet_lost";
+  }
+  return "?";
+}
+
+void QlogTrace::attach(QuicConnection& conn, std::string title) {
+  title_ = std::move(title);
+  auto note = [this](Event event) {
+    if (!have_reference_) {
+      reference_ = event.at;
+      have_reference_ = true;
+    }
+    events_.push_back(event);
+  };
+  conn.hooks.on_packet_sent = [note, &conn](std::uint64_t pn, TimePoint at,
+                                            std::uint32_t bytes) {
+    (void)conn;
+    note(Event{at, EventType::kPacketSent, pn, bytes, Duration::zero()});
+  };
+  conn.hooks.on_packet_received = [note](std::uint64_t pn, TimePoint at) {
+    note(Event{at, EventType::kPacketReceived, pn, 0, Duration::zero()});
+  };
+  conn.hooks.on_packet_acked = [note, &conn](std::uint64_t pn, Duration rtt) {
+    note(Event{conn.sim().now(), EventType::kPacketAcked, pn, 0, rtt});
+  };
+  conn.hooks.on_packet_lost = [note, &conn](std::uint64_t pn) {
+    note(Event{conn.sim().now(), EventType::kPacketLost, pn, 0, Duration::zero()});
+  };
+}
+
+std::uint64_t QlogTrace::count(EventType type) const {
+  std::uint64_t n = 0;
+  for (const Event& event : events_) {
+    if (event.type == type) ++n;
+  }
+  return n;
+}
+
+void QlogTrace::write_json(std::ostream& os) const {
+  os << "{\"qlog_version\":\"0.4\",\"title\":\"" << title_ << "\",\"traces\":[{"
+     << "\"common_fields\":{\"time_format\":\"relative\",\"reference_time\":"
+     << (have_reference_ ? reference_.to_seconds() : 0.0) << "},\"events\":[";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) os << ",";
+    first = false;
+    const double rel_ms = (event.at - reference_).to_millis();
+    os << "{\"time\":" << rel_ms << ",\"name\":\"transport:" << to_string(event.type)
+       << "\",\"data\":{\"header\":{\"packet_number\":" << event.pn << "}";
+    if (event.type == EventType::kPacketSent) {
+      os << ",\"raw\":{\"length\":" << event.bytes << "}";
+    }
+    if (event.type == EventType::kPacketAcked) {
+      os << ",\"latest_rtt\":" << event.rtt.to_millis();
+    }
+    os << "}}";
+  }
+  os << "]}]}";
+}
+
+std::string QlogTrace::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace slp::quic

@@ -1,0 +1,61 @@
+// qlog.hpp — qlog-style event tracing for QUIC connections.
+//
+// The paper's artifact ships >530 GB of QUIC packet captures with keys; the
+// model equivalent is a structured event trace per connection. QlogTrace
+// subscribes to a connection's hooks and serializes to a draft-qlog-like
+// JSON document (one trace, packet_sent/packet_received/packet_acked/
+// packet_lost events with relative timestamps), so external tooling can
+// consume simulated transfers the way the paper's analysis consumed qlogs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "quic/quic.hpp"
+
+namespace slp::quic {
+
+class QlogTrace {
+ public:
+  enum class EventType : std::uint8_t {
+    kPacketSent,
+    kPacketReceived,
+    kPacketAcked,
+    kPacketLost,
+  };
+
+  struct Event {
+    TimePoint at;
+    EventType type;
+    std::uint64_t pn = 0;
+    std::uint32_t bytes = 0;        ///< packet_sent only
+    Duration rtt = Duration::zero();  ///< packet_acked only
+  };
+
+  /// Subscribes to the connection's hooks (replacing any existing ones) and
+  /// records every event until detach or destruction of the connection.
+  void attach(QuicConnection& conn, std::string title);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Counts of each event type.
+  [[nodiscard]] std::uint64_t count(EventType type) const;
+
+  /// Serializes to a qlog-flavored JSON document.
+  [[nodiscard]] std::string to_json() const;
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  TimePoint reference_;
+  bool have_reference_ = false;
+  std::vector<Event> events_;
+};
+
+[[nodiscard]] std::string_view to_string(QlogTrace::EventType type);
+
+}  // namespace slp::quic

@@ -1,0 +1,36 @@
+// address.hpp — IPv4-style addressing for the simulated internet.
+//
+// The simulator speaks real dotted-quad addresses so that the middlebox
+// experiments (§3.5 of the paper) reproduce faithfully: traceroute through a
+// Starlink access reveals 192.168.1.1 (CPE NAT) and 100.64.0.1 (CGN), which
+// only works if addresses behave like addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace slp::sim {
+
+using Ipv4Addr = std::uint32_t;
+
+[[nodiscard]] constexpr Ipv4Addr make_addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                           std::uint8_t d) {
+  return (static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | static_cast<std::uint32_t>(d);
+}
+
+[[nodiscard]] std::string addr_to_string(Ipv4Addr addr);
+
+/// True if `addr` falls within `prefix`/`prefix_len`.
+[[nodiscard]] constexpr bool prefix_match(Ipv4Addr addr, Ipv4Addr prefix, int prefix_len) {
+  if (prefix_len <= 0) return true;
+  if (prefix_len >= 32) return addr == prefix;
+  const Ipv4Addr mask = ~0u << (32 - prefix_len);
+  return (addr & mask) == (prefix & mask);
+}
+
+// Well-known addresses observed in the paper's traceroutes.
+inline constexpr Ipv4Addr kCpeNatAddr = make_addr(192, 168, 1, 1);   ///< Starlink router LAN side
+inline constexpr Ipv4Addr kCgnNatAddr = make_addr(100, 64, 0, 1);    ///< carrier-grade NAT hop
+
+}  // namespace slp::sim

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace slp::sim {
+
+EventId EventQueue::schedule(TimePoint at, std::function<void()> fn) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id,
+                   std::make_shared<std::function<void()>>(std::move(fn))});
+  live_.insert(id);
+  ++live_count_;
+  return EventId{id};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  // Cancelling an event that already fired (or was already cancelled) is a
+  // harmless no-op — timers routinely race their own expiry.
+  if (live_.erase(id.value) == 1) --live_count_;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) heap_.pop();
+}
+
+TimePoint EventQueue::next_time() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  live_.erase(top.id);
+  --live_count_;
+  return Fired{top.at, std::move(*top.fn)};
+}
+
+}  // namespace slp::sim

@@ -1,0 +1,71 @@
+// event_queue.hpp — the discrete-event scheduler's priority queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace slp::sim {
+
+/// Opaque handle for cancellation. Id 0 is "invalid".
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Min-heap of timed callbacks with stable FIFO order for equal timestamps
+/// (determinism requirement: two events scheduled for the same instant fire
+/// in scheduling order, independent of heap internals).
+///
+/// Cancellation is lazy: cancelled ids are remembered and skipped on pop,
+/// which keeps cancel() O(1) — important because every TCP/QUIC timer re-arm
+/// is a cancel.
+class EventQueue {
+ public:
+  EventId schedule(TimePoint at, std::function<void()> fn);
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the next live event. Requires !empty().
+  [[nodiscard]] TimePoint next_time();
+
+  /// Pops and returns the next live event. Requires !empty().
+  struct Fired {
+    TimePoint at;
+    std::function<void()> fn;
+  };
+  [[nodiscard]] Fired pop();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Stored out-of-line so heap moves stay cheap.
+    std::shared_ptr<std::function<void()>> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> live_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace slp::sim

@@ -1,0 +1,125 @@
+#include "sim/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace slp::sim {
+
+void Interface::send(Packet pkt) {
+  assert(attached() && "interface not wired to a link");
+  link_->enqueue(endpoint_, std::move(pkt));
+}
+
+Interface* Interface::peer() const {
+  if (link_ == nullptr) return nullptr;
+  return link_->dir_[endpoint_].to;
+}
+
+Interface& Node::add_interface(Ipv4Addr addr) {
+  interfaces_.push_back(std::make_unique<Interface>(*this, addr));
+  return *interfaces_.back();
+}
+
+Link::Link(Simulator& sim, Interface& a, Interface& b, Config config) : sim_{&sim} {
+  assert(!a.attached() && !b.attached());
+  a.link_ = this;
+  a.endpoint_ = 0;
+  b.link_ = this;
+  b.endpoint_ = 1;
+  dir_[0].config = std::move(config.a_to_b);
+  dir_[0].to = &b;
+  dir_[1].config = std::move(config.b_to_a);
+  dir_[1].to = &a;
+}
+
+std::size_t Link::queued_bytes(int direction) const { return dir_[direction].queued_bytes; }
+
+void Link::set_rate(int direction, DataRate rate) {
+  dir_[direction].config.rate = rate;
+  dir_[direction].config.rate_fn = nullptr;
+}
+
+void Link::set_delay(int direction, Duration delay) {
+  dir_[direction].config.delay = delay;
+  dir_[direction].config.delay_fn = nullptr;
+}
+
+void Link::set_loss(int direction, LossModel* loss) { dir_[direction].config.loss = loss; }
+
+void Link::set_delivery_tap(int direction, std::function<void(const Packet&)> tap) {
+  dir_[direction].tap = std::move(tap);
+}
+
+void Link::enqueue(int direction, Packet pkt) {
+  Direction& d = dir_[direction];
+  d.stats.enqueued_packets++;
+  if (d.config.aqm) {
+    const double fraction =
+        static_cast<double>(d.queued_bytes) / static_cast<double>(d.config.queue_capacity_bytes);
+    if (d.config.aqm(sim_->now(), pkt, fraction)) {
+      d.stats.dropped_aqm++;
+      return;
+    }
+  }
+  if (d.transmitting || !d.queue.empty()) {
+    if (d.queued_bytes + pkt.size_bytes > d.config.queue_capacity_bytes) {
+      d.stats.dropped_overflow++;
+      return;  // drop-tail
+    }
+    d.queued_bytes += pkt.size_bytes;
+    d.stats.max_queue_bytes = std::max<std::uint64_t>(d.stats.max_queue_bytes, d.queued_bytes);
+    d.queue.push_back(std::move(pkt));
+    return;
+  }
+  d.transmitting = true;
+  const DataRate rate = d.config.rate_fn ? d.config.rate_fn(sim_->now()) : d.config.rate;
+  const Duration tx_time = rate.transmission_time(pkt.size_bytes);
+  sim_->schedule_in(tx_time, [this, direction, pkt = std::move(pkt)]() mutable {
+    finish_transmission(direction, std::move(pkt));
+  });
+}
+
+void Link::start_transmission(int direction) {
+  Direction& d = dir_[direction];
+  assert(!d.queue.empty());
+  Packet pkt = std::move(d.queue.front());
+  d.queue.pop_front();
+  d.queued_bytes -= pkt.size_bytes;
+  d.transmitting = true;
+  const DataRate rate = d.config.rate_fn ? d.config.rate_fn(sim_->now()) : d.config.rate;
+  const Duration tx_time = rate.transmission_time(pkt.size_bytes);
+  sim_->schedule_in(tx_time, [this, direction, pkt = std::move(pkt)]() mutable {
+    finish_transmission(direction, std::move(pkt));
+  });
+}
+
+void Link::finish_transmission(int direction, Packet pkt) {
+  Direction& d = dir_[direction];
+  d.stats.tx_packets++;
+  d.stats.tx_bytes += pkt.size_bytes;
+
+  // Serialization finished; the next queued packet can start immediately.
+  if (!d.queue.empty()) {
+    start_transmission(direction);
+  } else {
+    d.transmitting = false;
+  }
+
+  // Medium loss destroys the frame in flight: the sender still paid the
+  // serialization time, the receiver simply never sees it.
+  if (d.config.loss != nullptr && d.config.loss->should_drop(sim_->now(), pkt)) {
+    d.stats.dropped_medium++;
+    return;
+  }
+
+  const Duration delay = d.config.delay_fn ? d.config.delay_fn(sim_->now()) : d.config.delay;
+  Interface* to = d.to;
+  sim_->schedule_in(delay, [this, direction, to, pkt = std::move(pkt)]() mutable {
+    Direction& dd = dir_[direction];
+    dd.stats.delivered_packets++;
+    if (dd.tap) dd.tap(pkt);
+    to->owner().handle_packet(std::move(pkt), *to);
+  });
+}
+
+}  // namespace slp::sim

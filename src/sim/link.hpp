@@ -1,0 +1,110 @@
+// link.hpp — point-to-point links with serialization, queuing, propagation
+// and pluggable loss.
+//
+// A link is the only place where time "costs" anything in the simulator:
+//   enqueue -> (drop-tail if full) -> serialize at `rate` -> propagate for
+//   `delay` -> optional loss -> deliver to the peer interface.
+//
+// Rates and delays can be functions of time: the Starlink access link uses a
+// delay function driven by satellite geometry (slant ranges change every
+// handover slot) and a rate function driven by the shared-cell load process.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/node.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace slp::sim {
+
+/// Decides whether a packet in flight is destroyed by the medium.
+/// Implementations live in slp::phy (Gilbert-Elliott, outages, ...).
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  [[nodiscard]] virtual bool should_drop(TimePoint now, const Packet& pkt) = 0;
+};
+
+class Link {
+ public:
+  struct DirectionConfig {
+    DataRate rate = DataRate::gbps(1);
+    /// When set, sampled at each transmission start (time-varying capacity).
+    std::function<DataRate(TimePoint)> rate_fn;
+    Duration delay = Duration::millis(1);
+    /// When set, sampled at each transmission end (dynamic propagation).
+    std::function<Duration(TimePoint)> delay_fn;
+    std::size_t queue_capacity_bytes = 256 * 1024;
+    /// Not owned; must outlive the link. nullptr = lossless medium.
+    LossModel* loss = nullptr;
+    /// Optional AQM/scheduler drop decision, evaluated at enqueue with the
+    /// instantaneous queue fill fraction. Models utilization-coupled loss
+    /// (drops that only happen when the link is loaded).
+    std::function<bool(TimePoint, const Packet&, double queue_fraction)> aqm;
+  };
+
+  struct Config {
+    DirectionConfig a_to_b;
+    DirectionConfig b_to_a;
+  };
+
+  struct DirStats {
+    std::uint64_t enqueued_packets = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t delivered_packets = 0;
+    std::uint64_t dropped_overflow = 0;
+    std::uint64_t dropped_medium = 0;
+    std::uint64_t dropped_aqm = 0;
+    std::uint64_t max_queue_bytes = 0;
+  };
+
+  /// Wires interfaces `a` and `b` together. Both must be unattached.
+  Link(Simulator& sim, Interface& a, Interface& b, Config config);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  [[nodiscard]] const DirStats& stats_a_to_b() const { return dir_[0].stats; }
+  [[nodiscard]] const DirStats& stats_b_to_a() const { return dir_[1].stats; }
+
+  /// Bytes currently queued awaiting serialization (direction 0 = a->b).
+  [[nodiscard]] std::size_t queued_bytes(int direction) const;
+
+  /// Live re-configuration hooks (used by shapers and scenario epochs).
+  void set_rate(int direction, DataRate rate);
+  void set_delay(int direction, Duration delay);
+  void set_loss(int direction, LossModel* loss);
+
+  /// A tap sees every packet the moment it is delivered to the destination
+  /// interface (after loss). Used by tests and packet captures.
+  void set_delivery_tap(int direction, std::function<void(const Packet&)> tap);
+
+ private:
+  friend class Interface;
+
+  struct Direction {
+    DirectionConfig config;
+    Interface* to = nullptr;
+    std::deque<Packet> queue;
+    std::size_t queued_bytes = 0;
+    bool transmitting = false;
+    DirStats stats;
+    std::function<void(const Packet&)> tap;
+  };
+
+  /// Called by Interface::send.
+  void enqueue(int direction, Packet pkt);
+  void start_transmission(int direction);
+  void finish_transmission(int direction, Packet pkt);
+
+  Simulator* sim_;
+  Direction dir_[2];
+};
+
+}  // namespace slp::sim

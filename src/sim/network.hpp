@@ -1,0 +1,71 @@
+// network.hpp — ownership and wiring of a simulated topology.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/nat.hpp"
+#include "sim/routing.hpp"
+
+namespace slp::sim {
+
+/// Owns the nodes and links of one simulated internet. Factory methods
+/// return references that remain valid for the lifetime of the Network
+/// (nodes are held by unique_ptr; the vector only stores pointers).
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_{&sim} {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] Simulator& sim() const { return *sim_; }
+
+  Host& add_host(std::string name, Ipv4Addr addr) {
+    return add_node<Host>(std::move(name), addr);
+  }
+  Router& add_router(std::string name) { return add_node<Router>(std::move(name)); }
+  Nat& add_nat(std::string name, Ipv4Addr inside_addr, Ipv4Addr external_addr) {
+    return add_node<Nat>(std::move(name), inside_addr, external_addr);
+  }
+
+  /// Constructs any Node subclass in place.
+  template <typename T, typename... Args>
+  T& add_node(Args&&... args) {
+    auto node = std::make_unique<T>(*sim_, std::forward<Args>(args)...);
+    T& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Wires two interfaces with a new link.
+  Link& connect(Interface& a, Interface& b, Link::Config config) {
+    links_.push_back(std::make_unique<Link>(*sim_, a, b, std::move(config)));
+    return *links_.back();
+  }
+
+  /// Symmetric convenience config: same rate/delay both ways.
+  [[nodiscard]] static Link::Config symmetric(DataRate rate, Duration delay,
+                                              std::size_t queue_bytes = 256 * 1024) {
+    Link::Config config;
+    config.a_to_b.rate = rate;
+    config.a_to_b.delay = delay;
+    config.a_to_b.queue_capacity_bytes = queue_bytes;
+    config.b_to_a = config.a_to_b;
+    return config;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace slp::sim

@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace slp::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_{seed} {}
+
+EventId Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    ++events_processed_;
+    fn();
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    ++events_processed_;
+    fn();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+void Timer::arm(Duration delay, std::function<void()> fn) {
+  arm_at(sim_->now() + delay, std::move(fn));
+}
+
+void Timer::arm_at(TimePoint at, std::function<void()> fn) {
+  cancel();
+  armed_ = true;
+  expiry_ = at;
+  id_ = sim_->schedule_at(at, [this, fn = std::move(fn)] {
+    armed_ = false;
+    fn();
+  });
+}
+
+void Timer::cancel() {
+  if (armed_) {
+    sim_->cancel(id_);
+    armed_ = false;
+  }
+}
+
+}  // namespace slp::sim

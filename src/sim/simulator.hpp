@@ -1,0 +1,89 @@
+// simulator.hpp — discrete-event simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace slp::sim {
+
+/// The simulation kernel: a virtual clock plus the event queue.
+///
+/// Everything in the system — link transmissions, retransmission timers,
+/// campaign rounds — is an event on this queue. The kernel is single-threaded
+/// and deterministic: identical seeds and topology produce identical runs.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  /// Deterministic per-component stream, independent of draw order elsewhere.
+  [[nodiscard]] Rng fork_rng(std::string_view label) const { return rng_.fork(label); }
+
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  EventId schedule_in(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the queue drains or stop() is called.
+  void run();
+  /// Runs events with timestamp <= deadline; the clock lands on `deadline`.
+  void run_until(TimePoint deadline);
+  /// Runs for `d` of simulated time from now.
+  void run_for(Duration d) { run_until(now_ + d); }
+  /// Stops the current run() after the in-flight event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Fresh globally-unique packet uid.
+  [[nodiscard]] std::uint64_t next_packet_uid() { return next_packet_uid_++; }
+  /// Fresh globally-unique flow id.
+  [[nodiscard]] std::uint64_t next_flow_id() { return next_flow_id_++; }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t next_packet_uid_ = 1;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+/// A re-armable one-shot timer bound to a simulator; cancels itself on
+/// destruction so callbacks can never outlive their owner (RAII for events).
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_{&sim} {}
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arms the timer; a pending expiry is cancelled first.
+  void arm(Duration delay, std::function<void()> fn);
+  void arm_at(TimePoint at, std::function<void()> fn);
+  void cancel();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] TimePoint expiry() const { return expiry_; }
+
+ private:
+  Simulator* sim_;
+  EventId id_{};
+  bool armed_ = false;
+  TimePoint expiry_;
+};
+
+}  // namespace slp::sim

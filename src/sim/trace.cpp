@@ -1,0 +1,29 @@
+#include "sim/trace.hpp"
+
+namespace slp::sim {
+
+void PacketTrace::attach(Host& host) {
+  detach();
+  host_ = &host;
+  host.set_capture([this](const Packet& pkt, bool outbound) {
+    records_.push_back(CaptureRecord{host_->sim().now(), outbound, pkt});
+  });
+}
+
+void PacketTrace::detach() {
+  if (host_ != nullptr) {
+    host_->set_capture(nullptr);
+    host_ = nullptr;
+  }
+}
+
+std::vector<CaptureRecord> PacketTrace::filter(
+    const std::function<bool(const CaptureRecord&)>& pred) const {
+  std::vector<CaptureRecord> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace slp::sim

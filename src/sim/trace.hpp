@@ -1,0 +1,47 @@
+// trace.hpp — packet capture, the simulator's tcpdump.
+//
+// The paper's loss analysis runs on client/server packet captures; our
+// analyzers consume PacketTrace records the same way.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/packet.hpp"
+#include "util/units.hpp"
+
+namespace slp::sim {
+
+struct CaptureRecord {
+  TimePoint at;
+  bool outbound = false;
+  Packet pkt;
+};
+
+/// Records every packet seen by one host. Attach/detach is explicit so a
+/// trace can cover exactly one experiment window.
+class PacketTrace {
+ public:
+  /// Starts capturing on `host` (replaces any existing capture hook).
+  void attach(Host& host);
+  /// Stops capturing; records remain available.
+  void detach();
+
+  ~PacketTrace() { detach(); }
+
+  [[nodiscard]] const std::vector<CaptureRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Records matching a predicate, in capture order.
+  [[nodiscard]] std::vector<CaptureRecord> filter(
+      const std::function<bool(const CaptureRecord&)>& pred) const;
+
+ private:
+  Host* host_ = nullptr;
+  std::vector<CaptureRecord> records_;
+};
+
+}  // namespace slp::sim

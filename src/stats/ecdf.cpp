@@ -1,0 +1,56 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace slp::stats {
+
+Ecdf::Ecdf(std::span<const double> samples) : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::eval(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double q) const {
+  assert(!sorted_.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  if (points == 1 || hi == lo) {
+    out.emplace_back(lo, eval(lo));
+    return out;
+  }
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, eval(x));
+  }
+  return out;
+}
+
+std::string render_cdf_rows(const Ecdf& ecdf, std::span<const double> probs,
+                            const std::string& unit) {
+  std::ostringstream os;
+  for (const double p : probs) {
+    if (ecdf.empty()) break;
+    os << "  p" << p * 100.0 << " <= " << ecdf.inverse(p) << unit << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace slp::stats

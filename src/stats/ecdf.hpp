@@ -1,0 +1,44 @@
+// ecdf.hpp — empirical cumulative distribution functions.
+//
+// Figures 4 and 6 of the paper are ECDF plots; this class evaluates F(x),
+// inverts it, and renders the step curve at a chosen resolution for the
+// bench harnesses' text output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/quantiles.hpp"
+
+namespace slp::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::span<const double> samples);
+  explicit Ecdf(const Samples& samples) : Ecdf(std::span{samples.values()}) {}
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// F(x) = P[X <= x]; 0 for empty.
+  [[nodiscard]] double eval(double x) const;
+
+  /// Smallest sample value v with F(v) >= q. Requires non-empty.
+  [[nodiscard]] double inverse(double q) const;
+
+  /// Renders `points` (x, F(x)) pairs spanning [min, max].
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(std::size_t points = 50) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// One line of ASCII-art CDF per probability row — a quick visual check in
+/// bench output. `unit` is appended to the x labels.
+[[nodiscard]] std::string render_cdf_rows(const Ecdf& ecdf, std::span<const double> probs,
+                                          const std::string& unit);
+
+}  // namespace slp::stats

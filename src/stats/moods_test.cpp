@@ -1,0 +1,154 @@
+#include "stats/moods_test.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/quantiles.hpp"
+
+namespace slp::stats {
+
+namespace {
+
+// Lower incomplete gamma P(a, x) by series expansion; converges for x < a+1.
+double gamma_p_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Upper incomplete gamma Q(a, x) by continued fraction; converges for x >= a+1.
+double gamma_q_contfrac(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double gamma_q(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_contfrac(a, x);
+}
+
+double chi2_sf(double x, std::size_t dof) {
+  if (dof == 0) return 1.0;
+  return gamma_q(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+MoodsResult moods_median_test(std::span<const std::vector<double>> groups) {
+  MoodsResult result;
+  if (groups.size() < 2) return result;
+
+  std::vector<double> pooled;
+  for (const auto& g : groups) {
+    if (g.empty()) return result;
+    pooled.insert(pooled.end(), g.begin(), g.end());
+  }
+  std::sort(pooled.begin(), pooled.end());
+  result.grand_median = quantile_sorted(pooled, 0.5);
+
+  // 2 x k contingency table of counts above / not-above the grand median.
+  const std::size_t k = groups.size();
+  std::vector<double> above(k, 0.0);
+  std::vector<double> total(k, 0.0);
+  double total_above = 0.0;
+  double grand_total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const double v : groups[i]) {
+      total[i] += 1.0;
+      if (v > result.grand_median) above[i] += 1.0;
+    }
+    total_above += above[i];
+    grand_total += total[i];
+  }
+  const double total_below = grand_total - total_above;
+  if (total_above == 0.0 || total_below == 0.0) return result;  // degenerate
+
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double exp_above = total[i] * total_above / grand_total;
+    const double exp_below = total[i] * total_below / grand_total;
+    const double obs_below = total[i] - above[i];
+    chi2 += (above[i] - exp_above) * (above[i] - exp_above) / exp_above;
+    chi2 += (obs_below - exp_below) * (obs_below - exp_below) / exp_below;
+  }
+  result.chi2 = chi2;
+  result.dof = k - 1;
+  result.p_value = chi2_sf(chi2, result.dof);
+  result.valid = true;
+  return result;
+}
+
+}  // namespace slp::stats
+
+namespace slp::stats {
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  KsResult result;
+  if (a.empty() || b.empty()) return result;
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  // Sweep the merged order tracking both ECDFs; ties must advance both
+  // sides together or identical samples would show a spurious gap.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] == x) ++i;
+    while (j < sb.size() && sb[j] == x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+  result.d = d;
+
+  // Asymptotic p-value: Q_KS(sqrt(n_eff) * D) with the standard series.
+  const double n_eff = na * nb / (na + nb);
+  const double lambda = (std::sqrt(n_eff) + 0.12 + 0.11 / std::sqrt(n_eff)) * d;
+  if (lambda < 0.3) {
+    // The alternating series does not converge for tiny lambda; Q -> 1.
+    result.p_value = 1.0;
+    result.valid = true;
+    return result;
+  }
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  result.p_value = std::clamp(2.0 * p, 0.0, 1.0);
+  result.valid = true;
+  return result;
+}
+
+}  // namespace slp::stats

@@ -1,0 +1,49 @@
+// moods_test.hpp — Mood's median test.
+//
+// §3.1 of the paper: "a Mood's test suggests the samples are drawn from
+// distributions with the same median" (RTT across hours of day). We implement
+// the k-sample median test with a chi-square p-value so the benches can run
+// the same check on simulated data.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace slp::stats {
+
+struct MoodsResult {
+  double grand_median = 0.0;
+  double chi2 = 0.0;       ///< Pearson chi-square statistic (k-1 d.o.f.)
+  double p_value = 1.0;    ///< survival probability of chi2
+  std::size_t dof = 0;
+  bool valid = false;      ///< false when expected counts are degenerate
+};
+
+/// k-sample Mood's median test. Each group must be non-empty; at least two
+/// groups are required.
+[[nodiscard]] MoodsResult moods_median_test(std::span<const std::vector<double>> groups);
+
+/// Regularized upper incomplete gamma Q(a, x); chi-square survival is
+/// Q(k/2, x/2). Exposed for testing.
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// Chi-square survival function with `dof` degrees of freedom.
+[[nodiscard]] double chi2_sf(double x, std::size_t dof);
+
+}  // namespace slp::stats
+
+namespace slp::stats {
+
+/// Two-sample Kolmogorov-Smirnov test: D statistic and the asymptotic
+/// p-value. Used to validate that samples drawn from a fitted ERRANT
+/// profile are distributed like the campaign measurements they were fitted
+/// from.
+struct KsResult {
+  double d = 0.0;        ///< sup |F1 - F2|
+  double p_value = 1.0;  ///< asymptotic (Kolmogorov distribution)
+  bool valid = false;
+};
+
+[[nodiscard]] KsResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+}  // namespace slp::stats

@@ -1,0 +1,64 @@
+#include "stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace slp::stats {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  assert(!sorted.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void Samples::clear() {
+  values_.clear();
+  sorted_.clear();
+  dirty_ = false;
+  summary_ = StreamingSummary{};
+}
+
+std::span<const double> Samples::sorted() const {
+  if (dirty_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  return sorted_;
+}
+
+double Samples::quantile(double q) const {
+  assert(!empty());
+  return quantile_sorted(sorted(), q);
+}
+
+double Samples::min() const {
+  assert(!empty());
+  return summary_.min();
+}
+
+double Samples::max() const {
+  assert(!empty());
+  return summary_.max();
+}
+
+BoxplotSummary boxplot(const Samples& samples) {
+  BoxplotSummary box;
+  box.count = samples.size();
+  if (samples.empty()) return box;
+  box.min = samples.min();
+  box.p5 = samples.percentile(5);
+  box.p25 = samples.percentile(25);
+  box.median = samples.median();
+  box.p75 = samples.percentile(75);
+  box.p95 = samples.percentile(95);
+  box.max = samples.max();
+  return box;
+}
+
+}  // namespace slp::stats

@@ -1,0 +1,9 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+namespace slp::stats {
+
+double StreamingSummary::stddev() const { return std::sqrt(sample_variance()); }
+
+}  // namespace slp::stats

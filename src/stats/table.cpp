@@ -1,0 +1,58 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace slp::stats {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double ratio, int precision) {
+  return num(ratio * 100.0, precision) + "%";
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << "|";
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+    os << '\n';
+  };
+
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) { return os << t.str(); }
+
+}  // namespace slp::stats

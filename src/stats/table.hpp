@@ -1,0 +1,32 @@
+// table.hpp — fixed-width text tables for bench output.
+//
+// Every bench regenerates a paper table/figure as text; TextTable keeps that
+// output aligned and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slp::stats {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  /// Formats a ratio as a percentage ("1.56%").
+  [[nodiscard]] static std::string pct(double ratio, int precision = 2);
+
+  [[nodiscard]] std::string str() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slp::stats

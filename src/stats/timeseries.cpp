@@ -1,0 +1,37 @@
+#include "stats/timeseries.hpp"
+
+#include <cassert>
+
+namespace slp::stats {
+
+void TimeBinner::add(TimePoint t, double value) {
+  assert(t.ns() >= 0);
+  const auto idx = static_cast<std::size_t>(t.ns() / bin_width_.ns());
+  if (idx >= bins_.size()) bins_.resize(idx + 1);
+  bins_[idx].add(value);
+}
+
+TimePoint TimeBinner::bin_start(std::size_t i) const {
+  return TimePoint::epoch() + bin_width_ * static_cast<double>(i);
+}
+
+std::vector<TimeBinner::Row> TimeBinner::rows() const {
+  std::vector<Row> out;
+  out.reserve(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const Samples& s = bins_[i];
+    if (s.empty()) continue;
+    Row row;
+    row.start = bin_start(i);
+    row.count = s.size();
+    row.min = s.min();
+    row.p25 = s.percentile(25);
+    row.median = s.median();
+    row.p75 = s.percentile(75);
+    row.p95 = s.percentile(95);
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace slp::stats

@@ -1,0 +1,47 @@
+// timeseries.hpp — time-binned sample aggregation.
+//
+// Figure 2 of the paper plots RTT percentiles over five months in 6-hour
+// bins; TimeBinner implements exactly that reduction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/quantiles.hpp"
+#include "util/units.hpp"
+
+namespace slp::stats {
+
+/// Collects (time, value) points and aggregates them into fixed-width bins.
+class TimeBinner {
+ public:
+  explicit TimeBinner(Duration bin_width) : bin_width_{bin_width} {}
+
+  void add(TimePoint t, double value);
+
+  [[nodiscard]] std::size_t bins() const { return bins_.size(); }
+  [[nodiscard]] Duration bin_width() const { return bin_width_; }
+  /// Start time of bin i.
+  [[nodiscard]] TimePoint bin_start(std::size_t i) const;
+  /// Samples of bin i (empty Samples for gaps).
+  [[nodiscard]] const Samples& bin(std::size_t i) const { return bins_.at(i); }
+
+  struct Row {
+    TimePoint start;
+    std::size_t count = 0;
+    double min = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+    double p95 = 0.0;
+  };
+
+  /// Percentile rows for every non-empty bin, in time order.
+  [[nodiscard]] std::vector<Row> rows() const;
+
+ private:
+  Duration bin_width_;
+  std::vector<Samples> bins_;
+};
+
+}  // namespace slp::stats

@@ -1,0 +1,148 @@
+#include "tcp/bbr.hpp"
+
+#include <algorithm>
+
+namespace slp::cc {
+
+namespace {
+constexpr double kStartupGain = 2.885;  // 2/ln2
+constexpr double kDrainGain = 1.0 / kStartupGain;
+constexpr double kProbeGains[8] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr double kCwndGain = 2.0;
+}  // namespace
+
+Bbr::Bbr(CcConfig config) : config_{config} {
+  cwnd_ = static_cast<std::uint64_t>(config_.initial_window_segments) * config_.mss;
+}
+
+double Bbr::bdp_bytes() const {
+  if (max_bw_.is_zero() || min_rtt_.is_infinite()) {
+    return static_cast<double>(config_.initial_window_segments) * config_.mss;
+  }
+  return max_bw_.bits_per_second() / 8.0 * min_rtt_.to_seconds();
+}
+
+void Bbr::update_filters(std::uint64_t acked_bytes, Duration rtt, TimePoint now) {
+  // Bandwidth samples from the ack train. Acks arrive bunched on jittery
+  // links, so bytes accumulate until enough wall time has passed for a
+  // meaningful rate estimate — otherwise bunched acks would be discarded
+  // and the filter would systematically underestimate.
+  pending_bytes_ += acked_bytes;
+  if (!have_ack_time_) {
+    last_sample_at_ = now;
+    have_ack_time_ = true;
+    pending_bytes_ = 0;
+  } else {
+    const Duration gap = now - last_sample_at_;
+    if (gap >= Duration::millis(2)) {
+      bw_samples_.emplace_back(now, rate_of(pending_bytes_, gap));
+      last_sample_at_ = now;
+      pending_bytes_ = 0;
+    }
+  }
+
+  // Expire samples outside the window (~10 min-RTTs, floor 100 ms).
+  const Duration window =
+      std::max(min_rtt_.is_infinite() ? Duration::millis(100) : min_rtt_ * 10.0,
+               Duration::millis(100));
+  while (!bw_samples_.empty() && bw_samples_.front().first + window < now) {
+    bw_samples_.pop_front();
+  }
+  max_bw_ = DataRate::zero();
+  for (const auto& [at, sample] : bw_samples_) {
+    (void)at;
+    max_bw_ = std::max(max_bw_, sample);
+  }
+
+  // The min filter only moves down; staleness is handled by PROBE_RTT
+  // (which resets the filter so the drained-queue samples re-establish it).
+  if (rtt > Duration::zero() && rtt <= min_rtt_) {
+    min_rtt_ = rtt;
+    min_rtt_stamp_ = now;
+  }
+}
+
+void Bbr::advance_state(TimePoint now) {
+  switch (state_) {
+    case State::kStartup: {
+      // Bandwidth plateau: <25% growth for 3 consecutive checks.
+      if (max_bw_.bits_per_second() > full_bw_.bits_per_second() * 1.25) {
+        full_bw_ = max_bw_;
+        full_bw_rounds_ = 0;
+      } else if (!max_bw_.is_zero() && ++full_bw_rounds_ >= 3) {
+        state_ = State::kDrain;
+      }
+      return;
+    }
+    case State::kDrain:
+      if (static_cast<double>(cwnd_) <= bdp_bytes() * 1.05) {
+        state_ = State::kProbeBw;
+        cycle_index_ = 0;
+        cycle_start_ = now;
+      }
+      return;
+    case State::kProbeBw: {
+      const Duration phase = min_rtt_.is_infinite() ? Duration::millis(100) : min_rtt_;
+      if (now - cycle_start_ >= phase) {
+        cycle_index_ = (cycle_index_ + 1) % 8;
+        cycle_start_ = now;
+      }
+      // PROBE_RTT entry: the min-RTT estimate is stale. Reset the filter so
+      // the dip's drained-queue samples re-establish it.
+      if (min_rtt_stamp_ + Duration::seconds(10) < now) {
+        state_before_probe_ = State::kProbeBw;
+        state_ = State::kProbeRtt;
+        probe_rtt_start_ = now;
+        min_rtt_ = Duration::infinite();
+      }
+      return;
+    }
+    case State::kProbeRtt:
+      if (now - probe_rtt_start_ >= Duration::millis(200)) {
+        min_rtt_stamp_ = now;  // refreshed by the dip
+        state_ = state_before_probe_;
+        cycle_start_ = now;
+      }
+      return;
+  }
+}
+
+void Bbr::set_cwnd() {
+  double gain = kCwndGain;
+  switch (state_) {
+    case State::kStartup: gain = kStartupGain; break;
+    case State::kDrain: gain = kDrainGain; break;
+    case State::kProbeBw: gain = kCwndGain * kProbeGains[cycle_index_]; break;
+    case State::kProbeRtt: gain = 0.0; break;  // floor applies below
+  }
+  const double target = bdp_bytes() * gain;
+  cwnd_ = std::max<std::uint64_t>(
+      state_ == State::kProbeRtt ? 4ull * config_.mss : config_.min_cwnd_bytes,
+      static_cast<std::uint64_t>(target));
+  // Never collapse below 4 segments outside PROBE_RTT either.
+  cwnd_ = std::max<std::uint64_t>(cwnd_, 4ull * config_.mss);
+}
+
+void Bbr::on_ack(std::uint64_t acked_bytes, Duration rtt, TimePoint now) {
+  update_filters(acked_bytes, rtt, now);
+  advance_state(now);
+  set_cwnd();
+}
+
+void Bbr::on_congestion_event(TimePoint now) {
+  // BBRv1's defining trait: packet loss is not a control signal.
+  (void)now;
+}
+
+void Bbr::on_rto(TimePoint now) {
+  // Total ack silence is different: restart the model conservatively.
+  (void)now;
+  bw_samples_.clear();
+  max_bw_ = DataRate::zero();
+  full_bw_ = DataRate::zero();
+  full_bw_rounds_ = 0;
+  state_ = State::kStartup;
+  cwnd_ = std::max<std::uint64_t>(config_.min_cwnd_bytes, 4ull * config_.mss);
+}
+
+}  // namespace slp::cc

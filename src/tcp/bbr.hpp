@@ -1,0 +1,76 @@
+// bbr.hpp — BBRv1-style model-based congestion control.
+//
+// The paper measured Cubic (both for Linux TCP and quiche) and §4 invites
+// work on transports that better fit LEO links. BBR is the obvious
+// candidate: it is rate-based, nearly loss-agnostic, and keeps queues
+// shallow — properties the `ablation_cc` bench contrasts against Cubic on
+// the Starlink access, where medium loss bursts periodically sucker-punch
+// loss-based control.
+//
+// This is a faithful-in-shape reduction of BBRv1:
+//   * windowed-max bandwidth filter over ~10 RTTs of ack-rate samples;
+//   * windowed-min RTT filter with a 10 s expiry and PROBE_RTT dips;
+//   * STARTUP at 2/ln2 gain until the bandwidth plateaus 3 rounds,
+//     then DRAIN to a BDP, then the 8-phase PROBE_BW gain cycle;
+//   * loss events are ignored (except RTO, which resets conservatively).
+#pragma once
+
+#include <deque>
+
+#include "tcp/congestion.hpp"
+
+namespace slp::cc {
+
+class Bbr final : public CongestionController {
+ public:
+  explicit Bbr(CcConfig config = {});
+
+  void on_ack(std::uint64_t acked_bytes, Duration rtt, TimePoint now) override;
+  void on_congestion_event(TimePoint now) override;
+  void on_rto(TimePoint now) override;
+
+  [[nodiscard]] std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] std::uint64_t ssthresh_bytes() const override { return ~0ull; }
+  [[nodiscard]] bool in_slow_start() const override { return state_ == State::kStartup; }
+  [[nodiscard]] std::string name() const override { return "bbr"; }
+
+  enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] DataRate bandwidth_estimate() const { return max_bw_; }
+  [[nodiscard]] Duration min_rtt_estimate() const { return min_rtt_; }
+
+ private:
+  void update_filters(std::uint64_t acked_bytes, Duration rtt, TimePoint now);
+  void advance_state(TimePoint now);
+  void set_cwnd();
+  [[nodiscard]] double bdp_bytes() const;
+
+  CcConfig config_;
+  State state_ = State::kStartup;
+  std::uint64_t cwnd_;
+
+  // Bandwidth max-filter: (time, sample) pairs within the window.
+  std::deque<std::pair<TimePoint, DataRate>> bw_samples_;
+  DataRate max_bw_ = DataRate::zero();
+  TimePoint last_sample_at_;
+  std::uint64_t pending_bytes_ = 0;  ///< acked bytes awaiting a rate sample
+  bool have_ack_time_ = false;
+
+  // RTT min-filter.
+  Duration min_rtt_ = Duration::infinite();
+  TimePoint min_rtt_stamp_;
+
+  // STARTUP plateau detection.
+  DataRate full_bw_ = DataRate::zero();
+  int full_bw_rounds_ = 0;
+
+  // PROBE_BW gain cycling.
+  int cycle_index_ = 0;
+  TimePoint cycle_start_;
+
+  // PROBE_RTT bookkeeping.
+  TimePoint probe_rtt_start_;
+  State state_before_probe_ = State::kProbeBw;
+};
+
+}  // namespace slp::cc

@@ -1,0 +1,161 @@
+#include "tcp/congestion.hpp"
+
+#include "tcp/bbr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slp::cc {
+
+namespace {
+constexpr double kCubicC = 0.4;
+constexpr double kCubicBeta = 0.7;
+constexpr std::uint64_t kInfiniteSsthresh = ~0ull;
+}  // namespace
+
+// --------------------------------------------------------------- Cubic
+
+Cubic::Cubic(CcConfig config) : config_{config} {
+  cwnd_ = static_cast<std::uint64_t>(config_.initial_window_segments) * config_.mss;
+  ssthresh_ = kInfiniteSsthresh;
+}
+
+double Cubic::cubic_window_segments(double t_seconds) const {
+  const double dt = t_seconds - k_seconds_;
+  return kCubicC * dt * dt * dt + w_max_segments_;
+}
+
+void Cubic::on_ack(std::uint64_t acked_bytes, Duration rtt, TimePoint now) {
+  if (rtt > Duration::zero()) min_rtt_ = std::min(min_rtt_, rtt);
+
+  if (in_slow_start()) {
+    cwnd_ += acked_bytes;  // exponential growth
+    // HyStart delay-increase detection, per round: sample the first ACKs of
+    // each round (they reflect the standing queue left by the previous
+    // round, not this round's transient burst) and exit slow start when
+    // that floor rises by a clamped eta above the minimum RTT.
+    acked_total_ += acked_bytes;
+    if (config_.hystart && rtt > Duration::zero() && round_samples_ < 8) {
+      ++round_samples_;
+      round_min_rtt_ = std::min(round_min_rtt_, rtt);
+      if (round_samples_ == 8 && !min_rtt_.is_infinite() &&
+          !round_min_rtt_.is_infinite()) {
+        // Floor of 28ms: above the compound access-jitter of the modelled
+        // paths when taking the min over a round's first samples (the
+        // slot-scheduling component is shared within a round), yet low
+        // enough to catch the standing queue one doubling before a
+        // window-sized drop-tail burst.
+        const Duration eta = std::max(min_rtt_ * 0.125, Duration::millis(28));
+        if (round_min_rtt_ > min_rtt_ + eta) ssthresh_ = cwnd_;
+      }
+    }
+    if (acked_total_ >= round_end_bytes_) {
+      round_end_bytes_ = acked_total_ + cwnd_;
+      round_samples_ = 0;
+      round_min_rtt_ = Duration::infinite();
+    }
+    return;
+  }
+
+  if (!epoch_valid_) {
+    // First congestion-avoidance ACK after a reduction starts a new epoch.
+    epoch_valid_ = true;
+    epoch_start_ = now;
+    const double cwnd_seg = static_cast<double>(cwnd_) / config_.mss;
+    if (w_max_segments_ < cwnd_seg) {
+      w_max_segments_ = cwnd_seg;
+      k_seconds_ = 0.0;
+    } else {
+      k_seconds_ = std::cbrt((w_max_segments_ - cwnd_seg) / kCubicC);
+    }
+    w_est_segments_ = cwnd_seg;
+  }
+
+  const double t = (now - epoch_start_).to_seconds();
+  const double rtt_s = min_rtt_.is_infinite() ? 0.1 : min_rtt_.to_seconds();
+  const double target = cubic_window_segments(t + rtt_s);
+  const double cwnd_seg = static_cast<double>(cwnd_) / config_.mss;
+
+  // TCP-friendly region: track what Reno would have (RFC 8312 §4.2).
+  w_est_segments_ += 3.0 * (1.0 - kCubicBeta) / (1.0 + kCubicBeta) *
+                     (static_cast<double>(acked_bytes) / config_.mss) / cwnd_seg;
+
+  double next_seg;
+  if (target > cwnd_seg) {
+    // Concave/convex region: approach target over one RTT.
+    next_seg = cwnd_seg + (target - cwnd_seg) / cwnd_seg *
+                              (static_cast<double>(acked_bytes) / config_.mss);
+  } else {
+    // At/above target: grow very slowly.
+    next_seg = cwnd_seg + 0.01 * (static_cast<double>(acked_bytes) / config_.mss);
+  }
+  next_seg = std::max(next_seg, w_est_segments_);
+  cwnd_ = std::max<std::uint64_t>(config_.min_cwnd_bytes,
+                                  static_cast<std::uint64_t>(next_seg * config_.mss));
+}
+
+void Cubic::on_congestion_event(TimePoint now) {
+  (void)now;
+  const double cwnd_seg = static_cast<double>(cwnd_) / config_.mss;
+  // Fast convergence (RFC 8312 §4.6).
+  if (cwnd_seg < w_max_segments_) {
+    w_max_segments_ = cwnd_seg * (1.0 + kCubicBeta) / 2.0;
+  } else {
+    w_max_segments_ = cwnd_seg;
+  }
+  cwnd_ = std::max<std::uint64_t>(config_.min_cwnd_bytes,
+                                  static_cast<std::uint64_t>(cwnd_seg * kCubicBeta * config_.mss));
+  ssthresh_ = cwnd_;
+  epoch_valid_ = false;
+}
+
+void Cubic::on_rto(TimePoint now) {
+  on_congestion_event(now);
+  cwnd_ = config_.min_cwnd_bytes;
+  epoch_valid_ = false;
+}
+
+// --------------------------------------------------------------- NewReno
+
+NewReno::NewReno(CcConfig config) : config_{config} {
+  cwnd_ = static_cast<std::uint64_t>(config_.initial_window_segments) * config_.mss;
+  ssthresh_ = kInfiniteSsthresh;
+}
+
+void NewReno::on_ack(std::uint64_t acked_bytes, Duration rtt, TimePoint now) {
+  (void)rtt;
+  (void)now;
+  if (in_slow_start()) {
+    cwnd_ += acked_bytes;
+    return;
+  }
+  // Congestion avoidance: +1 MSS per cwnd of acked bytes.
+  ack_accumulator_ += acked_bytes;
+  if (ack_accumulator_ >= cwnd_) {
+    ack_accumulator_ -= cwnd_;
+    cwnd_ += config_.mss;
+  }
+}
+
+void NewReno::on_congestion_event(TimePoint now) {
+  (void)now;
+  cwnd_ = std::max<std::uint64_t>(config_.min_cwnd_bytes, cwnd_ / 2);
+  ssthresh_ = cwnd_;
+  ack_accumulator_ = 0;
+}
+
+void NewReno::on_rto(TimePoint now) {
+  on_congestion_event(now);
+  cwnd_ = config_.min_cwnd_bytes;
+}
+
+std::unique_ptr<CongestionController> make_controller(CcAlgorithm algo, CcConfig config) {
+  switch (algo) {
+    case CcAlgorithm::kCubic: return std::make_unique<Cubic>(config);
+    case CcAlgorithm::kNewReno: return std::make_unique<NewReno>(config);
+    case CcAlgorithm::kBbr: return std::make_unique<Bbr>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace slp::cc

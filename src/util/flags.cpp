@@ -1,0 +1,71 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace slp {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (!arg.starts_with("--")) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      flags.values_.emplace(std::string{body}, "true");
+    } else {
+      flags.values_.emplace(std::string{body.substr(0, eq)}, std::string{body.substr(eq + 1)});
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  used_[it->first] = true;
+  return true;
+}
+
+std::string Flags::get(std::string_view key, std::string_view def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::string{def};
+  used_[it->first] = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(std::string_view key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(std::string_view key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(std::string_view key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!used_.contains(key)) result.push_back(key);
+  }
+  return result;
+}
+
+}  // namespace slp

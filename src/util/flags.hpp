@@ -1,0 +1,41 @@
+// flags.hpp — tiny --key=value command-line parser for benches & examples.
+//
+// Not a general argument library: benches accept a handful of overrides
+// (seed, scale, output verbosity) and anything unknown is reported, so typos
+// do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slp {
+
+class Flags {
+ public:
+  /// Parses argv of the form `--key=value` or bare `--flag` (value "true").
+  /// Non-flag positional arguments are collected separately.
+  static Flags parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  [[nodiscard]] std::string get(std::string_view key, std::string_view def) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t def) const;
+  [[nodiscard]] double get_double(std::string_view key, double def) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were supplied but never queried; call after all get()s to warn
+  /// about typos.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace slp

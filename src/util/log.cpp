@@ -1,0 +1,27 @@
+#include "util/log.hpp"
+
+namespace slp {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << '[' << to_string(level) << "] " << component << ": " << message << '\n';
+}
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace slp

@@ -1,0 +1,44 @@
+// log.hpp — minimal leveled logger for the simulator and benches.
+//
+// Logging in the hot path of a discrete-event simulator must cost nothing
+// when disabled: the SLP_LOG macro checks the level before evaluating the
+// stream expression.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace slp {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+}  // namespace slp
+
+// Usage: SLP_LOG(kDebug, "quic", "sent pn=" << pn << " bytes=" << n);
+#define SLP_LOG(level, component, expr)                                          \
+  do {                                                                           \
+    if (::slp::Logger::instance().enabled(::slp::LogLevel::level)) {             \
+      std::ostringstream slp_log_os_;                                            \
+      slp_log_os_ << expr;                                                       \
+      ::slp::Logger::instance().write(::slp::LogLevel::level, (component),       \
+                                      slp_log_os_.str());                        \
+    }                                                                            \
+  } while (false)

@@ -1,0 +1,67 @@
+#include "util/units.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace slp {
+
+std::string to_string(Duration d) {
+  std::ostringstream os;
+  os << d;
+  return os.str();
+}
+
+std::string to_string(TimePoint t) {
+  std::ostringstream os;
+  os << t;
+  return os.str();
+}
+
+std::string to_string(DataRate r) {
+  std::ostringstream os;
+  os << r;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  if (d.is_infinite()) return os << "+inf";
+  const double s = d.to_seconds();
+  const double as = std::abs(s);
+  std::ostringstream tmp;
+  tmp << std::setprecision(4);
+  if (as >= 1.0) {
+    tmp << s << "s";
+  } else if (as >= 1e-3) {
+    tmp << s * 1e3 << "ms";
+  } else if (as >= 1e-6) {
+    tmp << s * 1e6 << "us";
+  } else {
+    tmp << d.ns() << "ns";
+  }
+  return os << tmp.str();
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  if (t.is_infinite()) return os << "+inf";
+  std::ostringstream tmp;
+  tmp << "t=" << std::fixed << std::setprecision(6) << t.to_seconds() << "s";
+  return os << tmp.str();
+}
+
+std::ostream& operator<<(std::ostream& os, DataRate r) {
+  const double bps = r.bits_per_second();
+  std::ostringstream tmp;
+  tmp << std::setprecision(4);
+  if (bps >= 1e9) {
+    tmp << bps * 1e-9 << "Gbit/s";
+  } else if (bps >= 1e6) {
+    tmp << bps * 1e-6 << "Mbit/s";
+  } else if (bps >= 1e3) {
+    tmp << bps * 1e-3 << "kbit/s";
+  } else {
+    tmp << bps << "bit/s";
+  }
+  return os << tmp.str();
+}
+
+}  // namespace slp

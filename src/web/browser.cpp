@@ -1,0 +1,250 @@
+#include "web/browser.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slp::web {
+
+namespace {
+enum class TlsPhase { kAwaitServerFlight, kAwaitTicket, kReady };
+}  // namespace
+
+struct Browser::Conn {
+  tcp::TcpConnection* tcp = nullptr;
+  int origin = 0;
+  TlsPhase tls = TlsPhase::kAwaitServerFlight;
+  std::uint64_t buffered = 0;
+  std::vector<Fetch> plan;
+  std::size_t next_fetch = 0;
+  bool fetching = false;
+  TimePoint opened_at;
+  bool setup_recorded = false;
+};
+
+struct Browser::Visit {
+  const WebPage* page = nullptr;
+  std::function<void(const VisitResult&)> on_complete;
+  TimePoint start;
+  sim::Timer timeout_timer;
+  std::vector<std::unique_ptr<Conn>> conns;
+
+  // progress
+  bool html_done = false;
+  std::size_t objects_remaining = 0;
+
+  // SpeedIndex state
+  std::uint64_t above_fold_total = 0;
+  std::uint64_t above_fold_done = 0;
+  TimePoint last_paint_event;
+  double speed_index_integral_s = 0.0;
+
+  // setup-time accounting
+  Duration setup_sum = Duration::zero();
+  int setup_count = 0;
+
+  explicit Visit(sim::Simulator& sim) : timeout_timer{sim} {}
+};
+
+Browser::Browser(tcp::TcpStack& stack, WebServer& server, Config config)
+    : stack_{&stack}, server_{&server}, config_{config} {}
+
+Browser::~Browser() = default;
+
+void Browser::visit(const WebPage& page, std::function<void(const VisitResult&)> on_complete) {
+  assert(active_ == nullptr && "one visit at a time");
+  active_ = std::make_unique<Visit>(stack_->sim());
+  Visit& v = *active_;
+  v.page = &page;
+  v.on_complete = std::move(on_complete);
+  v.start = stack_->sim().now();
+  v.last_paint_event = v.start;
+  v.above_fold_total = page.above_fold_bytes();
+  v.objects_remaining = page.objects.size();
+  v.timeout_timer.arm(config_.visit_timeout, [this] { finish(false); });
+
+  // Fetch the HTML document on the primary origin.
+  open_connection(v, 0, {Fetch{page.html_bytes, true}});
+}
+
+std::string Browser::origin_hostname(const WebPage& page, int origin) {
+  return "origin-" + std::to_string(origin) + "." + page.name + ".example";
+}
+
+void Browser::open_connection(Visit& visit, int origin, std::vector<Fetch> plan) {
+  if (config_.dns != nullptr) {
+    // Resolve first; the connection opens when the answer (or the cache)
+    // comes back. The visit may time out while a lookup is in flight.
+    Visit* vp = &visit;
+    config_.dns->resolve(
+        origin_hostname(*visit.page, origin),
+        [this, vp, origin, plan = std::move(plan)](sim::Ipv4Addr addr) mutable {
+          (void)addr;  // one web host serves all origins; timing is the point
+          if (active_.get() != vp) return;  // visit already finished
+          open_connection_resolved(*vp, origin, std::move(plan));
+        });
+    return;
+  }
+  open_connection_resolved(visit, origin, std::move(plan));
+}
+
+void Browser::open_connection_resolved(Visit& visit, int origin, std::vector<Fetch> plan) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(plan.size());
+  for (const Fetch& fetch : plan) sizes.push_back(fetch.body_bytes);
+  server_->queue_plan(origin, std::move(sizes));
+
+  auto conn = std::make_unique<Conn>();
+  Conn& c = *conn;
+  c.origin = origin;
+  c.plan = std::move(plan);
+  c.opened_at = stack_->sim().now();
+  const auto port = static_cast<std::uint16_t>(server_->config().base_port + origin);
+  c.tcp = &stack_->connect(config_.server_addr, port, config_.tcp);
+  visit.conns.push_back(std::move(conn));
+
+  Visit* vp = &visit;
+  Conn* cp = &c;
+  c.tcp->on_established = [this, cp] {
+    cp->tcp->send(server_->config().tls_client_hello_bytes);
+  };
+  c.tcp->on_data = [this, vp, cp](std::uint64_t n) { on_conn_data(*vp, *cp, n); };
+}
+
+void Browser::on_conn_data(Visit& visit, Conn& conn, std::uint64_t n) {
+  const WebServer::Config& scfg = server_->config();
+  conn.buffered += n;
+  switch (conn.tls) {
+    case TlsPhase::kAwaitServerFlight:
+      if (conn.buffered >= scfg.tls_server_flight_bytes) {
+        conn.buffered -= scfg.tls_server_flight_bytes;
+        conn.tls = TlsPhase::kAwaitTicket;
+        conn.tcp->send(scfg.tls_finished_bytes);
+      }
+      return;
+    case TlsPhase::kAwaitTicket:
+      if (conn.buffered >= scfg.tls_ticket_bytes) {
+        conn.buffered -= scfg.tls_ticket_bytes;
+        conn.tls = TlsPhase::kReady;
+        if (!conn.setup_recorded) {
+          conn.setup_recorded = true;
+          visit.setup_sum += stack_->sim().now() - conn.opened_at;
+          visit.setup_count++;
+        }
+        // First request.
+        if (conn.next_fetch < conn.plan.size()) {
+          conn.fetching = true;
+          conn.tcp->send(scfg.request_bytes);
+        }
+      }
+      return;
+    case TlsPhase::kReady:
+      break;
+  }
+
+  // Response consumption: the current fetch completes when header+body have
+  // arrived.
+  while (conn.fetching && conn.next_fetch < conn.plan.size()) {
+    const Fetch& fetch = conn.plan[conn.next_fetch];
+    const std::uint64_t need = fetch.body_bytes + scfg.response_header_bytes;
+    if (conn.buffered < need) return;
+    conn.buffered -= need;
+    conn.next_fetch++;
+
+    // --- progress/QoE bookkeeping ---
+    if (!visit.html_done && conn.origin == 0 && conn.next_fetch == 1 &&
+        &conn == visit.conns.front().get()) {
+      visit.html_done = true;
+      record_paint(visit, visit.page->html_bytes);
+      // Parse, then fan out.
+      Visit* vp = &visit;
+      stack_->sim().schedule_in(config_.parse_delay, [this, vp] {
+        if (active_.get() == vp) start_subresources(*vp);
+      });
+    } else {
+      if (fetch.above_fold) record_paint(visit, fetch.body_bytes);
+      assert(visit.objects_remaining > 0);
+      if (--visit.objects_remaining == 0) {
+        finish(true);
+        return;
+      }
+    }
+
+    // Next request on this connection.
+    if (conn.next_fetch < conn.plan.size()) {
+      conn.tcp->send(scfg.request_bytes);
+    } else {
+      conn.fetching = false;
+    }
+  }
+}
+
+void Browser::start_subresources(Visit& visit) {
+  const WebPage& page = *visit.page;
+  if (page.objects.empty()) {
+    finish(true);
+    return;
+  }
+  // Group object indices by origin, preserving document order.
+  std::vector<std::vector<std::size_t>> by_origin(
+      static_cast<std::size_t>(page.num_origins));
+  for (std::size_t i = 0; i < page.objects.size(); ++i) {
+    by_origin[static_cast<std::size_t>(page.objects[i].origin)].push_back(i);
+  }
+  for (int origin = 0; origin < page.num_origins; ++origin) {
+    const auto& indices = by_origin[static_cast<std::size_t>(origin)];
+    if (indices.empty()) continue;
+    const int pool = std::clamp(
+        static_cast<int>((indices.size() + config_.objects_per_connection - 1) /
+                         config_.objects_per_connection),
+        1, config_.max_connections_per_origin);
+    // Round-robin the origin's objects over the pool.
+    std::vector<std::vector<Fetch>> plans(static_cast<std::size_t>(pool));
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const WebObject& object = page.objects[indices[k]];
+      plans[k % static_cast<std::size_t>(pool)].push_back(
+          Fetch{object.bytes, object.above_fold});
+    }
+    for (auto& plan : plans) open_connection(visit, origin, std::move(plan));
+  }
+}
+
+void Browser::record_paint(Visit& visit, std::uint64_t bytes) {
+  const TimePoint now = stack_->sim().now();
+  const double completeness_before =
+      visit.above_fold_total == 0
+          ? 1.0
+          : static_cast<double>(visit.above_fold_done) / visit.above_fold_total;
+  visit.speed_index_integral_s +=
+      (1.0 - completeness_before) * (now - visit.last_paint_event).to_seconds();
+  visit.last_paint_event = now;
+  visit.above_fold_done = std::min(visit.above_fold_total, visit.above_fold_done + bytes);
+}
+
+void Browser::finish(bool complete) {
+  if (!active_) return;
+  Visit& v = *active_;
+  const TimePoint now = stack_->sim().now();
+
+  VisitResult result;
+  result.complete = complete;
+  result.on_load = now - v.start;
+  // Close the SpeedIndex integral: remaining above-fold deficit accrues up
+  // to the end of the visit.
+  const double completeness =
+      v.above_fold_total == 0
+          ? 1.0
+          : static_cast<double>(v.above_fold_done) / v.above_fold_total;
+  v.speed_index_integral_s += (1.0 - completeness) * (now - v.last_paint_event).to_seconds();
+  result.speed_index = Duration::from_seconds(v.speed_index_integral_s);
+  result.connections_opened = static_cast<int>(v.conns.size());
+  if (v.setup_count > 0) {
+    result.mean_connection_setup = v.setup_sum / static_cast<std::int64_t>(v.setup_count);
+  }
+
+  for (auto& conn : v.conns) conn->tcp->abort();
+  auto on_complete = std::move(v.on_complete);
+  active_.reset();
+  if (on_complete) on_complete(result);
+}
+
+}  // namespace slp::web

@@ -1,0 +1,85 @@
+// browser.hpp — the BrowserTime stand-in: loads a WebPage through real TCP
+// connections and computes the paper's two QoE metrics (§3.4).
+//
+//   * onLoad — when the full object closure has been downloaded and parsed;
+//   * SpeedIndex — integral of (1 - visual completeness) over time, where
+//     visual completeness is the fraction of above-the-fold bytes rendered.
+//
+// The load algorithm follows the classic waterfall: fetch the HTML on the
+// primary origin, parse (fixed CPU delay), then fan out over per-origin
+// connection pools, each fetching its assigned objects sequentially.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tcp/tcp.hpp"
+#include "web/dns.hpp"
+#include "web/page.hpp"
+#include "web/server.hpp"
+
+namespace slp::web {
+
+class Browser {
+ public:
+  struct Config {
+    sim::Ipv4Addr server_addr = 0;
+    /// Optional stub resolver: every origin's first connection then pays a
+    /// DNS lookup across the access link, like a real page load. nullptr =
+    /// name resolution assumed free.
+    DnsResolver* dns = nullptr;
+    int max_connections_per_origin = 4;
+    /// Target objects per connection: pool size = ceil(objects / target).
+    /// Calibrated so a visit opens ~15 connections on average (§3.4).
+    int objects_per_connection = 7;
+    /// HTML parse/JS-evaluation delay before subresource fetching starts.
+    Duration parse_delay = Duration::from_millis(230);
+    Duration visit_timeout = Duration::seconds(60);
+    tcp::TcpConfig tcp;  ///< client kernel defaults
+  };
+
+  struct VisitResult {
+    bool complete = false;         ///< false = timeout
+    Duration on_load = Duration::zero();
+    Duration speed_index = Duration::zero();
+    int connections_opened = 0;
+    /// Mean TCP+TLS connection setup time (the paper: 167 ms on Starlink,
+    /// 2030 ms on SatCom).
+    Duration mean_connection_setup = Duration::zero();
+  };
+
+  Browser(tcp::TcpStack& stack, WebServer& server, Config config);
+  ~Browser();  // out of line: Visit is incomplete here
+
+  /// Starts a visit; exactly one visit may be active per Browser.
+  void visit(const WebPage& page, std::function<void(const VisitResult&)> on_complete);
+
+  [[nodiscard]] bool busy() const { return active_ != nullptr; }
+
+  /// The synthetic hostname of a page's origin (what the resolver serves).
+  [[nodiscard]] static std::string origin_hostname(const WebPage& page, int origin);
+
+ private:
+  struct Fetch {
+    std::uint64_t body_bytes = 0;
+    bool above_fold = false;
+  };
+  struct Conn;   // one pooled connection
+  struct Visit;  // one page load in progress
+
+  void open_connection(Visit& visit, int origin, std::vector<Fetch> plan);
+  void open_connection_resolved(Visit& visit, int origin, std::vector<Fetch> plan);
+  void on_conn_data(Visit& visit, Conn& conn, std::uint64_t n);
+  void start_subresources(Visit& visit);
+  void record_paint(Visit& visit, std::uint64_t bytes);
+  void finish(bool complete);
+
+  tcp::TcpStack* stack_;
+  WebServer* server_;
+  Config config_;
+  std::unique_ptr<Visit> active_;
+};
+
+}  // namespace slp::web

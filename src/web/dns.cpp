@@ -1,0 +1,128 @@
+#include "web/dns.hpp"
+
+namespace slp::web {
+
+namespace {
+
+sim::Packet make_dns_packet(sim::Ipv4Addr dst, std::uint16_t src_port, std::uint16_t dst_port,
+                            DnsMessage message) {
+  sim::Packet pkt;
+  pkt.dst = dst;
+  pkt.src_port = src_port;
+  pkt.dst_port = dst_port;
+  pkt.proto = sim::Protocol::kUdp;
+  // Typical DNS datagram sizes: ~60-80 B query, ~100-200 B answer.
+  pkt.size_bytes = message.response ? 140 : 72;
+  pkt.payload = std::make_shared<DnsMessage>(std::move(message));
+  return pkt;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- DnsServer
+
+DnsServer::DnsServer(sim::Host& host, std::uint16_t port) : host_{&host}, port_{port} {
+  host.bind(sim::Protocol::kUdp, port, [this](const sim::Packet& pkt) {
+    const auto query = std::static_pointer_cast<const DnsMessage>(pkt.payload);
+    if (!query || query->response) return;
+    DnsMessage answer;
+    answer.id = query->id;
+    answer.response = true;
+    answer.name = query->name;
+    const auto it = records_.find(query->name);
+    if (it != records_.end()) {
+      answer.found = true;
+      answer.addr = it->second;
+      queries_served_++;
+    } else {
+      queries_unknown_++;
+    }
+    host_->send(make_dns_packet(pkt.src, port_, pkt.src_port, std::move(answer)));
+  });
+}
+
+void DnsServer::add_record(const std::string& name, sim::Ipv4Addr addr) {
+  records_[name] = addr;
+}
+
+// ------------------------------------------------------------- DnsResolver
+
+DnsResolver::DnsResolver(sim::Host& host, Config config)
+    : host_{&host}, config_{config}, local_port_{host.ephemeral_port()} {
+  host.bind(sim::Protocol::kUdp, local_port_,
+            [this](const sim::Packet& pkt) { on_packet(pkt); });
+}
+
+DnsResolver::~DnsResolver() { host_->unbind(sim::Protocol::kUdp, local_port_); }
+
+void DnsResolver::flush() { cache_.clear(); }
+
+void DnsResolver::resolve(const std::string& name, Callback callback) {
+  // Cache first.
+  const auto cached = cache_.find(name);
+  if (cached != cache_.end()) {
+    if (cached->second.expires > host_->sim().now()) {
+      cache_hits_++;
+      callback(cached->second.addr);
+      return;
+    }
+    cache_.erase(cached);
+  }
+
+  // Coalesce with an in-flight lookup.
+  auto [it, inserted] = pending_.try_emplace(name);
+  Pending& pending = it->second;
+  pending.waiters.push_back(std::move(callback));
+  if (!inserted) return;
+
+  pending.attempts_left = config_.retries + 1;
+  pending.id = next_id_++;
+  pending.timer = std::make_unique<sim::Timer>(host_->sim());
+  send_query(name, pending);
+}
+
+void DnsResolver::send_query(const std::string& name, Pending& pending) {
+  pending.attempts_left--;
+  lookups_sent_++;
+  DnsMessage query;
+  query.id = pending.id;
+  query.name = name;
+  host_->send(make_dns_packet(config_.server, local_port_, config_.server_port,
+                              std::move(query)));
+  pending.timer->arm(config_.timeout, [this, name] {
+    auto it = pending_.find(name);
+    if (it == pending_.end()) return;
+    if (it->second.attempts_left > 0) {
+      send_query(name, it->second);
+    } else {
+      failures_++;
+      finish(name, 0);
+    }
+  });
+}
+
+void DnsResolver::on_packet(const sim::Packet& pkt) {
+  const auto answer = std::static_pointer_cast<const DnsMessage>(pkt.payload);
+  if (!answer || !answer->response) return;
+  const auto it = pending_.find(answer->name);
+  if (it == pending_.end() || it->second.id != answer->id) return;  // stale
+  if (answer->found) {
+    cache_[answer->name] =
+        CacheEntry{answer->addr, host_->sim().now() + config_.cache_ttl};
+    finish(answer->name, answer->addr);
+  } else {
+    failures_++;
+    finish(answer->name, 0);
+  }
+}
+
+void DnsResolver::finish(const std::string& name, sim::Ipv4Addr addr) {
+  const auto it = pending_.find(name);
+  if (it == pending_.end()) return;
+  // Detach before invoking waiters: a callback may re-resolve the name.
+  std::vector<Callback> waiters = std::move(it->second.waiters);
+  pending_.erase(it);
+  for (Callback& waiter : waiters) waiter(addr);
+}
+
+}  // namespace slp::web

@@ -1,0 +1,105 @@
+// dns.hpp — DNS resolution for the web pipeline.
+//
+// Every real page load starts with name lookups: one query per origin,
+// answered by the ISP resolver *across the access link* — which is why DNS
+// contributes a full access-RTT per uncached origin to onLoad (tens of ms on
+// Starlink, ~600 ms on GEO). The browser uses a stub resolver with a cache;
+// the authoritative side is a simple name -> address table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/simulator.hpp"
+
+namespace slp::web {
+
+/// Query/response payload (rides opaque in UDP packets, like everything
+/// above layer 4 in this model).
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool response = false;
+  bool found = false;
+  std::string name;
+  sim::Ipv4Addr addr = 0;
+};
+
+/// Authoritative server: answers queries on port 53 from a static table.
+class DnsServer {
+ public:
+  explicit DnsServer(sim::Host& host, std::uint16_t port = 53);
+
+  void add_record(const std::string& name, sim::Ipv4Addr addr);
+
+  [[nodiscard]] std::uint64_t queries_served() const { return queries_served_; }
+  [[nodiscard]] std::uint64_t queries_unknown() const { return queries_unknown_; }
+
+ private:
+  sim::Host* host_;
+  std::uint16_t port_;
+  std::map<std::string, sim::Ipv4Addr> records_;
+  std::uint64_t queries_served_ = 0;
+  std::uint64_t queries_unknown_ = 0;
+};
+
+/// Client-side stub resolver with a TTL cache, retry and timeout.
+class DnsResolver {
+ public:
+  struct Config {
+    sim::Ipv4Addr server = 0;
+    std::uint16_t server_port = 53;
+    Duration timeout = Duration::seconds(2);
+    int retries = 2;
+    Duration cache_ttl = Duration::seconds(60);
+  };
+
+  /// `addr == 0` on the callback means resolution failed.
+  using Callback = std::function<void(sim::Ipv4Addr)>;
+
+  DnsResolver(sim::Host& host, Config config);
+  ~DnsResolver();
+
+  /// Resolves `name`; served from cache when fresh. Concurrent queries for
+  /// the same name coalesce into one wire lookup.
+  void resolve(const std::string& name, Callback callback);
+
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t lookups_sent() const { return lookups_sent_; }
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+
+  /// Drops all cached entries (e.g. between campaign phases).
+  void flush();
+
+ private:
+  struct Pending {
+    std::vector<Callback> waiters;
+    std::unique_ptr<sim::Timer> timer;
+    int attempts_left = 0;
+    std::uint16_t id = 0;
+  };
+  struct CacheEntry {
+    sim::Ipv4Addr addr = 0;
+    TimePoint expires;
+  };
+
+  void send_query(const std::string& name, Pending& pending);
+  void on_packet(const sim::Packet& pkt);
+  void finish(const std::string& name, sim::Ipv4Addr addr);
+
+  sim::Host* host_;
+  Config config_;
+  std::uint16_t local_port_;
+  std::uint16_t next_id_ = 1;
+  std::map<std::string, Pending> pending_;
+  std::map<std::string, CacheEntry> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t lookups_sent_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace slp::web

@@ -1,0 +1,53 @@
+// page.hpp — the synthetic web-page model behind the QoE experiments (§3.4).
+//
+// The paper visits the top-120 Belgian websites with BrowserTime. We cannot
+// fetch real pages, so SiteCatalog generates 120 synthetic object graphs
+// whose aggregate statistics follow the published web-measurement consensus
+// for 2022 landing pages (~50-70 requests, ~15 origins, ~1.5-2.5 MB, ~30%
+// of content above the fold) — the characteristics that drive onLoad and
+// SpeedIndex through connection setup and transfer times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace slp::web {
+
+struct WebObject {
+  std::uint64_t bytes = 0;
+  int origin = 0;        ///< index into the page's origin list
+  bool above_fold = false;
+};
+
+struct WebPage {
+  std::string name;
+  std::uint64_t html_bytes = 30'000;
+  int num_origins = 1;
+  std::vector<WebObject> objects;
+
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t above_fold_bytes() const;  ///< incl. HTML
+  [[nodiscard]] int objects_on_origin(int origin) const;
+};
+
+class SiteCatalog {
+ public:
+  /// Generates `n` sites deterministically from `rng`.
+  static SiteCatalog generate(int n, Rng rng);
+
+  [[nodiscard]] std::size_t size() const { return sites_.size(); }
+  [[nodiscard]] const WebPage& site(std::size_t i) const { return sites_.at(i); }
+  [[nodiscard]] const std::vector<WebPage>& sites() const { return sites_; }
+
+  /// The maximum origin count across the catalog (how many ports a
+  /// WebServer must listen on).
+  [[nodiscard]] int max_origins() const;
+
+ private:
+  std::vector<WebPage> sites_;
+};
+
+}  // namespace slp::web

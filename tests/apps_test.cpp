@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "apps/h3.hpp"
+#include "apps/messages.hpp"
+#include "apps/ping.hpp"
+#include "apps/speedtest.hpp"
+#include "leo/access.hpp"
+#include "sim/network.hpp"
+
+namespace slp::apps {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+constexpr sim::Ipv4Addr kServerAddr = make_addr(203, 0, 113, 99);
+
+/// Plain low-jitter topology: client --(rate, delay)-- server.
+class AppsTest : public ::testing::Test {
+ protected:
+  void build(DataRate rate, Duration delay, std::size_t queue = 1024 * 1024) {
+    client_ = &net_.add_host("client", make_addr(10, 0, 0, 2));
+    server_ = &net_.add_host("server", kServerAddr);
+    net_.connect(client_->uplink(), server_->uplink(),
+                 sim::Network::symmetric(rate, delay, queue));
+  }
+
+  sim::Simulator sim_{31};
+  sim::Network net_{sim_};
+  sim::Host* client_ = nullptr;
+  sim::Host* server_ = nullptr;
+};
+
+// ------------------------------------------------------------ PingApp
+
+TEST_F(AppsTest, PingMeasuresRttOnCleanPath) {
+  build(DataRate::mbps(100), 25_ms);
+  PingApp::Config cfg;
+  cfg.target = kServerAddr;
+  cfg.count = 3;
+  PingApp ping{*client_, cfg};
+  std::vector<PingApp::Probe> results;
+  ping.on_complete = [&](const std::vector<PingApp::Probe>& r) { results = r; };
+  ping.start();
+  sim_.run();
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& probe : results) {
+    EXPECT_FALSE(probe.lost);
+    EXPECT_NEAR(probe.rtt.to_millis(), 50.0, 1.0);
+  }
+}
+
+TEST_F(AppsTest, PingMarksLossOnBlackhole) {
+  build(DataRate::mbps(100), 5_ms);
+  class DropAll final : public sim::LossModel {
+   public:
+    bool should_drop(TimePoint, const sim::Packet&) override { return true; }
+  };
+  DropAll drop;
+  // Rebuild with loss on forward path.
+  sim::Simulator sim2;
+  sim::Network net2{sim2};
+  sim::Host& c2 = net2.add_host("c", make_addr(10, 0, 0, 2));
+  sim::Host& s2 = net2.add_host("s", kServerAddr);
+  sim::Link::Config link_cfg = sim::Network::symmetric(DataRate::mbps(100), 5_ms);
+  link_cfg.a_to_b.loss = &drop;
+  net2.connect(c2.uplink(), s2.uplink(), std::move(link_cfg));
+
+  PingApp::Config cfg;
+  cfg.target = kServerAddr;
+  cfg.count = 2;
+  PingApp ping{c2, cfg};
+  std::vector<PingApp::Probe> results;
+  ping.on_complete = [&](const std::vector<PingApp::Probe>& r) { results = r; };
+  ping.start();
+  sim2.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].lost);
+  EXPECT_TRUE(results[1].lost);
+}
+
+TEST_F(AppsTest, TwoPingAppsDoNotCrossTalk) {
+  build(DataRate::mbps(100), 10_ms);
+  PingApp::Config cfg;
+  cfg.target = kServerAddr;
+  cfg.count = 2;
+  PingApp a{*client_, cfg};
+  PingApp b{*client_, cfg};
+  int completions = 0;
+  std::size_t total = 0;
+  auto handler = [&](const std::vector<PingApp::Probe>& r) {
+    ++completions;
+    total += r.size();
+    for (const auto& probe : r) EXPECT_FALSE(probe.lost);
+  };
+  a.on_complete = handler;
+  b.on_complete = handler;
+  a.start();
+  b.start();
+  sim_.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(total, 4u);
+}
+
+// ------------------------------------------------------------ Speedtest
+
+TEST_F(AppsTest, DownloadSpeedtestSaturatesLink) {
+  build(DataRate::mbps(50), 15_ms, 1024 * 1024);
+  tcp::TcpStack client_stack{*client_};
+  tcp::TcpStack server_stack{*server_};
+  SpeedtestServer server{server_stack};
+  Speedtest::Config cfg;
+  cfg.server = kServerAddr;
+  cfg.connections = 4;
+  cfg.duration = Duration::seconds(10);
+  Speedtest test{client_stack, cfg};
+  Speedtest::Result result;
+  bool done = false;
+  test.on_complete = [&](const Speedtest::Result& r) {
+    result = r;
+    done = true;
+  };
+  test.start();
+  sim_.run_until(TimePoint::epoch() + 30_s);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.connections_established, 4);
+  EXPECT_GT(result.goodput.to_mbps(), 40.0);
+  EXPECT_LE(result.goodput.to_mbps(), 50.0);
+}
+
+TEST_F(AppsTest, UploadSpeedtestSaturatesLink) {
+  build(DataRate::mbps(20), 15_ms, 512 * 1024);
+  tcp::TcpStack client_stack{*client_};
+  tcp::TcpStack server_stack{*server_};
+  SpeedtestServer server{server_stack};
+  Speedtest::Config cfg;
+  cfg.server = kServerAddr;
+  cfg.connections = 4;
+  cfg.download = false;
+  cfg.duration = Duration::seconds(10);
+  Speedtest test{client_stack, cfg};
+  Speedtest::Result result;
+  bool done = false;
+  test.on_complete = [&](const Speedtest::Result& r) {
+    result = r;
+    done = true;
+  };
+  test.start();
+  sim_.run_until(TimePoint::epoch() + 30_s);
+  ASSERT_TRUE(done);
+  EXPECT_GT(result.goodput.to_mbps(), 15.0);
+  EXPECT_LE(result.goodput.to_mbps(), 20.0);
+  EXPECT_GT(server.bytes_absorbed(), 10'000'000u);
+}
+
+// ------------------------------------------------------------ H3
+
+TEST_F(AppsTest, H3DownloadCompletesAndReportsGoodput) {
+  build(DataRate::mbps(100), 20_ms, 1024 * 1024);
+  quic::QuicStack client_stack{*client_};
+  quic::QuicStack server_stack{*server_};
+  H3Server::Config scfg;
+  scfg.object_bytes = 20'000'000;
+  H3Server server{server_stack, scfg};
+  H3Client::Config ccfg;
+  ccfg.server = kServerAddr;
+  ccfg.bytes = 20'000'000;
+  H3Client h3{client_stack, ccfg};
+  H3Client::Result result;
+  bool done = false;
+  h3.on_complete = [&](const H3Client::Result& r) {
+    result = r;
+    done = true;
+  };
+  h3.start();
+  sim_.run_until(TimePoint::epoch() + Duration::minutes(2));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.bytes, 20'000'000u);
+  EXPECT_GT(result.goodput.to_mbps(), 70.0);
+  EXPECT_LE(result.goodput.to_mbps(), 100.0);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST_F(AppsTest, H3UploadCompletes) {
+  build(DataRate::mbps(20), 20_ms);
+  quic::QuicStack client_stack{*client_};
+  quic::QuicStack server_stack{*server_};
+  H3Server server{server_stack};
+  H3Client::Config ccfg;
+  ccfg.server = kServerAddr;
+  ccfg.download = false;
+  ccfg.bytes = 5'000'000;
+  H3Client h3{client_stack, ccfg};
+  bool done = false;
+  H3Client::Result result;
+  h3.on_complete = [&](const H3Client::Result& r) {
+    result = r;
+    done = true;
+  };
+  h3.start();
+  sim_.run_until(TimePoint::epoch() + Duration::minutes(2));
+  ASSERT_TRUE(done);
+  EXPECT_GE(result.bytes, 5'000'000u);
+  EXPECT_GE(server.bytes_received(), 5'000'000u);
+  EXPECT_GT(result.goodput.to_mbps(), 12.0);
+}
+
+// ------------------------------------------------------------ Messages
+
+TEST_F(AppsTest, MessageWorkloadMatchesPaperParameters) {
+  build(DataRate::mbps(100), 20_ms);
+  quic::QuicStack client_stack{*client_};
+  quic::QuicStack server_stack{*server_};
+  quic::QuicConnection* server_conn = nullptr;
+  server_stack.listen(443, [&](quic::QuicConnection& c) { server_conn = &c; });
+  quic::QuicConnection& conn = client_stack.connect(kServerAddr, 443);
+
+  MessageSender::Config cfg;
+  cfg.duration = Duration::seconds(10);
+  MessageSender sender{conn, cfg, Rng{77}};
+  conn.on_established = [&] { sender.start(); };
+  sim_.run_until(TimePoint::epoch() + 30_s);
+  ASSERT_NE(server_conn, nullptr);
+  ASSERT_TRUE(sender.finished());
+  // 25 msg/s for 10s = ~250 messages.
+  EXPECT_GE(sender.messages_sent(), 248);
+  EXPECT_LE(sender.messages_sent(), 252);
+
+  MessageReceiver receiver{*server_conn};  // attached late: only for API check
+  (void)receiver;
+  EXPECT_EQ(server_conn->stats().messages_delivered,
+            static_cast<std::uint64_t>(sender.messages_sent()));
+}
+
+TEST_F(AppsTest, MessageLatencyCollectedPerDelivery) {
+  build(DataRate::mbps(100), 30_ms);
+  quic::QuicStack client_stack{*client_};
+  quic::QuicStack server_stack{*server_};
+  MessageReceiver* receiver = nullptr;
+  std::unique_ptr<MessageReceiver> receiver_holder;
+  server_stack.listen(443, [&](quic::QuicConnection& c) {
+    receiver_holder = std::make_unique<MessageReceiver>(c);
+    receiver = receiver_holder.get();
+  });
+  quic::QuicConnection& conn = client_stack.connect(kServerAddr, 443);
+  MessageSender::Config cfg;
+  cfg.duration = Duration::seconds(4);
+  MessageSender sender{conn, cfg, Rng{78}};
+  conn.on_established = [&] { sender.start(); };
+  sim_.run_until(TimePoint::epoch() + 20_s);
+  ASSERT_NE(receiver, nullptr);
+  ASSERT_GT(receiver->deliveries().size(), 90u);
+  for (const auto& d : receiver->deliveries()) {
+    EXPECT_GE(d.bytes, 5'000u);
+    EXPECT_LE(d.bytes, 25'000u);
+    // One-way floor is 30ms; messages are small so latency stays near it.
+    EXPECT_GE(d.latency.to_millis(), 30.0);
+    EXPECT_LT(d.latency.to_millis(), 120.0);
+  }
+}
+
+TEST_F(AppsTest, MessageBitrateIsAboutThreeMbps) {
+  build(DataRate::mbps(100), 10_ms);
+  quic::QuicStack client_stack{*client_};
+  quic::QuicStack server_stack{*server_};
+  std::uint64_t bytes = 0;
+  server_stack.listen(443, [&](quic::QuicConnection& c) {
+    c.on_message = [&](std::uint64_t, std::uint64_t b, TimePoint) { bytes += b; };
+  });
+  quic::QuicConnection& conn = client_stack.connect(kServerAddr, 443);
+  MessageSender::Config cfg;
+  cfg.duration = Duration::seconds(20);
+  MessageSender sender{conn, cfg, Rng{79}};
+  conn.on_established = [&] { sender.start(); };
+  sim_.run_until(TimePoint::epoch() + 40_s);
+  // 25 msg/s x avg 15kB = 375 kB/s = 3 Mbit/s (the paper's figure).
+  const double mbps = bytes * 8.0 / 20.0 / 1e6;
+  EXPECT_NEAR(mbps, 3.0, 0.45);
+}
+
+}  // namespace
+}  // namespace slp::apps

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "phy/outage.hpp"
+#include "sim/network.hpp"
+#include "tcp/bbr.hpp"
+#include "tcp/tcp.hpp"
+
+namespace slp::cc {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+TEST(Bbr, StartsInStartupWithInitialWindow) {
+  Bbr bbr{CcConfig{}};
+  EXPECT_EQ(bbr.state(), Bbr::State::kStartup);
+  EXPECT_TRUE(bbr.in_slow_start());
+  EXPECT_EQ(bbr.cwnd_bytes(), 10u * 1448u);
+  EXPECT_EQ(bbr.name(), "bbr");
+}
+
+TEST(Bbr, IgnoresCongestionEvents) {
+  Bbr bbr{CcConfig{}};
+  // Feed it a steady 10 Mbit/s ack stream.
+  TimePoint now;
+  for (int i = 0; i < 200; ++i) {
+    now = now + Duration::millis(5);
+    bbr.on_ack(6250, Duration::millis(40), now);
+  }
+  const std::uint64_t before = bbr.cwnd_bytes();
+  bbr.on_congestion_event(now);
+  EXPECT_EQ(bbr.cwnd_bytes(), before);
+}
+
+TEST(Bbr, ConvergesToBdpMultipleOnSteadyStream) {
+  Bbr bbr{CcConfig{}};
+  // 25 Mbit/s, 40ms RTT -> BDP = 125 kB. cwnd gain in PROBE_BW is ~2x.
+  TimePoint now;
+  for (int i = 0; i < 3000; ++i) {
+    now = now + Duration::millis(2);
+    bbr.on_ack(6250, Duration::millis(40), now);  // 6250B / 2ms = 25 Mbit/s
+  }
+  EXPECT_NE(bbr.state(), Bbr::State::kStartup);
+  EXPECT_NEAR(bbr.bandwidth_estimate().to_mbps(), 25.0, 6.0);
+  EXPECT_NEAR(bbr.min_rtt_estimate().to_millis(), 40.0, 1.0);
+  const double bdp = 25e6 / 8.0 * 0.040;
+  EXPECT_GT(bbr.cwnd_bytes(), bdp * 0.9);
+  EXPECT_LT(bbr.cwnd_bytes(), bdp * 3.5);
+}
+
+TEST(Bbr, RtoResetsTheModel) {
+  Bbr bbr{CcConfig{}};
+  TimePoint now;
+  for (int i = 0; i < 500; ++i) {
+    now = now + Duration::millis(2);
+    bbr.on_ack(12500, Duration::millis(30), now);
+  }
+  bbr.on_rto(now);
+  EXPECT_EQ(bbr.state(), Bbr::State::kStartup);
+  EXPECT_LE(bbr.cwnd_bytes(), 4u * 1448u);
+  EXPECT_TRUE(bbr.bandwidth_estimate().is_zero());
+}
+
+TEST(Bbr, FactoryCreatesIt) {
+  EXPECT_EQ(make_controller(CcAlgorithm::kBbr)->name(), "bbr");
+}
+
+TEST(Bbr, EntersProbeRttWhenMinRttGoesStale) {
+  Bbr bbr{CcConfig{}};
+  TimePoint now;
+  // Steady stream whose RTT only ever rises: min_rtt sampled early, then
+  // stale for >10s -> PROBE_RTT dip must occur (cwnd floor, 4 segments).
+  bool saw_probe_rtt = false;
+  std::uint64_t min_cwnd_seen = ~0ull;
+  for (int i = 0; i < 8000; ++i) {
+    now = now + Duration::millis(2);
+    const Duration rtt = Duration::millis(40) + Duration::millis(i / 200);  // creeping up
+    bbr.on_ack(6250, rtt, now);
+    if (bbr.state() == Bbr::State::kProbeRtt) {
+      saw_probe_rtt = true;
+      min_cwnd_seen = std::min(min_cwnd_seen, bbr.cwnd_bytes());
+    }
+  }
+  EXPECT_TRUE(saw_probe_rtt);
+  EXPECT_LE(min_cwnd_seen, 4u * 1448u);
+  // And it leaves PROBE_RTT again.
+  EXPECT_NE(bbr.state(), Bbr::State::kProbeRtt);
+}
+
+// End-to-end: BBR drives a full TCP transfer and beats loss-based control
+// under heavy random loss.
+TEST(BbrEndToEnd, SurvivesHeavyLossBetterThanNewReno) {
+  auto run = [](CcAlgorithm algorithm) {
+    sim::Simulator simulator{55};
+    sim::Network net{simulator};
+    sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+    sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+    sim::Link& link = net.connect(a.uplink(), b.uplink(),
+                                  sim::Network::symmetric(DataRate::mbps(40), 20_ms,
+                                                          512 * 1024));
+    phy::BernoulliLoss loss{0.01, Rng{56}};
+    link.set_loss(0, &loss);
+    tcp::TcpStack sa{a};
+    tcp::TcpStack sb{b};
+    std::uint64_t delivered = 0;
+    sb.listen(80, [&](tcp::TcpConnection& c) {
+      c.on_data = [&](std::uint64_t n) { delivered += n; };
+    });
+    tcp::TcpConfig config;
+    config.algorithm = algorithm;
+    tcp::TcpConnection& conn = sa.connect(b.addr(), 80, config);
+    conn.on_established = [&conn] { conn.send(30'000'000); };
+    simulator.run_until(TimePoint::epoch() + 20_s);
+    return delivered;
+  };
+  const std::uint64_t bbr = run(CcAlgorithm::kBbr);
+  const std::uint64_t reno = run(CcAlgorithm::kNewReno);
+  EXPECT_GT(bbr, reno * 2);  // loss-agnostic control dominates at 1% iid loss
+}
+
+TEST(BbrEndToEnd, CompletesCleanTransferNearLineRate) {
+  sim::Simulator simulator{57};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(),
+              sim::Network::symmetric(DataRate::mbps(50), 15_ms, 1024 * 1024));
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  std::uint64_t delivered = 0;
+  TimePoint done;
+  sb.listen(80, [&](tcp::TcpConnection& c) {
+    c.on_data = [&](std::uint64_t n) {
+      delivered += n;
+      done = simulator.now();
+    };
+  });
+  tcp::TcpConfig config;
+  config.algorithm = CcAlgorithm::kBbr;
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80, config);
+  conn.on_established = [&conn] { conn.send(20'000'000); };
+  simulator.run_until(TimePoint::epoch() + Duration::minutes(2));
+  ASSERT_EQ(delivered, 20'000'000u);
+  const double mbps = delivered * 8.0 / (done - TimePoint::epoch()).to_seconds() / 1e6;
+  EXPECT_GT(mbps, 32.0);
+  EXPECT_LE(mbps, 50.0);
+}
+
+}  // namespace
+}  // namespace slp::cc

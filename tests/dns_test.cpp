@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "measure/campaign.hpp"
+#include "sim/network.hpp"
+#include "web/dns.hpp"
+
+namespace slp::web {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+class DnsFixture : public ::testing::Test {
+ protected:
+  DnsFixture() : net_{sim_} {
+    client_ = &net_.add_host("client", make_addr(10, 0, 0, 2));
+    server_host_ = &net_.add_host("resolver", make_addr(10, 0, 0, 53));
+    link_ = &net_.connect(client_->uplink(), server_host_->uplink(),
+                          sim::Network::symmetric(DataRate::mbps(100), 25_ms));
+    server_ = std::make_unique<DnsServer>(*server_host_);
+    server_->add_record("www.example.com", make_addr(203, 0, 113, 80));
+    DnsResolver::Config config;
+    config.server = server_host_->addr();
+    resolver_ = std::make_unique<DnsResolver>(*client_, config);
+  }
+
+  sim::Simulator sim_{91};
+  sim::Network net_;
+  sim::Host* client_ = nullptr;
+  sim::Host* server_host_ = nullptr;
+  sim::Link* link_ = nullptr;
+  std::unique_ptr<DnsServer> server_;
+  std::unique_ptr<DnsResolver> resolver_;
+};
+
+TEST_F(DnsFixture, ResolvesKnownNameInOneRtt) {
+  sim::Ipv4Addr got = 0;
+  TimePoint answered;
+  resolver_->resolve("www.example.com", [&](sim::Ipv4Addr addr) {
+    got = addr;
+    answered = sim_.now();
+  });
+  sim_.run();
+  EXPECT_EQ(got, make_addr(203, 0, 113, 80));
+  EXPECT_NEAR((answered - TimePoint::epoch()).to_millis(), 50.0, 1.0);
+  EXPECT_EQ(server_->queries_served(), 1u);
+}
+
+TEST_F(DnsFixture, SecondLookupHitsTheCache) {
+  int callbacks = 0;
+  resolver_->resolve("www.example.com", [&](sim::Ipv4Addr) { ++callbacks; });
+  sim_.run();
+  TimePoint asked = sim_.now();
+  TimePoint answered;
+  resolver_->resolve("www.example.com", [&](sim::Ipv4Addr addr) {
+    ++callbacks;
+    answered = sim_.now();
+    EXPECT_NE(addr, 0u);
+  });
+  sim_.run();
+  EXPECT_EQ(callbacks, 2);
+  EXPECT_EQ(answered, asked);  // synchronous cache hit
+  EXPECT_EQ(resolver_->cache_hits(), 1u);
+  EXPECT_EQ(resolver_->lookups_sent(), 1u);
+}
+
+TEST_F(DnsFixture, CacheExpiresAfterTtl) {
+  resolver_->resolve("www.example.com", [](sim::Ipv4Addr) {});
+  sim_.run();
+  sim_.schedule_in(Duration::seconds(61), [&] {
+    resolver_->resolve("www.example.com", [](sim::Ipv4Addr) {});
+  });
+  sim_.run();
+  EXPECT_EQ(resolver_->lookups_sent(), 2u);  // re-resolved after TTL
+}
+
+TEST_F(DnsFixture, ConcurrentLookupsCoalesce) {
+  int callbacks = 0;
+  for (int i = 0; i < 5; ++i) {
+    resolver_->resolve("www.example.com", [&](sim::Ipv4Addr addr) {
+      ++callbacks;
+      EXPECT_NE(addr, 0u);
+    });
+  }
+  sim_.run();
+  EXPECT_EQ(callbacks, 5);
+  EXPECT_EQ(resolver_->lookups_sent(), 1u);
+  EXPECT_EQ(server_->queries_served(), 1u);
+}
+
+TEST_F(DnsFixture, UnknownNameFails) {
+  sim::Ipv4Addr got = 99;
+  resolver_->resolve("nope.example.com", [&](sim::Ipv4Addr addr) { got = addr; });
+  sim_.run();
+  EXPECT_EQ(got, 0u);
+  EXPECT_EQ(server_->queries_unknown(), 1u);
+  EXPECT_EQ(resolver_->failures(), 1u);
+}
+
+TEST_F(DnsFixture, RetriesThroughLossThenGivesUp) {
+  class DropAll final : public sim::LossModel {
+   public:
+    bool should_drop(TimePoint, const sim::Packet&) override { return true; }
+  };
+  DropAll drop;
+  link_->set_loss(0, &drop);
+  sim::Ipv4Addr got = 99;
+  TimePoint finished;
+  resolver_->resolve("www.example.com", [&](sim::Ipv4Addr addr) {
+    got = addr;
+    finished = sim_.now();
+  });
+  sim_.run();
+  EXPECT_EQ(got, 0u);  // failed
+  // 3 attempts x 2s timeout.
+  EXPECT_NEAR((finished - TimePoint::epoch()).to_seconds(), 6.0, 0.1);
+  EXPECT_EQ(resolver_->lookups_sent(), 3u);
+}
+
+TEST_F(DnsFixture, FlushForcesReResolution) {
+  resolver_->resolve("www.example.com", [](sim::Ipv4Addr) {});
+  sim_.run();
+  resolver_->flush();
+  resolver_->resolve("www.example.com", [](sim::Ipv4Addr) {});
+  sim_.run();
+  EXPECT_EQ(resolver_->lookups_sent(), 2u);
+}
+
+// DNS inside the QoE campaign: lookups add real latency per origin.
+TEST(DnsCampaign, WebVisitsSlowerWithDns) {
+  measure::WebCampaign::Config with_dns;
+  with_dns.access = measure::AccessKind::kWired;
+  with_dns.visits = 4;
+  with_dns.catalog_sites = 6;
+  measure::WebCampaign::Config without_dns = with_dns;
+  without_dns.dns = false;
+  const auto slow = measure::WebCampaign::run(with_dns);
+  const auto fast = measure::WebCampaign::run(without_dns);
+  ASSERT_EQ(slow.visits_completed, 4);
+  ASSERT_EQ(fast.visits_completed, 4);
+  EXPECT_GT(slow.onload_s.mean(), fast.onload_s.mean());
+}
+
+}  // namespace
+}  // namespace slp::web

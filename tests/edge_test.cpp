@@ -1,0 +1,335 @@
+// edge_test.cpp — edge cases and failure-injection across modules.
+#include <gtest/gtest.h>
+
+#include "apps/speedtest.hpp"
+#include "leo/access.hpp"
+#include "phy/outage.hpp"
+#include "quic/quic.hpp"
+#include "sim/network.hpp"
+#include "tcp/tcp.hpp"
+#include "web/browser.hpp"
+
+namespace slp {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+// ------------------------------------------------------------ sim edges
+
+TEST(SimEdge, ManyCancelledEventsDoNotLeakIntoExecution) {
+  sim::Simulator simulator;
+  int fired = 0;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 10'000; ++i) {
+    ids.push_back(simulator.schedule_in(Duration::millis(i + 1), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) simulator.cancel(ids[i]);
+  simulator.run();
+  EXPECT_EQ(fired, 5'000);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimEdge, TimerArmAtAbsoluteTime) {
+  sim::Simulator simulator;
+  sim::Timer timer{simulator};
+  TimePoint fired_at;
+  timer.arm_at(TimePoint::epoch() + 250_ms, [&] { fired_at = simulator.now(); });
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.expiry(), TimePoint::epoch() + 250_ms);
+  simulator.run();
+  EXPECT_EQ(fired_at, TimePoint::epoch() + 250_ms);
+}
+
+TEST(SimEdge, IcmpErrorNeverAnswersIcmpError) {
+  // A time-exceeded quoting a time-exceeded must not be generated: send an
+  // ICMP error with TTL 1 through a router and verify silence.
+  sim::Simulator simulator;
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 2));
+  sim::Host& c = net.add_host("c", make_addr(10, 1, 0, 2));
+  sim::Router& r = net.add_router("r");
+  sim::Interface& r1 = r.add_interface(make_addr(10, 0, 0, 1));
+  sim::Interface& r2 = r.add_interface(make_addr(10, 1, 0, 1));
+  net.connect(a.uplink(), r1, sim::Network::symmetric(DataRate::mbps(100), 1_ms));
+  net.connect(r2, c.uplink(), sim::Network::symmetric(DataRate::mbps(100), 1_ms));
+  r.routes().add_route(make_addr(10, 0, 0, 0), 24, r1);
+  r.routes().add_route(make_addr(10, 1, 0, 0), 24, r2);
+
+  int errors_back = 0;
+  a.add_error_listener([&](const sim::Packet&) { ++errors_back; });
+  sim::Packet inner;
+  inner.src = a.addr();
+  inner.dst = c.addr();
+  inner.proto = sim::Protocol::kUdp;
+  inner.size_bytes = 60;
+  sim::Packet err = sim::make_time_exceeded(a.addr(), inner);
+  err.src = 0;
+  err.dst = c.addr();
+  err.ttl = 1;  // expires at the router
+  a.send(std::move(err));
+  simulator.run();
+  EXPECT_EQ(errors_back, 0);  // no error-about-error storm
+  EXPECT_EQ(r.stats().ttl_expired, 1u);
+}
+
+TEST(SimEdge, HostEphemeralPortsWrapSafely) {
+  sim::Simulator simulator;
+  sim::Network net{simulator};
+  sim::Host& h = net.add_host("h", make_addr(10, 0, 0, 1));
+  std::uint16_t first = h.ephemeral_port();
+  // Exhaust the 16-bit space: must wrap without returning 0.
+  for (int i = 0; i < 70'000; ++i) {
+    EXPECT_NE(h.ephemeral_port(), 0);
+  }
+  EXPECT_NE(first, 0);
+}
+
+// ------------------------------------------------------------ tcp edges
+
+TEST(TcpEdge, ZeroByteSendIsHarmless) {
+  sim::Simulator simulator;
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(), sim::Network::symmetric(DataRate::mbps(100), 5_ms));
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  std::uint64_t got = 0;
+  sb.listen(80, [&](tcp::TcpConnection& c) {
+    c.on_data = [&](std::uint64_t n) { got += n; };
+  });
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80);
+  conn.on_established = [&conn] {
+    conn.send(0);
+    conn.send(100);
+  };
+  simulator.run();
+  EXPECT_EQ(got, 100u);
+}
+
+TEST(TcpEdge, CloseWithNoDataCompletesFinHandshake) {
+  sim::Simulator simulator;
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(), sim::Network::symmetric(DataRate::mbps(100), 5_ms));
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  bool server_closed = false;
+  sb.listen(80, [&](tcp::TcpConnection& c) {
+    c.on_closed = [&] { server_closed = true; };
+    // Server closes back immediately on learning the client is done.
+    c.on_established = [&c] { c.close(); };
+  });
+  bool client_closed = false;
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80);
+  conn.on_closed = [&] { client_closed = true; };
+  conn.on_established = [&conn] { conn.close(); };
+  simulator.run_until(TimePoint::epoch() + 30_s);
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(server_closed);
+}
+
+TEST(TcpEdge, ListenerIgnoresStrayNonSynPackets) {
+  sim::Simulator simulator;
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(), sim::Network::symmetric(DataRate::mbps(100), 5_ms));
+  tcp::TcpStack sb{b};
+  int accepted = 0;
+  sb.listen(80, [&](tcp::TcpConnection&) { ++accepted; });
+  // A bare ACK to the listening port must create no connection.
+  sim::Packet stray;
+  stray.dst = b.addr();
+  stray.src_port = 5555;
+  stray.dst_port = 80;
+  stray.proto = sim::Protocol::kTcp;
+  stray.size_bytes = 40;
+  sim::TcpHeader hdr;
+  hdr.ack_flag = true;
+  hdr.ack = 1234;
+  stray.tcp = hdr;
+  a.send(std::move(stray));
+  simulator.run();
+  EXPECT_EQ(accepted, 0);
+  EXPECT_EQ(sb.connection_count(), 0u);
+}
+
+// ------------------------------------------------------------ quic edges
+
+TEST(QuicEdge, MessageOfExactlyOnePayloadIsOneChunk) {
+  sim::Simulator simulator{61};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(), sim::Network::symmetric(DataRate::mbps(100), 5_ms));
+  quic::QuicStack ca{a};
+  quic::QuicStack cb{b};
+  std::uint64_t got_bytes = 0;
+  cb.listen(443, [&](quic::QuicConnection& c) {
+    c.on_message = [&](std::uint64_t, std::uint64_t bytes, TimePoint) { got_bytes = bytes; };
+  });
+  quic::QuicConnection& conn = ca.connect(b.addr(), 443);
+  conn.on_established = [&conn] { conn.send_message(1350); };
+  simulator.run();
+  EXPECT_EQ(got_bytes, 1350u);
+}
+
+TEST(QuicEdge, InterleavedStreamAndMessagesBothComplete) {
+  sim::Simulator simulator{62};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(), sim::Network::symmetric(DataRate::mbps(50), 10_ms));
+  quic::QuicStack ca{a};
+  quic::QuicStack cb{b};
+  std::uint64_t stream_bytes = 0;
+  int messages = 0;
+  cb.listen(443, [&](quic::QuicConnection& c) {
+    c.on_stream_data = [&](std::uint64_t n) { stream_bytes += n; };
+    c.on_message = [&](std::uint64_t, std::uint64_t, TimePoint) { ++messages; };
+  });
+  quic::QuicConnection& conn = ca.connect(b.addr(), 443);
+  conn.on_established = [&conn, &simulator] {
+    conn.send_stream(2'000'000);
+    for (int i = 0; i < 10; ++i) {
+      simulator.schedule_in(Duration::millis(30 * i), [&conn] { conn.send_message(8'000); });
+    }
+  };
+  simulator.run();
+  EXPECT_EQ(stream_bytes, 2'000'000u);
+  EXPECT_EQ(messages, 10);
+}
+
+TEST(QuicEdge, SurvivesTotalOutageMidTransfer) {
+  sim::Simulator simulator{63};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(a.uplink(), b.uplink(),
+                                sim::Network::symmetric(DataRate::mbps(50), 10_ms));
+  class Window final : public sim::LossModel {
+   public:
+    bool should_drop(TimePoint now, const sim::Packet&) override {
+      return now >= TimePoint::epoch() + 500_ms && now < TimePoint::epoch() + 3_s;
+    }
+  };
+  Window outage;
+  link.set_loss(0, &outage);
+  link.set_loss(1, &outage);
+  quic::QuicStack ca{a};
+  quic::QuicStack cb{b};
+  std::uint64_t got = 0;
+  cb.listen(443, [&](quic::QuicConnection& c) {
+    c.on_stream_data = [&](std::uint64_t n) { got += n; };
+  });
+  quic::QuicConnection& conn = ca.connect(b.addr(), 443);
+  conn.on_established = [&conn] { conn.send_stream(5'000'000); };
+  simulator.run_until(TimePoint::epoch() + Duration::minutes(5));
+  EXPECT_EQ(got, 5'000'000u);
+  EXPECT_GT(conn.stats().ptos, 0u);
+}
+
+// ------------------------------------------------------------ access edges
+
+TEST(AccessEdge, OutageWindowLosesPingsButCampaignContinues) {
+  sim::Simulator simulator{64};
+  sim::Network net{simulator};
+  leo::StarlinkAccess::Config config;
+  // Frequent outages for the test.
+  config.outage.mean_interarrival = Duration::seconds(20);
+  config.outage.duration_mu = 0.0;  // ~1s median
+  config.outage.duration_sigma = 0.3;
+  leo::StarlinkAccess access{net, config};
+  sim::Host& server = net.add_host("server", make_addr(203, 0, 113, 50));
+  sim::Interface& pop_if = access.pop().add_interface(make_addr(203, 0, 113, 1));
+  net.connect(pop_if, server.uplink(), sim::Network::symmetric(DataRate::gbps(10), 1_ms));
+  access.pop().routes().add_route(make_addr(203, 0, 113, 0), 24, pop_if);
+
+  int replies = 0;
+  int sent = 0;
+  for (int i = 0; i < 300; ++i) {
+    simulator.schedule_at(TimePoint::epoch() + Duration::millis(500) * static_cast<double>(i),
+                          [&, i] {
+                            ++sent;
+                            access.client().bind_echo_reply(
+                                static_cast<std::uint16_t>(i),
+                                [&replies](const sim::Packet&) { ++replies; });
+                            sim::Packet ping;
+                            ping.dst = server.addr();
+                            ping.proto = sim::Protocol::kIcmp;
+                            ping.size_bytes = 64;
+                            ping.icmp = sim::IcmpHeader{sim::IcmpType::kEchoRequest,
+                                                        static_cast<std::uint16_t>(i), 0,
+                                                        nullptr};
+                            access.client().send(std::move(ping));
+                          });
+  }
+  simulator.run();
+  EXPECT_EQ(sent, 300);
+  EXPECT_LT(replies, sent);        // outages ate some
+  EXPECT_GT(replies, sent * 3 / 4);  // but most got through
+}
+
+// ------------------------------------------------------------ web edges
+
+TEST(WebEdge, EmptyObjectPageCompletesAfterHtml) {
+  sim::Simulator simulator{65};
+  sim::Network net{simulator};
+  sim::Host& client = net.add_host("client", make_addr(10, 0, 0, 2));
+  sim::Host& server_host = net.add_host("server", make_addr(10, 0, 0, 3));
+  net.connect(client.uplink(), server_host.uplink(),
+              sim::Network::symmetric(DataRate::mbps(100), 5_ms));
+  tcp::TcpStack cs{client};
+  tcp::TcpStack ss{server_host};
+  web::WebServer server{ss, simulator.fork_rng("ws")};
+  web::Browser::Config config;
+  config.server_addr = server_host.addr();
+  web::Browser browser{cs, server, config};
+
+  web::WebPage page;
+  page.name = "empty";
+  page.html_bytes = 20'000;
+  page.num_origins = 1;  // no objects at all
+  bool done = false;
+  web::Browser::VisitResult result;
+  browser.visit(page, [&](const web::Browser::VisitResult& r) {
+    result = r;
+    done = true;
+  });
+  simulator.run_until(TimePoint::epoch() + Duration::minutes(2));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.connections_opened, 1);
+  EXPECT_GT(result.on_load.to_seconds(), 0.0);
+}
+
+// ------------------------------------------------------------ speedtest edges
+
+TEST(SpeedtestEdge, SingleConnectionStillMeasures) {
+  sim::Simulator simulator{66};
+  sim::Network net{simulator};
+  sim::Host& client = net.add_host("client", make_addr(10, 0, 0, 2));
+  sim::Host& server_host = net.add_host("server", make_addr(10, 0, 0, 3));
+  net.connect(client.uplink(), server_host.uplink(),
+              sim::Network::symmetric(DataRate::mbps(30), 10_ms, 1024 * 1024));
+  tcp::TcpStack cs{client};
+  tcp::TcpStack ss{server_host};
+  apps::SpeedtestServer server{ss};
+  apps::Speedtest::Config config;
+  config.server = server_host.addr();
+  config.connections = 1;
+  config.duration = Duration::seconds(8);
+  apps::Speedtest test{cs, config};
+  double mbps = 0.0;
+  test.on_complete = [&](const apps::Speedtest::Result& r) { mbps = r.goodput.to_mbps(); };
+  test.start();
+  simulator.run_until(TimePoint::epoch() + 30_s);
+  EXPECT_GT(mbps, 24.0);
+  EXPECT_LE(mbps, 30.0);
+}
+
+}  // namespace
+}  // namespace slp

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "emu/errant.hpp"
+#include "sim/network.hpp"
+
+namespace slp::emu {
+namespace {
+
+using sim::make_addr;
+
+TEST(ErrantProfile, FitRecoversLognormalMedians) {
+  Rng rng{61};
+  stats::Samples down;
+  stats::Samples up;
+  stats::Samples rtt;
+  for (int i = 0; i < 5000; ++i) {
+    down.add(rng.lognormal(std::log(178.0), 0.3));
+    up.add(rng.lognormal(std::log(17.0), 0.35));
+    rtt.add(rng.lognormal(std::log(50.0), 0.2));
+  }
+  const ErrantProfile profile = ErrantProfile::fit("starlink", down, up, rtt, 0.005);
+  EXPECT_NEAR(profile.down_mbps().median(), 178.0, 10.0);
+  EXPECT_NEAR(profile.up_mbps().median(), 17.0, 1.0);
+  EXPECT_NEAR(profile.rtt_ms().median(), 50.0, 3.0);
+  EXPECT_DOUBLE_EQ(profile.loss_ratio(), 0.005);
+}
+
+TEST(ErrantProfile, MedianAndSampleAreConsistent) {
+  const ErrantProfile profile = profile_4g_good();
+  const NetemParams median = profile.median();
+  EXPECT_NEAR(median.rate_down.to_mbps(), 29.5, 0.1);
+  EXPECT_NEAR(median.rate_up.to_mbps(), 14.0, 0.1);
+  EXPECT_NEAR(median.delay_one_way.to_millis() * 2.0, 45.0, 0.5);
+
+  Rng rng{62};
+  stats::Samples sampled;
+  for (int i = 0; i < 4000; ++i) sampled.add(profile.sample(rng).rate_down.to_mbps());
+  EXPECT_NEAR(sampled.median(), 29.5, 2.0);
+}
+
+TEST(ErrantProfile, ReferenceProfilesAreOrderedSensibly) {
+  EXPECT_GT(profile_4g_good().down_mbps().median(), profile_3g().down_mbps().median());
+  EXPECT_GT(profile_geo_satcom().rtt_ms().median(), profile_4g_good().rtt_ms().median());
+  EXPECT_LT(profile_wired().rtt_ms().median(), profile_4g_good().rtt_ms().median());
+}
+
+TEST(NetemParams, CommandsContainAllKnobs) {
+  NetemParams params;
+  params.profile = "test";
+  params.rate_down = DataRate::mbps(178);
+  params.rate_up = DataRate::mbps(17);
+  params.delay_one_way = Duration::from_millis(25);
+  params.jitter = Duration::from_millis(5);
+  params.loss_ratio = 0.004;
+  const auto cmds = params.netem_commands("eth0", "ifb0");
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_NE(cmds[0].find("17mbit"), std::string::npos);     // egress=upload
+  EXPECT_NE(cmds[0].find("25ms"), std::string::npos);
+  EXPECT_NE(cmds[0].find("loss 0.4%"), std::string::npos);
+  EXPECT_NE(cmds[1].find("ifb0"), std::string::npos);
+  EXPECT_NE(cmds[2].find("178mbit"), std::string::npos);    // ingress=download
+}
+
+TEST(Apply, ConfiguresLinkRatesDelaysAndLoss) {
+  sim::Simulator sim{63};
+  sim::Network net{sim};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(a.uplink(), b.uplink(),
+                                sim::Network::symmetric(DataRate::gbps(1), Duration::millis(1)));
+
+  NetemParams params = profile_geo_satcom().median();
+  std::vector<std::unique_ptr<sim::LossModel>> loss_models;
+  apply(params, link, loss_models, sim.fork_rng("emu"));
+  EXPECT_EQ(loss_models.size(), 2u);
+
+  // Verify the emulated RTT end to end with a ping.
+  Duration rtt = Duration::zero();
+  a.bind_echo_reply(1, [&](const sim::Packet&) { rtt = sim.now() - TimePoint::epoch(); });
+  sim::Packet ping;
+  ping.dst = b.addr();
+  ping.proto = sim::Protocol::kIcmp;
+  ping.size_bytes = 64;
+  ping.icmp = sim::IcmpHeader{sim::IcmpType::kEchoRequest, 1, 0, nullptr};
+  a.send(std::move(ping));
+  sim.run();
+  EXPECT_NEAR(rtt.to_millis(), 600.0, 5.0);
+}
+
+TEST(Apply, ZeroLossClearsModels) {
+  sim::Simulator sim{64};
+  sim::Network net{sim};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(a.uplink(), b.uplink(),
+                                sim::Network::symmetric(DataRate::gbps(1), Duration::millis(1)));
+  NetemParams params = profile_wired().median();
+  params.loss_ratio = 0.0;
+  std::vector<std::unique_ptr<sim::LossModel>> loss_models;
+  apply(params, link, loss_models, sim.fork_rng("emu"));
+  EXPECT_TRUE(loss_models.empty());
+}
+
+TEST(ErrantProfile, DescribeMentionsName) {
+  EXPECT_NE(profile_3g().describe().find("3g"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slp::emu

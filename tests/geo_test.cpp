@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "geo/geo_access.hpp"
+#include "quic/quic.hpp"
+#include "sim/network.hpp"
+#include "tcp/tcp.hpp"
+
+namespace slp::geo {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+constexpr sim::Ipv4Addr kServerAddr = make_addr(203, 0, 113, 80);
+
+/// GeoAccess plus one server behind the PoP.
+class GeoTest : public ::testing::Test {
+ protected:
+  explicit GeoTest(GeoAccess::Config config = {}) : net_{sim_}, access_{net_, config} {
+    server_ = &net_.add_host("server", kServerAddr);
+    sim::Interface& pop_if = access_.pop().add_interface(make_addr(203, 0, 113, 1));
+    net_.connect(pop_if, server_->uplink(),
+                 sim::Network::symmetric(DataRate::gbps(10), Duration::from_millis(2)));
+    access_.pop().routes().add_route(make_addr(203, 0, 113, 0), 24, pop_if);
+  }
+
+  sim::Simulator sim_{21};
+  sim::Network net_;
+  GeoAccess access_;
+  sim::Host* server_ = nullptr;
+};
+
+TEST_F(GeoTest, PingRttIsGeostationary) {
+  std::vector<double> rtts;
+  for (int i = 0; i < 20; ++i) {
+    sim_.schedule_at(TimePoint::epoch() + Duration::seconds(i), [&, i] {
+      const TimePoint sent = sim_.now();
+      access_.client().bind_echo_reply(static_cast<std::uint16_t>(i),
+                                       [&, sent](const sim::Packet&) {
+                                         rtts.push_back((sim_.now() - sent).to_millis());
+                                       });
+      sim::Packet ping;
+      ping.dst = kServerAddr;
+      ping.proto = sim::Protocol::kIcmp;
+      ping.size_bytes = 64;
+      ping.icmp = sim::IcmpHeader{sim::IcmpType::kEchoRequest, static_cast<std::uint16_t>(i), 0,
+                                  nullptr};
+      access_.client().send(std::move(ping));
+    });
+  }
+  sim_.run();
+  ASSERT_GE(rtts.size(), 18u);
+  for (const double r : rtts) {
+    EXPECT_GT(r, 560.0);  // 2x(258+22) = 560ms floor
+    EXPECT_LT(r, 640.0);  // + jitter + server link
+  }
+}
+
+TEST_F(GeoTest, PepAnswersSynWithinOneSatRtt) {
+  // With the PEP, connection establishment costs one satellite RTT (the
+  // PEP answers immediately from the gateway) rather than sat+terrestrial.
+  tcp::TcpStack server_stack{*server_};
+  server_stack.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpStack client_stack{access_.client()};
+  TimePoint established;
+  tcp::TcpConnection& conn = client_stack.connect(kServerAddr, 80);
+  conn.on_established = [&] { established = sim_.now(); };
+  sim_.run_until(TimePoint::epoch() + 10_s);
+  ASSERT_GT(established.ns(), 0);
+  const double ms = (established - TimePoint::epoch()).to_millis();
+  EXPECT_GT(ms, 560.0);
+  EXPECT_LT(ms, 620.0);
+  EXPECT_EQ(access_.pep().stats().flows_split, 1u);
+}
+
+TEST_F(GeoTest, BulkDownloadThroughPepReachesPlanShare) {
+  tcp::TcpStack server_stack{*server_};
+  server_stack.listen(80, [&](tcp::TcpConnection& c) {
+    c.on_data = [&c](std::uint64_t) { c.send(60'000'000); };
+  });
+  tcp::TcpStack client_stack{access_.client()};
+  std::uint64_t got = 0;
+  TimePoint ramp_done, last;
+  tcp::TcpConnection& conn = client_stack.connect(kServerAddr, 80);
+  conn.on_data = [&](std::uint64_t n) {
+    got += n;
+    if (got <= 10'000'000) ramp_done = sim_.now();  // skip rwnd-autotune ramp
+    last = sim_.now();
+  };
+  conn.on_established = [&conn] { conn.send(300); };
+  sim_.run_until(TimePoint::epoch() + 120_s);
+  ASSERT_EQ(got, 60'000'000u);
+  const double mbps = 50'000'000 * 8.0 / (last - ramp_done).to_seconds() / 1e6;
+  // The PEP hides the 600ms RTT: steady state sits near the client's 6MB
+  // receive-window cap, ~77 Mbit/s (the paper's Ookla median was 82).
+  EXPECT_GT(mbps, 60.0);
+  EXPECT_LE(mbps, 100.0);
+}
+
+TEST_F(GeoTest, UploadLimitedByTenMbitPlan) {
+  tcp::TcpStack server_stack{*server_};
+  std::uint64_t got = 0;
+  TimePoint first, last;
+  server_stack.listen(80, [&](tcp::TcpConnection& c) {
+    c.on_data = [&](std::uint64_t n) {
+      if (got == 0) first = sim_.now();
+      got += n;
+      last = sim_.now();
+    };
+  });
+  tcp::TcpStack client_stack{access_.client()};
+  tcp::TcpConnection& conn = client_stack.connect(kServerAddr, 80);
+  conn.on_established = [&conn] { conn.send(8'000'000); };
+  sim_.run_until(TimePoint::epoch() + 60_s);
+  ASSERT_EQ(got, 8'000'000u);
+  const double mbps = got * 8.0 / (last - first).to_seconds() / 1e6;
+  EXPECT_LT(mbps, 10.0);
+  EXPECT_GT(mbps, 3.0);
+}
+
+TEST_F(GeoTest, QuicPassesThroughPepUnsplit) {
+  // QUIC rides UDP: the PEP must forward it untouched and split nothing.
+  quic::QuicStack server_stack{*server_};
+  quic::QuicStack client_stack{access_.client()};
+  std::uint64_t got = 0;
+  server_stack.listen(443, [&](quic::QuicConnection& c) {
+    c.on_stream_data = [&](std::uint64_t n) { got += n; };
+  });
+  quic::QuicConnection& conn = client_stack.connect(kServerAddr, 443);
+  conn.on_established = [&conn] { conn.send_stream(2'000'000); };
+  sim_.run_until(TimePoint::epoch() + 120_s);
+  EXPECT_EQ(got, 2'000'000u);
+  EXPECT_EQ(access_.pep().stats().flows_split, 0u);
+  EXPECT_GT(access_.pep().stats().forwarded_non_tcp, 0u);
+}
+
+TEST_F(GeoTest, TracerouteDoesNotRevealPep) {
+  // The PEP is transparent: hops are modem NAT, gateway, (pep invisible),
+  // pop, then the destination network.
+  std::vector<sim::Ipv4Addr> hops;
+  access_.client().add_error_listener([&](const sim::Packet& p) { hops.push_back(p.src); });
+  for (std::uint8_t ttl = 1; ttl <= 4; ++ttl) {
+    sim_.schedule_at(TimePoint::epoch() + Duration::seconds(2 * ttl), [&, ttl] {
+      sim::Packet probe;
+      probe.dst = kServerAddr;
+      probe.src_port = static_cast<std::uint16_t>(40'000 + ttl);
+      probe.dst_port = 33434;
+      probe.proto = sim::Protocol::kUdp;
+      probe.size_bytes = 60;
+      probe.ttl = ttl;
+      access_.client().send(std::move(probe));
+    });
+  }
+  sim_.run();
+  ASSERT_GE(hops.size(), 3u);
+  EXPECT_EQ(hops[0], make_addr(192, 168, 3, 1));  // modem LAN address
+  EXPECT_EQ(hops[1], make_addr(185, 44, 3, 1));   // gateway
+  EXPECT_EQ(hops[2], make_addr(185, 12, 0, 254)); // pop (PEP never appears)
+}
+
+class GeoNoPepTest : public GeoTest {
+ protected:
+  static GeoAccess::Config no_pep() {
+    GeoAccess::Config config;
+    config.pep.enabled = false;
+    return config;
+  }
+  GeoNoPepTest() : GeoTest(no_pep()) {}
+};
+
+TEST_F(GeoNoPepTest, HandshakeCostsFullEndToEndRtt) {
+  tcp::TcpStack server_stack{*server_};
+  server_stack.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpStack client_stack{access_.client()};
+  TimePoint established;
+  tcp::TcpConnection& conn = client_stack.connect(kServerAddr, 80);
+  conn.on_established = [&] { established = sim_.now(); };
+  sim_.run_until(TimePoint::epoch() + 10_s);
+  ASSERT_GT(established.ns(), 0);
+  // Same one-RTT handshake, but now it crosses the full path to the server.
+  EXPECT_GT((established - TimePoint::epoch()).to_millis(), 564.0);
+  EXPECT_EQ(access_.pep().stats().flows_split, 0u);
+}
+
+TEST_F(GeoNoPepTest, SlowStartWithoutPepIsPainfullySlow) {
+  tcp::TcpStack server_stack{*server_};
+  server_stack.listen(80, [&](tcp::TcpConnection& c) {
+    c.on_data = [&c](std::uint64_t) { c.send(5'000'000); };
+  });
+  tcp::TcpStack client_stack{access_.client()};
+  std::uint64_t got = 0;
+  tcp::TcpConnection& conn = client_stack.connect(kServerAddr, 80);
+  conn.on_data = [&](std::uint64_t n) { got += n; };
+  conn.on_established = [&conn] { conn.send(300); };
+  // After 5 seconds (~7 RTTs), slow start from IW10 at 600ms RTT has moved
+  // far less data than the PEP-assisted path would.
+  sim_.run_until(TimePoint::epoch() + 5_s);
+  EXPECT_LT(got, 4'000'000u);
+  sim_.run_until(TimePoint::epoch() + 120_s);
+  EXPECT_EQ(got, 5'000'000u);
+}
+
+}  // namespace
+}  // namespace slp::geo

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "leo/access.hpp"
+#include "leo/constellation.hpp"
+#include "leo/geodesy.hpp"
+#include "leo/handover.hpp"
+#include "leo/places.hpp"
+#include "sim/network.hpp"
+
+namespace slp::leo {
+namespace {
+
+using namespace slp::literals;
+
+// ------------------------------------------------------------ Geodesy
+
+TEST(Geodesy, EcefOfReferencePoints) {
+  const Vec3 equator = to_ecef(GeoPoint{0.0, 0.0, 0.0});
+  EXPECT_NEAR(equator.x, kEarthRadiusM, 1.0);
+  EXPECT_NEAR(equator.y, 0.0, 1.0);
+  EXPECT_NEAR(equator.z, 0.0, 1.0);
+  const Vec3 pole = to_ecef(GeoPoint{90.0, 0.0, 0.0});
+  EXPECT_NEAR(pole.z, kEarthRadiusM, 1.0);
+  EXPECT_NEAR(pole.x, 0.0, 1e-6 * kEarthRadiusM);
+  const Vec3 high = to_ecef(GeoPoint{0.0, 90.0, 550'000.0});
+  EXPECT_NEAR(high.y, kEarthRadiusM + 550'000.0, 1.0);
+}
+
+TEST(Geodesy, GreatCircleKnownDistances) {
+  // Brussels <-> Amsterdam is ~174 km.
+  const double d = great_circle_distance_m(places::kBrussels, places::kAmsterdam);
+  EXPECT_NEAR(d, 174'000.0, 10'000.0);
+  // Brussels <-> Singapore is ~10,500 km.
+  const double far = great_circle_distance_m(places::kBrussels, places::kSingapore);
+  EXPECT_NEAR(far, 10'500'000.0, 300'000.0);
+  // Identity.
+  EXPECT_NEAR(great_circle_distance_m(places::kBrussels, places::kBrussels), 0.0, 1e-6);
+}
+
+TEST(Geodesy, ElevationOfZenithSatelliteIs90) {
+  const GeoPoint ground{50.0, 4.0, 0.0};
+  const Vec3 overhead = to_ecef(GeoPoint{50.0, 4.0, 550'000.0});
+  EXPECT_NEAR(elevation_deg(ground, overhead), 90.0, 0.01);
+}
+
+TEST(Geodesy, ElevationOfAntipodalSatelliteIsNegative) {
+  const GeoPoint ground{0.0, 0.0, 0.0};
+  const Vec3 antipode = to_ecef(GeoPoint{0.0, 180.0, 550'000.0});
+  EXPECT_LT(elevation_deg(ground, antipode), 0.0);
+}
+
+TEST(Geodesy, SlantRangeZenithEqualsAltitude) {
+  const GeoPoint ground{50.0, 4.0, 0.0};
+  const Vec3 overhead = to_ecef(GeoPoint{50.0, 4.0, 550'000.0});
+  EXPECT_NEAR(slant_range_m(ground, overhead), 550'000.0, 1.0);
+}
+
+TEST(Geodesy, RfPropagationDelayIsDistanceOverC) {
+  // ~300 km of RF path is almost exactly 1 ms; ~300,000 km is 1 s.
+  EXPECT_NEAR(rf_propagation_delay(299'792.458).to_millis(), 1.0, 1e-9);
+  EXPECT_NEAR(rf_propagation_delay(299'792'458.0).to_seconds(), 1.0, 1e-9);
+}
+
+TEST(Geodesy, FiberDelayExceedsRfForSameEndpoints) {
+  const Duration fiber = fiber_delay(places::kBrussels, places::kNewYork);
+  const double direct_m = great_circle_distance_m(places::kBrussels, places::kNewYork);
+  const Duration rf = rf_propagation_delay(direct_m);
+  EXPECT_GT(fiber, rf * 2.0);  // 1.7 stretch * 1.5 glass factor = 2.55x
+}
+
+// ------------------------------------------------------------ Constellation
+
+class Shell1Test : public ::testing::Test {
+ protected:
+  Constellation shell_{Constellation::Config{}};
+};
+
+TEST_F(Shell1Test, CountsAndPeriod) {
+  EXPECT_EQ(shell_.total_satellites(), 72 * 22);
+  // 550 km circular orbit period is ~95.6 minutes.
+  EXPECT_NEAR(shell_.orbital_period().to_seconds(), 5736.0, 30.0);
+}
+
+TEST_F(Shell1Test, SatellitesStayAtAltitude) {
+  for (int plane = 0; plane < 72; plane += 7) {
+    for (int slot = 0; slot < 22; slot += 5) {
+      const Vec3 pos = shell_.position_ecef(SatIndex{plane, slot}, TimePoint::epoch() + 1000_s);
+      EXPECT_NEAR(pos.norm(), kEarthRadiusM + 550'000.0, 1.0);
+    }
+  }
+}
+
+TEST_F(Shell1Test, SatelliteMovesAlongOrbit) {
+  const SatIndex sat{0, 0};
+  const Vec3 p0 = shell_.position_ecef(sat, TimePoint::epoch());
+  const Vec3 p1 = shell_.position_ecef(sat, TimePoint::epoch() + 60_s);
+  // Orbital speed at 550 km is ~7.6 km/s; the ECEF-frame chord over 60 s
+  // is ~440 km (Earth rotation subtracts a little from the inertial 455 km).
+  EXPECT_NEAR((p1 - p0).norm(), 440'000.0, 20'000.0);
+}
+
+TEST_F(Shell1Test, InclinationBoundsLatitude) {
+  // A 53 deg inclined orbit never exceeds |lat| ~ 53 deg -> |z| <= r*sin(53).
+  const double r = kEarthRadiusM + 550'000.0;
+  const double zmax = r * std::sin(deg_to_rad(53.0)) + 1.0;
+  for (int slot = 0; slot < 22; ++slot) {
+    for (int minute = 0; minute < 96; minute += 3) {
+      const Vec3 p =
+          shell_.position_ecef(SatIndex{11, slot}, TimePoint::epoch() + Duration::minutes(minute));
+      EXPECT_LE(std::abs(p.z), zmax);
+    }
+  }
+}
+
+TEST_F(Shell1Test, BelgiumAlwaysSeesSatellites) {
+  // Full Shell 1 provides continuous coverage at 50.6N with a 25 deg mask.
+  for (int minute = 0; minute < 200; minute += 1) {
+    const auto visible = shell_.visible_from(places::kLouvainLaNeuve,
+                                             TimePoint::epoch() + Duration::minutes(minute), 25.0);
+    EXPECT_GE(visible.size(), 1u) << "no coverage at minute " << minute;
+    for (const auto& v : visible) {
+      EXPECT_GE(v.elevation_deg, 25.0);
+      // Slant range at 25 deg elevation / 550 km altitude is at most ~1123 km.
+      EXPECT_LE(v.slant_range_m, 1'200'000.0);
+      EXPECT_GE(v.slant_range_m, 550'000.0);
+    }
+  }
+}
+
+TEST_F(Shell1Test, BestVisibleHasMaxElevation) {
+  const TimePoint t = TimePoint::epoch() + 77_s;
+  const auto all = shell_.visible_from(places::kLouvainLaNeuve, t, 25.0);
+  const auto best = shell_.best_visible(places::kLouvainLaNeuve, t, 25.0);
+  ASSERT_TRUE(best.has_value());
+  for (const auto& v : all) EXPECT_LE(v.elevation_deg, best->elevation_deg + 1e-12);
+}
+
+TEST_F(Shell1Test, ActivePlanesRestrictsVisibility) {
+  const TimePoint t = TimePoint::epoch();
+  const auto all = shell_.visible_from(places::kLouvainLaNeuve, t, 25.0, 0);
+  const auto few = shell_.visible_from(places::kLouvainLaNeuve, t, 25.0, 10);
+  EXPECT_LE(few.size(), all.size());
+  for (const auto& v : few) EXPECT_LT(v.sat.plane, 10);
+}
+
+// ------------------------------------------------------------ Handover
+
+class HandoverTest : public ::testing::Test {
+ protected:
+  HandoverTest() {
+    HandoverScheduler::Config cfg;
+    cfg.terminal = places::kLouvainLaNeuve;
+    cfg.gateways = default_european_gateways();
+    scheduler_ = std::make_unique<HandoverScheduler>(shell_, cfg, Rng{99});
+  }
+  Constellation shell_{Constellation::Config{}};
+  std::unique_ptr<HandoverScheduler> scheduler_;
+};
+
+TEST_F(HandoverTest, PathIsStableWithinSlot) {
+  const auto& p1 = scheduler_->path_at(TimePoint::epoch() + 1_s);
+  const SatIndex sat = p1.sat;
+  const double slant = p1.terminal_slant_m;
+  const auto& p2 = scheduler_->path_at(TimePoint::epoch() + 14_s);
+  EXPECT_EQ(p2.sat, sat);
+  EXPECT_DOUBLE_EQ(p2.terminal_slant_m, slant);
+}
+
+TEST_F(HandoverTest, PathsChangeAcrossSlots) {
+  std::set<std::pair<int, int>> sats;
+  for (int slot = 0; slot < 40; ++slot) {
+    const auto& p = scheduler_->path_at(TimePoint::epoch() + 15_s * static_cast<double>(slot));
+    ASSERT_TRUE(p.connected);
+    sats.insert({p.sat.plane, p.sat.slot});
+  }
+  // Randomized selection over 40 slots must use several distinct satellites.
+  EXPECT_GE(sats.size(), 5u);
+  EXPECT_GT(scheduler_->stats().handovers, 0u);
+}
+
+TEST_F(HandoverTest, QueryOrderDoesNotChangeChoice) {
+  HandoverScheduler::Config cfg;
+  cfg.terminal = places::kLouvainLaNeuve;
+  cfg.gateways = default_european_gateways();
+  HandoverScheduler a{shell_, cfg, Rng{7}};
+  HandoverScheduler b{shell_, cfg, Rng{7}};
+  const TimePoint t5 = TimePoint::epoch() + 75_s;
+  const TimePoint t2 = TimePoint::epoch() + 30_s;
+  // a queries 5 then 2; b queries 2 then 5 -> same paths regardless.
+  const SatIndex a5 = a.path_at(t5).sat;
+  const SatIndex a2 = a.path_at(t2).sat;
+  const SatIndex b2 = b.path_at(t2).sat;
+  const SatIndex b5 = b.path_at(t5).sat;
+  EXPECT_EQ(a5, b5);
+  EXPECT_EQ(a2, b2);
+}
+
+TEST_F(HandoverTest, PropagationDelayInPlausibleRange) {
+  for (int slot = 0; slot < 50; ++slot) {
+    const auto& p = scheduler_->path_at(TimePoint::epoch() + 15_s * static_cast<double>(slot));
+    ASSERT_TRUE(p.connected);
+    const double ms = p.propagation_one_way().to_millis();
+    // Bent pipe UT->sat->GW: between ~3.7ms (2x550km) and ~9ms (2x~1300km).
+    EXPECT_GE(ms, 3.6);
+    EXPECT_LE(ms, 9.5);
+  }
+}
+
+// ------------------------------------------------------------ StarlinkAccess
+
+class AccessTest : public ::testing::Test {
+ protected:
+  AccessTest() : net_{sim_}, access_{net_, StarlinkAccess::Config{}} {}
+  sim::Simulator sim_{42};
+  sim::Network net_;
+  StarlinkAccess access_;
+};
+
+TEST_F(AccessTest, TopologyShape) {
+  EXPECT_EQ(access_.client().addr(), sim::make_addr(192, 168, 1, 100));
+  EXPECT_EQ(access_.cpe().inside().addr(), sim::kCpeNatAddr);
+  EXPECT_EQ(access_.cgn().inside().addr(), sim::kCgnNatAddr);
+  EXPECT_EQ(access_.public_addr(), sim::make_addr(149, 6, 50, 1));
+  EXPECT_EQ(net_.node_count(), 4u);
+  EXPECT_EQ(net_.link_count(), 3u);
+}
+
+TEST_F(AccessTest, CapacitiesWithinEnvelope) {
+  for (int i = 0; i < 500; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::minutes(i);
+    const double down = access_.downlink_capacity(t).to_mbps();
+    const double up = access_.uplink_capacity(t).to_mbps();
+    // Bounds follow the default load-process floor/ceiling in the config.
+    EXPECT_GE(down, 450.0 * 0.07 - 1e-6);
+    EXPECT_LE(down, 450.0 * 0.90 + 1e-6);
+    EXPECT_GE(up, 80.0 * 0.07 - 1e-6);
+    EXPECT_LE(up, 80.0 * 0.8 + 1e-6);
+  }
+}
+
+TEST_F(AccessTest, EpochCapacityFactorApplies) {
+  StarlinkAccess::Config cfg;
+  cfg.epoch_capacity_factor = [](TimePoint) { return 0.5; };
+  sim::Simulator sim2{42};
+  sim::Network net2{sim2};
+  StarlinkAccess halved{net2, cfg};
+  const TimePoint t = TimePoint::epoch() + 10_min;
+  EXPECT_NEAR(halved.downlink_capacity(t).to_mbps(), access_.downlink_capacity(t).to_mbps() / 2.0,
+              1e-6);
+}
+
+TEST_F(AccessTest, PingThroughAccessHasStarlinkLikeRtt) {
+  // Attach a server directly at the PoP and ping it from the client.
+  sim::Host& server = net_.add_host("server", sim::make_addr(203, 0, 113, 50));
+  sim::Interface& pop_if = access_.pop().add_interface(sim::make_addr(203, 0, 113, 1));
+  net_.connect(pop_if, server.uplink(),
+               sim::Network::symmetric(DataRate::gbps(10), Duration::from_millis(1)));
+  access_.pop().routes().add_route(sim::make_addr(203, 0, 113, 0), 24, pop_if);
+
+  std::vector<double> rtts_ms;
+  for (int i = 0; i < 100; ++i) {
+    sim_.schedule_at(TimePoint::epoch() + Duration::seconds(5 * i), [&, i] {
+      const TimePoint sent = sim_.now();
+      access_.client().bind_echo_reply(static_cast<std::uint16_t>(i), [&, sent](const sim::Packet&) {
+        rtts_ms.push_back((sim_.now() - sent).to_millis());
+      });
+      sim::Packet ping;
+      ping.dst = server.addr();
+      ping.proto = sim::Protocol::kIcmp;
+      ping.size_bytes = 64;
+      ping.icmp = sim::IcmpHeader{sim::IcmpType::kEchoRequest, static_cast<std::uint16_t>(i), 0,
+                                  nullptr};
+      access_.client().send(std::move(ping));
+    });
+  }
+  sim_.run();
+  ASSERT_GE(rtts_ms.size(), 95u);  // outages may eat a couple of pings
+  double sum = 0.0;
+  double mn = 1e9;
+  double mx = 0.0;
+  for (const double r : rtts_ms) {
+    sum += r;
+    mn = std::min(mn, r);
+    mx = std::max(mx, r);
+  }
+  // Starlink-like: minimum around 15-30ms, mean within 30-70ms (plus the 2ms
+  // server link RTT), never sub-10ms.
+  EXPECT_GT(mn, 12.0);
+  EXPECT_LT(mn, 40.0);
+  EXPECT_GT(sum / static_cast<double>(rtts_ms.size()), 30.0);
+  EXPECT_LT(sum / static_cast<double>(rtts_ms.size()), 75.0);
+  EXPECT_LT(mx, 250.0);
+}
+
+TEST_F(AccessTest, TracerouteShowsTwoNatLevels) {
+  sim::Host& server = net_.add_host("server", sim::make_addr(203, 0, 113, 50));
+  sim::Interface& pop_if = access_.pop().add_interface(sim::make_addr(203, 0, 113, 1));
+  net_.connect(pop_if, server.uplink(),
+               sim::Network::symmetric(DataRate::gbps(10), Duration::from_millis(1)));
+  access_.pop().routes().add_route(sim::make_addr(203, 0, 113, 0), 24, pop_if);
+
+  std::vector<sim::Ipv4Addr> hops;
+  access_.client().add_error_listener([&](const sim::Packet& p) { hops.push_back(p.src); });
+  for (std::uint8_t ttl = 1; ttl <= 3; ++ttl) {
+    sim_.schedule_at(TimePoint::epoch() + Duration::seconds(ttl), [&, ttl] {
+      sim::Packet probe;
+      probe.dst = server.addr();
+      probe.src_port = static_cast<std::uint16_t>(33434 + ttl);
+      probe.dst_port = 33434;
+      probe.proto = sim::Protocol::kUdp;
+      probe.size_bytes = 60;
+      probe.ttl = ttl;
+      access_.client().send(std::move(probe));
+    });
+  }
+  sim_.run();
+  ASSERT_GE(hops.size(), 2u);
+  EXPECT_EQ(hops[0], sim::kCpeNatAddr);   // 192.168.1.1
+  EXPECT_EQ(hops[1], sim::kCgnNatAddr);   // 100.64.0.1
+}
+
+TEST_F(AccessTest, FifoOrderPreservedDespiteJitter) {
+  sim::Host& server = net_.add_host("server", sim::make_addr(203, 0, 113, 50));
+  sim::Interface& pop_if = access_.pop().add_interface(sim::make_addr(203, 0, 113, 1));
+  net_.connect(pop_if, server.uplink(),
+               sim::Network::symmetric(DataRate::gbps(10), Duration::from_millis(1)));
+  access_.pop().routes().add_route(sim::make_addr(203, 0, 113, 0), 24, pop_if);
+
+  std::vector<std::uint64_t> arrival_order;
+  server.bind(sim::Protocol::kUdp, 9000, [&](const sim::Packet& p) {
+    arrival_order.push_back(p.flow_id);
+  });
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sim::Packet p;
+    p.dst = server.addr();
+    p.src_port = 40'000;
+    p.dst_port = 9000;
+    p.proto = sim::Protocol::kUdp;
+    p.size_bytes = 1200;
+    p.flow_id = i;
+    access_.client().send(std::move(p));
+  }
+  sim_.run();
+  for (std::size_t i = 1; i < arrival_order.size(); ++i) {
+    EXPECT_LT(arrival_order[i - 1], arrival_order[i]);
+  }
+}
+
+}  // namespace
+}  // namespace slp::leo

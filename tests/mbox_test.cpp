@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "geo/geo_access.hpp"
+#include "leo/access.hpp"
+#include "mbox/tracebox.hpp"
+#include "mbox/traceroute.hpp"
+#include "mbox/wehe.hpp"
+#include "sim/network.hpp"
+#include "tcp/tcp.hpp"
+
+namespace slp::mbox {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+constexpr sim::Ipv4Addr kServerAddr = make_addr(203, 0, 113, 80);
+
+/// Attaches a server behind an access's PoP.
+sim::Host& attach_server(sim::Network& net, sim::Router& pop) {
+  sim::Host& server = net.add_host("server", kServerAddr);
+  sim::Interface& pop_if = pop.add_interface(make_addr(203, 0, 113, 1));
+  net.connect(pop_if, server.uplink(),
+              sim::Network::symmetric(DataRate::gbps(10), Duration::from_millis(2)));
+  pop.routes().add_route(make_addr(203, 0, 113, 0), 24, pop_if);
+  return server;
+}
+
+// ------------------------------------------------------------ Traceroute
+
+TEST(TracerouteStarlink, RevealsTwoNatLevelsThenPop) {
+  sim::Simulator sim{51};
+  sim::Network net{sim};
+  leo::StarlinkAccess access{net, leo::StarlinkAccess::Config{}};
+  attach_server(net, access.pop());
+
+  std::vector<Traceroute::Hop> hops;
+  Traceroute::Config cfg;
+  cfg.target = kServerAddr;
+  Traceroute tr{access.client(), cfg};
+  tr.on_complete = [&](const std::vector<Traceroute::Hop>& h) { hops = h; };
+  tr.start();
+  sim.run_until(TimePoint::epoch() + Duration::minutes(2));
+  ASSERT_GE(hops.size(), 4u);
+  // The paper's §3.5 observation.
+  EXPECT_EQ(hops[0].reporter, sim::kCpeNatAddr);
+  EXPECT_EQ(hops[1].reporter, sim::kCgnNatAddr);
+  EXPECT_EQ(hops[2].reporter, make_addr(149, 6, 50, 254));  // PoP, ingress side
+  EXPECT_TRUE(hops.back().reached_destination);
+  EXPECT_EQ(hops.back().reporter, kServerAddr);
+  // RTTs beyond the satellite hop are Starlink-sized.
+  EXPECT_GT(hops[1].rtt.to_millis(), 15.0);
+}
+
+TEST(TracerouteGeo, ReachesDestinationWithoutRevealingPep) {
+  sim::Simulator sim{52};
+  sim::Network net{sim};
+  geo::GeoAccess access{net, geo::GeoAccess::Config{}};
+  attach_server(net, access.pop());
+
+  std::vector<Traceroute::Hop> hops;
+  Traceroute::Config cfg;
+  cfg.target = kServerAddr;
+  Traceroute tr{access.client(), cfg};
+  tr.on_complete = [&](const std::vector<Traceroute::Hop>& h) { hops = h; };
+  tr.start();
+  sim.run_until(TimePoint::epoch() + Duration::minutes(3));
+  ASSERT_GE(hops.size(), 4u);
+  EXPECT_TRUE(hops.back().reached_destination);
+  // Four reporting hops: modem, gateway, pop, destination — the PEP is
+  // invisible at the IP layer.
+  EXPECT_EQ(hops.size(), 4u);
+}
+
+// ------------------------------------------------------------ Tracebox
+
+TEST(TraceboxStarlink, NatsAlterOnlyChecksumsAndNoPep) {
+  sim::Simulator sim{53};
+  sim::Network net{sim};
+  leo::StarlinkAccess access{net, leo::StarlinkAccess::Config{}};
+  sim::Host& server = attach_server(net, access.pop());
+  tcp::TcpStack server_stack{server};
+  server_stack.listen(80, [](tcp::TcpConnection&) {});
+
+  Tracebox::Report report;
+  bool done = false;
+  Tracebox::Config cfg;
+  cfg.target = kServerAddr;
+  Tracebox tb{access.client(), cfg};
+  tb.on_complete = [&](const Tracebox::Report& r) {
+    report = r;
+    done = true;
+  };
+  tb.start();
+  sim.run_until(TimePoint::epoch() + Duration::minutes(3));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(report.nat_detected);
+  EXPECT_FALSE(report.pep_detected);
+  EXPECT_GT(report.destination_distance, 0);
+  EXPECT_EQ(report.handshake_ttl, report.destination_distance);
+  // "Only the TCP and UDP checksums are altered by the NATs."
+  ASSERT_EQ(report.all_modified_fields.size(), 1u);
+  EXPECT_EQ(report.all_modified_fields[0], "tcp-checksum");
+}
+
+TEST(TraceboxGeo, DetectsPepTerminatingHandshakeMidPath) {
+  sim::Simulator sim{54};
+  sim::Network net{sim};
+  geo::GeoAccess access{net, geo::GeoAccess::Config{}};
+  sim::Host& server = attach_server(net, access.pop());
+  tcp::TcpStack server_stack{server};
+  server_stack.listen(80, [](tcp::TcpConnection&) {});
+
+  Tracebox::Report report;
+  bool done = false;
+  Tracebox::Config cfg;
+  cfg.target = kServerAddr;
+  Tracebox tb{access.client(), cfg};
+  tb.on_complete = [&](const Tracebox::Report& r) {
+    report = r;
+    done = true;
+  };
+  tb.start();
+  sim.run_until(TimePoint::epoch() + Duration::minutes(5));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(report.pep_detected);
+  EXPECT_GT(report.destination_distance, report.handshake_ttl);
+}
+
+TEST(TraceboxGeo, NoPepDetectedWhenDisabled) {
+  sim::Simulator sim{55};
+  sim::Network net{sim};
+  geo::GeoAccess::Config geo_cfg;
+  geo_cfg.pep.enabled = false;
+  geo::GeoAccess access{net, geo_cfg};
+  sim::Host& server = attach_server(net, access.pop());
+  tcp::TcpStack server_stack{server};
+  server_stack.listen(80, [](tcp::TcpConnection&) {});
+
+  Tracebox::Report report;
+  bool done = false;
+  Tracebox::Config cfg;
+  cfg.target = kServerAddr;
+  Tracebox tb{access.client(), cfg};
+  tb.on_complete = [&](const Tracebox::Report& r) {
+    report = r;
+    done = true;
+  };
+  tb.start();
+  sim.run_until(TimePoint::epoch() + Duration::minutes(5));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(report.pep_detected);
+  EXPECT_EQ(report.handshake_ttl, report.destination_distance);
+}
+
+// ------------------------------------------------------------ Wehe
+
+class WeheTest : public ::testing::Test {
+ protected:
+  WeheTest() : net_{sim_} {
+    client_ = &net_.add_host("client", make_addr(10, 0, 0, 2));
+    server_ = &net_.add_host("server", kServerAddr);
+    link_ = &net_.connect(client_->uplink(), server_->uplink(),
+                          sim::Network::symmetric(DataRate::mbps(50), 20_ms));
+    wehe_server_ = std::make_unique<WeheServer>(*server_);
+  }
+
+  sim::Simulator sim_{56};
+  sim::Network net_{sim_};
+  sim::Host* client_ = nullptr;
+  sim::Host* server_ = nullptr;
+  sim::Link* link_ = nullptr;
+  std::unique_ptr<WeheServer> wehe_server_;
+};
+
+TEST_F(WeheTest, NoDifferentiationOnNeutralPath) {
+  WeheClient::Config cfg;
+  cfg.server = kServerAddr;
+  cfg.repetitions = 4;
+  WeheClient client{*client_, cfg};
+  WeheClient::Report report;
+  bool done = false;
+  client.on_complete = [&](const WeheClient::Report& r) {
+    report = r;
+    done = true;
+  };
+  client.start();
+  sim_.run_until(TimePoint::epoch() + Duration::minutes(10));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(report.differentiation_detected);
+  EXPECT_NEAR(report.mean_original_mbps, 8.0, 0.8);
+  EXPECT_NEAR(report.mean_randomized_mbps, 8.0, 0.8);
+}
+
+TEST_F(WeheTest, DetectsPolicerThrottlingClassifiedTraffic) {
+  DscpPolicer policer{DscpPolicer::Config{
+      .match_dscp = static_cast<std::uint8_t>(ContentMarker::kVideoStreaming),
+      .limit = DataRate::mbps(3),
+      .bucket_bytes = 32 * 1024}};
+  link_->set_loss(1, &policer);  // server -> client direction
+
+  WeheClient::Config cfg;
+  cfg.server = kServerAddr;
+  cfg.repetitions = 4;
+  WeheClient client{*client_, cfg};
+  WeheClient::Report report;
+  bool done = false;
+  client.on_complete = [&](const WeheClient::Report& r) {
+    report = r;
+    done = true;
+  };
+  client.start();
+  sim_.run_until(TimePoint::epoch() + Duration::minutes(10));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(report.differentiation_detected);
+  EXPECT_LT(report.mean_original_mbps, report.mean_randomized_mbps);
+  EXPECT_GT(policer.dropped(), 0u);
+}
+
+TEST(DscpPolicer, PassesUnmarkedTraffic) {
+  DscpPolicer policer{DscpPolicer::Config{.match_dscp = 10, .limit = DataRate::kbps(1)}};
+  sim::Packet pkt;
+  pkt.size_bytes = 1500;
+  pkt.dscp = 0;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(policer.should_drop(TimePoint::epoch() + Duration::millis(i), pkt));
+  }
+  EXPECT_EQ(policer.dropped(), 0u);
+}
+
+TEST(DscpPolicer, EnforcesTokenBucketRate) {
+  DscpPolicer policer{DscpPolicer::Config{
+      .match_dscp = 10, .limit = DataRate::mbps(1), .bucket_bytes = 2000}};
+  sim::Packet pkt;
+  pkt.size_bytes = 1000;
+  pkt.dscp = 10;
+  int passed = 0;
+  // 1000 packets over 10 seconds = 0.8 Mbit/s offered... offered rate is
+  // 100 pkt/s x 8000 bits = 0.8 Mbit/s, below the limit: all pass.
+  for (int i = 0; i < 1000; ++i) {
+    if (!policer.should_drop(TimePoint::epoch() + Duration::millis(10 * i), pkt)) ++passed;
+  }
+  EXPECT_EQ(passed, 1000);
+  // Now a burst at t=20s far above the bucket: only bucket+refill passes.
+  int burst_passed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!policer.should_drop(TimePoint::epoch() + Duration::seconds(20), pkt)) ++burst_passed;
+  }
+  EXPECT_LE(burst_passed, 3);
+}
+
+}  // namespace
+}  // namespace slp::mbox

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "phy/gilbert_elliott.hpp"
+#include "phy/load_process.hpp"
+#include "phy/outage.hpp"
+
+namespace slp::phy {
+namespace {
+
+using namespace slp::literals;
+using sim::Packet;
+
+Packet dummy_packet() {
+  Packet p;
+  p.size_bytes = 1200;
+  return p;
+}
+
+// ------------------------------------------------------------ GilbertElliott
+
+TEST(GilbertElliott, LosslessWhenAlwaysGood) {
+  GilbertElliott::Config cfg;
+  cfg.mean_good = Duration::hours(1000);
+  cfg.loss_good = 0.0;
+  GilbertElliott ge{cfg, Rng{1}};
+  const Packet p = dummy_packet();
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_FALSE(ge.should_drop(TimePoint::epoch() + Duration::millis(i), p));
+  }
+  EXPECT_EQ(ge.stats().dropped, 0u);
+}
+
+TEST(GilbertElliott, LongRunLossRateMatchesStationaryChain) {
+  GilbertElliott::Config cfg;
+  cfg.mean_good = Duration::millis(90);
+  cfg.mean_bad = Duration::millis(10);
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;
+  GilbertElliott ge{cfg, Rng{2}};
+  const Packet p = dummy_packet();
+  std::uint64_t drops = 0;
+  const int n = 2'000'000;
+  for (int i = 0; i < n; ++i) {
+    // one packet every 100us -> samples the chain densely
+    if (ge.should_drop(TimePoint::epoch() + Duration::micros(100) * static_cast<double>(i), p)) {
+      ++drops;
+    }
+  }
+  // Stationary P[bad] = 10 / (90+10) = 0.10.
+  const double rate = static_cast<double>(drops) / n;
+  EXPECT_NEAR(rate, 0.10, 0.01);
+}
+
+TEST(GilbertElliott, BadStateProducesConsecutiveDrops) {
+  GilbertElliott::Config cfg;
+  cfg.mean_good = Duration::millis(50);
+  cfg.mean_bad = Duration::millis(5);
+  cfg.loss_bad = 1.0;
+  GilbertElliott ge{cfg, Rng{3}};
+  const Packet p = dummy_packet();
+  // Count burst lengths of consecutive drops at 100us spacing.
+  int max_burst = 0;
+  int cur = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    if (ge.should_drop(TimePoint::epoch() + Duration::micros(100) * static_cast<double>(i), p)) {
+      max_burst = std::max(max_burst, ++cur);
+    } else {
+      cur = 0;
+    }
+  }
+  // 5ms bad state at 100us spacing -> bursts of tens of packets must occur.
+  EXPECT_GE(max_burst, 10);
+}
+
+TEST(GilbertElliott, DeterministicPerSeed) {
+  GilbertElliott::Config cfg;
+  cfg.mean_good = Duration::millis(10);
+  cfg.mean_bad = Duration::millis(10);
+  cfg.loss_bad = 0.5;
+  GilbertElliott a{cfg, Rng{4}};
+  GilbertElliott b{cfg, Rng{4}};
+  const Packet p = dummy_packet();
+  for (int i = 0; i < 10'000; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::micros(37) * static_cast<double>(i);
+    EXPECT_EQ(a.should_drop(t, p), b.should_drop(t, p));
+  }
+}
+
+// ------------------------------------------------------------ OutageProcess
+
+TEST(OutageProcess, DropsEverythingInsideWindow) {
+  OutageProcess::Config cfg;
+  cfg.mean_interarrival = Duration::seconds(30);
+  cfg.duration_mu = 0.5;
+  cfg.duration_sigma = 0.2;
+  OutageProcess outage{cfg, Rng{5}};
+  const Packet p = dummy_packet();
+  // Scan 10 minutes at 1ms; there must be at least one outage and inside it
+  // every packet must drop.
+  bool saw_outage = false;
+  for (int i = 0; i < 600'000; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::millis(i);
+    const bool in = outage.in_outage(t);
+    const bool dropped = outage.should_drop(t, p);
+    EXPECT_EQ(in, dropped);
+    saw_outage |= in;
+  }
+  EXPECT_TRUE(saw_outage);
+  EXPECT_GT(outage.stats().dropped, 0u);
+}
+
+TEST(OutageProcess, OutagesAreRareRelativeToUptime) {
+  OutageProcess::Config cfg;
+  cfg.mean_interarrival = Duration::hours(2);
+  OutageProcess outage{cfg, Rng{6}};
+  const Packet p = dummy_packet();
+  std::uint64_t drops = 0;
+  const int n = 1'000'000;  // one sample per 100ms over ~28 hours
+  for (int i = 0; i < n; ++i) {
+    if (outage.should_drop(TimePoint::epoch() + Duration::millis(100) * static_cast<double>(i),
+                           p)) {
+      ++drops;
+    }
+  }
+  // Expected duty cycle ~ 1.4s / 7200s ~ 2e-4.
+  EXPECT_LT(static_cast<double>(drops) / n, 0.005);
+}
+
+TEST(CompositeLossModel, DropsWhenAnyChildDrops) {
+  class Never final : public sim::LossModel {
+   public:
+    bool should_drop(TimePoint, const Packet&) override { return false; }
+  };
+  class Always final : public sim::LossModel {
+   public:
+    bool should_drop(TimePoint, const Packet&) override { return true; }
+  };
+  Never never;
+  Always always;
+  CompositeLossModel both{{&never, &always}};
+  CompositeLossModel none{{&never, &never}};
+  const Packet p = dummy_packet();
+  EXPECT_TRUE(both.should_drop(TimePoint::epoch(), p));
+  EXPECT_FALSE(none.should_drop(TimePoint::epoch(), p));
+}
+
+TEST(BernoulliLoss, MatchesProbability) {
+  BernoulliLoss loss{0.2, Rng{7}};
+  const Packet p = dummy_packet();
+  int drops = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (loss.should_drop(TimePoint::epoch(), p)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.2, 0.01);
+}
+
+// ------------------------------------------------------------ LoadProcess
+
+TEST(LoadProcess, StaysInBounds) {
+  LoadProcess::Config cfg;
+  cfg.mean_utilization = 0.3;
+  cfg.volatility = 0.2;  // deliberately large to stress the clamp
+  LoadProcess load{cfg, Rng{8}};
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = load.utilization(TimePoint::epoch() + Duration::seconds(i));
+    EXPECT_GE(u, cfg.floor);
+    EXPECT_LE(u, cfg.ceiling);
+  }
+}
+
+TEST(LoadProcess, HoversAroundMean) {
+  LoadProcess::Config cfg;
+  cfg.mean_utilization = 0.25;
+  LoadProcess load{cfg, Rng{9}};
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    sum += load.utilization(TimePoint::epoch() + Duration::seconds(10) * static_cast<double>(i));
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.05);
+}
+
+TEST(LoadProcess, SameTimeSameValue) {
+  LoadProcess load{LoadProcess::Config{}, Rng{10}};
+  const TimePoint t = TimePoint::epoch() + Duration::hours(3);
+  const double u1 = load.utilization(t);
+  // Query far ahead, then re-query the old time: cache must be stable.
+  (void)load.utilization(t + Duration::hours(10));
+  EXPECT_DOUBLE_EQ(load.utilization(t), u1);
+}
+
+TEST(LoadProcess, DiurnalComponentCreatesDayNightSwing) {
+  LoadProcess::Config flat;
+  flat.volatility = 0.0;
+  LoadProcess::Config diurnal = flat;
+  diurnal.diurnal_amplitude = 0.3;
+  LoadProcess flat_load{flat, Rng{11}};
+  LoadProcess diurnal_load{diurnal, Rng{11}};
+  // Peak of the sine at 1/4 of the period.
+  const TimePoint peak = TimePoint::epoch() + Duration::hours(6);
+  const TimePoint trough = TimePoint::epoch() + Duration::hours(18);
+  EXPECT_NEAR(flat_load.utilization(peak), flat_load.utilization(trough), 1e-12);
+  EXPECT_GT(diurnal_load.utilization(peak), diurnal_load.utilization(trough) + 0.4);
+}
+
+TEST(LoadProcess, AvailableFractionComplementsUtilization) {
+  LoadProcess load{LoadProcess::Config{}, Rng{12}};
+  const TimePoint t = TimePoint::epoch() + Duration::minutes(5);
+  EXPECT_DOUBLE_EQ(load.utilization(t) + load.available_fraction(t), 1.0);
+}
+
+}  // namespace
+}  // namespace slp::phy

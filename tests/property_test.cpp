@@ -1,0 +1,436 @@
+// property_test.cpp — parameterized sweeps asserting invariants that must
+// hold across the whole parameter space, not just at calibration points.
+#include <gtest/gtest.h>
+
+#include "leo/isl.hpp"
+#include "leo/places.hpp"
+#include "phy/gilbert_elliott.hpp"
+#include "phy/outage.hpp"
+#include "quic/quic.hpp"
+#include "sim/network.hpp"
+#include "tcp/tcp.hpp"
+
+namespace slp {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+// ===================================================== TCP transfer sweep
+
+struct TcpCase {
+  double rate_mbps;
+  int delay_ms;
+  double loss;
+  cc::CcAlgorithm algorithm;
+};
+
+class TcpTransferProperty : public ::testing::TestWithParam<TcpCase> {};
+
+TEST_P(TcpTransferProperty, DeliversExactlyAndTerminates) {
+  const TcpCase param = GetParam();
+  sim::Simulator simulator{1234};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(
+      a.uplink(), b.uplink(),
+      sim::Network::symmetric(DataRate::mbps(param.rate_mbps),
+                              Duration::millis(param.delay_ms), 1024 * 1024));
+  std::unique_ptr<phy::BernoulliLoss> loss;
+  if (param.loss > 0) {
+    loss = std::make_unique<phy::BernoulliLoss>(param.loss, Rng{99});
+    link.set_loss(0, loss.get());
+  }
+
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  std::uint64_t delivered = 0;
+  sb.listen(80, [&](tcp::TcpConnection& c) {
+    c.on_data = [&](std::uint64_t n) { delivered += n; };
+  });
+  tcp::TcpConfig config;
+  config.algorithm = param.algorithm;
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80, config);
+  const std::uint64_t total = 3'000'000;
+  conn.on_established = [&conn] { conn.send(total); };
+  simulator.run_until(TimePoint::epoch() + Duration::minutes(10));
+
+  // Invariants: exact delivery, drained pipe, monotone byte accounting.
+  EXPECT_EQ(delivered, total);
+  EXPECT_EQ(conn.stats().bytes_acked, total);
+  EXPECT_EQ(conn.bytes_in_flight(), 0u);
+  EXPECT_GE(conn.stats().segments_sent,
+            total / 1448 + 1);  // at least one wire segment per MSS
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateDelayLossGrid, TcpTransferProperty,
+    ::testing::Values(
+        TcpCase{5, 5, 0.0, cc::CcAlgorithm::kCubic},
+        TcpCase{5, 5, 0.0, cc::CcAlgorithm::kNewReno},
+        TcpCase{20, 25, 0.0, cc::CcAlgorithm::kCubic},
+        TcpCase{20, 25, 0.01, cc::CcAlgorithm::kCubic},
+        TcpCase{20, 25, 0.01, cc::CcAlgorithm::kNewReno},
+        TcpCase{100, 10, 0.0, cc::CcAlgorithm::kCubic},
+        TcpCase{100, 10, 0.005, cc::CcAlgorithm::kCubic},
+        TcpCase{100, 150, 0.0, cc::CcAlgorithm::kCubic},
+        TcpCase{500, 2, 0.0, cc::CcAlgorithm::kCubic},
+        TcpCase{2, 300, 0.0, cc::CcAlgorithm::kCubic},
+        TcpCase{2, 300, 0.02, cc::CcAlgorithm::kNewReno}),
+    [](const auto& info) {
+      const TcpCase& c = info.param;
+      return std::to_string(static_cast<int>(c.rate_mbps)) + "mbps_" +
+             std::to_string(c.delay_ms) + "ms_loss" +
+             std::to_string(static_cast<int>(c.loss * 1000)) + "_" +
+             (c.algorithm == cc::CcAlgorithm::kCubic ? "cubic" : "reno");
+    });
+
+// ===================================================== QUIC transfer sweep
+
+struct QuicCase {
+  std::uint64_t bytes;
+  double rate_mbps;
+  int delay_ms;
+  double loss;
+  bool pacing;
+};
+
+class QuicTransferProperty : public ::testing::TestWithParam<QuicCase> {};
+
+TEST_P(QuicTransferProperty, StreamDeliversExactly) {
+  const QuicCase param = GetParam();
+  sim::Simulator simulator{77};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(
+      a.uplink(), b.uplink(),
+      sim::Network::symmetric(DataRate::mbps(param.rate_mbps),
+                              Duration::millis(param.delay_ms), 768 * 1024));
+  std::unique_ptr<phy::BernoulliLoss> loss;
+  if (param.loss > 0) {
+    loss = std::make_unique<phy::BernoulliLoss>(param.loss, Rng{5});
+    link.set_loss(0, loss.get());
+  }
+  quic::QuicStack ca{a};
+  quic::QuicStack cb{b};
+  quic::QuicConfig config;
+  config.pacing = param.pacing;
+  std::uint64_t got = 0;
+  cb.listen(443, [&](quic::QuicConnection& c) {
+    c.on_stream_data = [&](std::uint64_t n) { got += n; };
+  }, config);
+  quic::QuicConnection& conn = ca.connect(b.addr(), 443, config);
+  conn.on_established = [&conn, &param] { conn.send_stream(param.bytes); };
+  simulator.run_until(TimePoint::epoch() + Duration::minutes(10));
+  EXPECT_EQ(got, param.bytes);
+  EXPECT_EQ(conn.bytes_in_flight(), 0u);
+  // Packet numbers never repeat: receiver count <= sender pn space size.
+  EXPECT_LE(conn.stats().packets_sent, conn.stats().largest_pn_sent + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeRateGrid, QuicTransferProperty,
+    ::testing::Values(QuicCase{1, 10, 10, 0.0, false},
+                      QuicCase{1350, 10, 10, 0.0, false},
+                      QuicCase{100'000, 10, 10, 0.0, false},
+                      QuicCase{100'000, 10, 10, 0.03, false},
+                      QuicCase{2'000'000, 50, 30, 0.0, false},
+                      QuicCase{2'000'000, 50, 30, 0.01, false},
+                      QuicCase{2'000'000, 50, 30, 0.01, true},
+                      QuicCase{5'000'000, 200, 5, 0.0, false},
+                      QuicCase{500'000, 3, 200, 0.0, false},
+                      QuicCase{500'000, 3, 200, 0.02, true}),
+    [](const auto& info) {
+      const QuicCase& c = info.param;
+      return std::to_string(c.bytes) + "B_" + std::to_string(static_cast<int>(c.rate_mbps)) +
+             "mbps_" + std::to_string(c.delay_ms) + "ms_loss" +
+             std::to_string(static_cast<int>(c.loss * 1000)) +
+             (c.pacing ? "_paced" : "_unpaced");
+    });
+
+// ===================================================== link conservation
+
+class LinkConservationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkConservationProperty, PacketsConservedAndFifo) {
+  const int rate_mbps = GetParam();
+  sim::Simulator simulator{3};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(a.uplink(), b.uplink(),
+                                sim::Network::symmetric(DataRate::mbps(rate_mbps), 5_ms,
+                                                        64 * 1024));
+  std::vector<std::uint64_t> arrivals;
+  b.bind(sim::Protocol::kUdp, 7, [&](const sim::Packet& p) { arrivals.push_back(p.flow_id); });
+  const int n = 500;
+  Rng rng{4};
+  Duration at = Duration::zero();
+  for (int i = 0; i < n; ++i) {
+    sim::Packet p;
+    p.dst = b.addr();
+    p.dst_port = 7;
+    p.proto = sim::Protocol::kUdp;
+    p.size_bytes = static_cast<std::uint32_t>(rng.uniform_int(64, 1500));
+    p.flow_id = static_cast<std::uint64_t>(i);
+    // Random inter-send gaps, monotone send order (so flow ids are FIFO).
+    at += Duration::micros(rng.uniform_int(0, 400));
+    simulator.schedule_in(at, [&a, p]() mutable { a.send(std::move(p)); });
+  }
+  simulator.run();
+  const auto& stats = link.stats_a_to_b();
+  // Conservation: every enqueued packet was delivered or dropped.
+  EXPECT_EQ(stats.enqueued_packets,
+            stats.delivered_packets + stats.dropped_overflow + stats.dropped_medium +
+                stats.dropped_aqm);
+  EXPECT_EQ(arrivals.size(), stats.delivered_packets);
+  // FIFO: flow ids arrive in send order (drops allowed, reorders not).
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LT(arrivals[i - 1], arrivals[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LinkConservationProperty,
+                         ::testing::Values(1, 10, 100, 1000));
+
+// ===================================================== GE stationarity
+
+class GilbertElliottProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // (good_s, bad_ms)
+
+TEST_P(GilbertElliottProperty, StationaryLossMatchesTheory) {
+  const auto [good_s, bad_ms] = GetParam();
+  phy::GilbertElliott::Config config;
+  config.mean_good = Duration::seconds(good_s);
+  config.mean_bad = Duration::millis(bad_ms);
+  config.loss_bad = 0.7;
+  phy::GilbertElliott ge{config, Rng{8}};
+  sim::Packet p;
+  p.size_bytes = 1000;
+  std::uint64_t drops = 0;
+  const int n = 3'000'000;
+  for (int i = 0; i < n; ++i) {
+    if (ge.should_drop(TimePoint::epoch() + Duration::micros(500) * static_cast<double>(i),
+                       p)) {
+      ++drops;
+    }
+  }
+  const double bad_fraction =
+      config.mean_bad.to_seconds() / (config.mean_bad + config.mean_good).to_seconds();
+  const double expected = bad_fraction * config.loss_bad;
+  EXPECT_NEAR(static_cast<double>(drops) / n, expected, expected * 0.35 + 2e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, GilbertElliottProperty,
+                         ::testing::Values(std::pair{1, 100}, std::pair{5, 50},
+                                           std::pair{24, 100}, std::pair{60, 500}));
+
+// ===================================================== regression tests
+
+TEST(Regression, WindowUpdateAcksAreNotDupacks) {
+  // A receiver that repeatedly announces more window (manual-read consume)
+  // must not trigger spurious fast retransmits at the sender.
+  sim::Simulator simulator{21};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(),
+              sim::Network::symmetric(DataRate::mbps(100), 5_ms, 2 * 1024 * 1024));
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  tcp::TcpConnection* server_conn = nullptr;
+  std::uint64_t unconsumed = 0;
+  sb.listen(80, [&](tcp::TcpConnection& c) {
+    server_conn = &c;
+    c.set_manual_read(true);
+    c.on_data = [&](std::uint64_t n) { unconsumed += n; };
+  });
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80);
+  conn.on_established = [&conn] { conn.send(5'000'000); };
+  // Slow reader: consume in 64kB sips every 20ms.
+  std::function<void()> sip = [&] {
+    if (server_conn != nullptr && unconsumed > 0) {
+      const std::uint64_t n = std::min<std::uint64_t>(unconsumed, 65'536);
+      unconsumed -= n;
+      server_conn->consume(n);
+    }
+    simulator.schedule_in(20_ms, sip);
+  };
+  simulator.schedule_in(20_ms, sip);
+  simulator.run_until(TimePoint::epoch() + 40_s);
+  EXPECT_EQ(conn.stats().bytes_acked, 5'000'000u);
+  // Clean path: zero loss means zero retransmissions, despite thousands of
+  // pure window updates.
+  EXPECT_EQ(conn.stats().retransmissions, 0u);
+  EXPECT_EQ(conn.stats().fast_recoveries, 0u);
+}
+
+TEST(Regression, ManualReadBackpressuresSender) {
+  sim::Simulator simulator{22};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(),
+              sim::Network::symmetric(DataRate::gbps(1), 2_ms, 8 * 1024 * 1024));
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  std::uint64_t delivered = 0;
+  tcp::TcpConfig server_config;
+  server_config.initial_rcv_buffer = 256 * 1024;
+  server_config.max_rcv_buffer = 256 * 1024;
+  sb.listen(80, [&](tcp::TcpConnection& c) {
+    c.set_manual_read(true);  // and never consume
+    c.on_data = [&](std::uint64_t n) { delivered += n; };
+  }, server_config);
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80);
+  conn.on_established = [&conn] { conn.send(50'000'000); };
+  simulator.run_until(TimePoint::epoch() + 5_s);
+  // A never-reading receiver caps delivery at roughly its buffer size.
+  EXPECT_LE(delivered, 300'000u);
+  EXPECT_GT(delivered, 100'000u);
+}
+
+TEST(Regression, UtilizationLossIdleLinkNeverDrops) {
+  phy::UtilizationLoss loss{{.threshold = 0.3, .p_drop = 1.0, .burst_continue = 1.0,
+                             .max_burst = 10},
+                            Rng{9}};
+  sim::Packet p;
+  p.size_bytes = 1200;
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_FALSE(loss.should_drop(TimePoint::epoch(), p, 0.29));
+  }
+  // Above threshold with p=1: drops immediately and bursts.
+  EXPECT_TRUE(loss.should_drop(TimePoint::epoch(), p, 0.5));
+}
+
+TEST(Regression, UtilizationLossBurstsAreBounded) {
+  // With a small arming probability, bursts are capped near max_burst
+  // (chained re-arming needs another p_drop success, so longer runs decay
+  // geometrically).
+  phy::UtilizationLoss loss{{.threshold = 0.1, .p_drop = 0.01, .burst_continue = 1.0,
+                             .max_burst = 4},
+                            Rng{10}};
+  sim::Packet p;
+  p.size_bytes = 1200;
+  int consecutive = 0;
+  int max_burst = 0;
+  int total_drops = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    if (loss.should_drop(TimePoint::epoch(), p, 0.9)) {
+      ++total_drops;
+      max_burst = std::max(max_burst, ++consecutive);
+    } else {
+      consecutive = 0;
+    }
+  }
+  EXPECT_GT(total_drops, 0);
+  EXPECT_GE(max_burst, 4);
+  EXPECT_LE(max_burst, 12);  // one-in-10^4 chained re-arms, not runaways
+}
+
+TEST(Regression, TcpGivesUpAfterMaxRtoRetries) {
+  sim::Simulator simulator{23};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(a.uplink(), b.uplink(),
+                                sim::Network::symmetric(DataRate::mbps(10), 5_ms));
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  sb.listen(80, [](tcp::TcpConnection& c) { c.on_data = [](std::uint64_t) {}; });
+  bool error = false;
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80);
+  conn.on_error = [&] { error = true; };
+  conn.on_established = [&conn, &link] {
+    conn.send(100'000);
+    // The path dies mid-transfer and never comes back.
+    class DropAll final : public sim::LossModel {
+     public:
+      bool should_drop(TimePoint, const sim::Packet&) override { return true; }
+    };
+    static DropAll drop;
+    link.set_loss(0, &drop);
+  };
+  simulator.run_until(TimePoint::epoch() + Duration::minutes(60));
+  EXPECT_TRUE(error);
+  EXPECT_EQ(conn.state(), tcp::TcpState::kDone);
+  // The simulator must fully drain: no immortal retransmission timers.
+  simulator.run();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(Regression, QuicEagerReductionIsMoreCautiousThanRfcMode) {
+  // Same path, same loss: the quiche-era mode (default) must end up with a
+  // smaller or equal congestion window than the RFC once-per-round mode.
+  auto run = [](bool once_per_round) {
+    sim::Simulator simulator{24};
+    sim::Network net{simulator};
+    sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+    sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+    sim::Link& link = net.connect(a.uplink(), b.uplink(),
+                                  sim::Network::symmetric(DataRate::mbps(50), 25_ms,
+                                                          512 * 1024));
+    phy::BernoulliLoss loss{0.01, Rng{31}};
+    link.set_loss(0, &loss);
+    quic::QuicStack ca{a};
+    quic::QuicStack cb{b};
+    quic::QuicConfig config;
+    config.once_per_round_reduction = once_per_round;
+    std::uint64_t got = 0;
+    cb.listen(443, [&](quic::QuicConnection& c) {
+      c.on_stream_data = [&](std::uint64_t n) { got += n; };
+    }, config);
+    quic::QuicConnection& conn = ca.connect(b.addr(), 443, config);
+    conn.on_established = [&conn] { conn.send_stream(8'000'000); };
+    simulator.run_until(TimePoint::epoch() + 30_s);
+    return got;
+  };
+  const std::uint64_t eager = run(false);
+  const std::uint64_t rfc = run(true);
+  EXPECT_LE(eager, rfc);
+  EXPECT_GT(eager, 0u);
+}
+
+TEST(Regression, IslModelBeatsFiberOnLongRoutes) {
+  const auto sg = leo::isl_latency(leo::places::kLouvainLaNeuve, leo::places::kSingapore);
+  const Duration fiber = leo::fiber_rtt(leo::places::kLouvainLaNeuve, leo::places::kSingapore);
+  EXPECT_LT(sg.rtt, fiber);
+  EXPECT_GT(sg.hops, 3);
+  EXPECT_GT(sg.rtt.to_millis(), 70.0);   // physics floor
+  EXPECT_LT(sg.rtt.to_millis(), 200.0);
+  // Short routes: fiber wins (the up/down legs dominate).
+  const auto brussels =
+      leo::isl_latency(leo::places::kLouvainLaNeuve, leo::places::kBrussels);
+  EXPECT_GT(brussels.rtt, leo::fiber_rtt(leo::places::kLouvainLaNeuve, leo::places::kBrussels));
+}
+
+TEST(Regression, AqmHookSeesQueueFraction) {
+  sim::Simulator simulator{25};
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link::Config config = sim::Network::symmetric(DataRate::mbps(1), 5_ms, 100'000);
+  double max_fraction_seen = 0.0;
+  config.a_to_b.aqm = [&](TimePoint, const sim::Packet&, double fraction) {
+    max_fraction_seen = std::max(max_fraction_seen, fraction);
+    return false;
+  };
+  net.connect(a.uplink(), b.uplink(), std::move(config));
+  b.bind(sim::Protocol::kUdp, 1, [](const sim::Packet&) {});
+  for (int i = 0; i < 100; ++i) {
+    sim::Packet p;
+    p.dst = b.addr();
+    p.dst_port = 1;
+    p.proto = sim::Protocol::kUdp;
+    p.size_bytes = 1000;
+    a.send(std::move(p));
+  }
+  simulator.run();
+  // 100kB of backlog against a 100kB queue: the hook saw a nearly-full queue.
+  EXPECT_GT(max_fraction_seen, 0.8);
+}
+
+}  // namespace
+}  // namespace slp

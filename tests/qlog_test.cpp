@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "quic/qlog.hpp"
+#include "sim/network.hpp"
+#include "stats/moods_test.hpp"
+#include "util/rng.hpp"
+
+namespace slp {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+// ------------------------------------------------------------ QlogTrace
+
+class QlogFixture : public ::testing::Test {
+ protected:
+  QlogFixture() : net_{sim_} {
+    a_ = &net_.add_host("a", make_addr(10, 0, 0, 1));
+    b_ = &net_.add_host("b", make_addr(10, 0, 0, 2));
+    net_.connect(a_->uplink(), b_->uplink(),
+                 sim::Network::symmetric(DataRate::mbps(50), 10_ms));
+    ca_ = std::make_unique<quic::QuicStack>(*a_);
+    cb_ = std::make_unique<quic::QuicStack>(*b_);
+  }
+  sim::Simulator sim_{71};
+  sim::Network net_;
+  sim::Host* a_ = nullptr;
+  sim::Host* b_ = nullptr;
+  std::unique_ptr<quic::QuicStack> ca_;
+  std::unique_ptr<quic::QuicStack> cb_;
+};
+
+TEST_F(QlogFixture, RecordsSentAndAckedEvents) {
+  cb_->listen(443, [](quic::QuicConnection&) {});
+  quic::QuicConnection& conn = ca_->connect(b_->addr(), 443);
+  quic::QlogTrace trace;
+  trace.attach(conn, "test-transfer");
+  conn.on_established = [&conn] { conn.send_stream(500'000); };
+  sim_.run();
+  EXPECT_GT(trace.count(quic::QlogTrace::EventType::kPacketSent), 350u);
+  EXPECT_GT(trace.count(quic::QlogTrace::EventType::kPacketAcked), 350u);
+  EXPECT_EQ(trace.count(quic::QlogTrace::EventType::kPacketLost), 0u);
+  // Sent events carry sizes; acked events carry RTTs >= path RTT.
+  for (const auto& event : trace.events()) {
+    if (event.type == quic::QlogTrace::EventType::kPacketSent) {
+      EXPECT_GT(event.bytes, 0u);
+    }
+    if (event.type == quic::QlogTrace::EventType::kPacketAcked) {
+      EXPECT_GE(event.rtt.to_millis(), 20.0);
+    }
+  }
+}
+
+TEST_F(QlogFixture, JsonIsWellFormedIsh) {
+  cb_->listen(443, [](quic::QuicConnection&) {});
+  quic::QuicConnection& conn = ca_->connect(b_->addr(), 443);
+  quic::QlogTrace trace;
+  trace.attach(conn, "json-check");
+  conn.on_established = [&conn] { conn.send_stream(10'000); };
+  sim_.run();
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"qlog_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"title\":\"json-check\""), std::string::npos);
+  EXPECT_NE(json.find("transport:packet_sent"), std::string::npos);
+  // Balanced braces (cheap structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(QlogFixture, TimesAreRelativeAndMonotonicPerSide) {
+  cb_->listen(443, [](quic::QuicConnection&) {});
+  quic::QuicConnection& conn = ca_->connect(b_->addr(), 443);
+  quic::QlogTrace trace;
+  trace.attach(conn, "mono");
+  conn.on_established = [&conn] { conn.send_stream(100'000); };
+  sim_.run();
+  ASSERT_FALSE(trace.events().empty());
+  TimePoint prev = trace.events().front().at;
+  for (const auto& event : trace.events()) {
+    EXPECT_GE(event.at, prev);
+    prev = event.at;
+  }
+}
+
+// ------------------------------------------------------------ KS test
+
+TEST(KsTwoSample, SameDistributionHighP) {
+  Rng rng{81};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.lognormal(3.0, 0.5));
+    b.push_back(rng.lognormal(3.0, 0.5));
+  }
+  const auto result = stats::ks_two_sample(a, b);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(result.d, 0.05);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(KsTwoSample, ShiftedDistributionLowP) {
+  Rng rng{82};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.5, 1.0));
+  }
+  const auto result = stats::ks_two_sample(a, b);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.d, 0.15);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTwoSample, EmptyInputInvalid) {
+  std::vector<double> a{1.0};
+  std::vector<double> empty;
+  EXPECT_FALSE(stats::ks_two_sample(a, empty).valid);
+  EXPECT_FALSE(stats::ks_two_sample(empty, a).valid);
+}
+
+TEST(KsTwoSample, IdenticalSamplesZeroD) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto result = stats::ks_two_sample(a, a);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.d, 0.0);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace slp

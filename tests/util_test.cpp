@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace slp {
+namespace {
+
+using namespace slp::literals;
+
+// ---------------------------------------------------------------- Duration
+
+TEST(Duration, FactoryConversionsAreExact) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(3).ns(), 3'000'000);
+  EXPECT_EQ(Duration::micros(7).ns(), 7'000);
+  EXPECT_EQ(Duration::minutes(2).ns(), 120'000'000'000);
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+  EXPECT_EQ(Duration::days(1), Duration::hours(24));
+}
+
+TEST(Duration, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_millis(0.0001).ns(), 100);
+  EXPECT_EQ(Duration::from_micros(2.5).ns(), 2'500);
+}
+
+TEST(Duration, ArithmeticBehavesLikeIntegers) {
+  const Duration a = 5_ms;
+  const Duration b = 3_ms;
+  EXPECT_EQ((a + b).ns(), 8'000'000);
+  EXPECT_EQ((a - b).ns(), 2'000'000);
+  EXPECT_EQ((a * 2.0).ns(), 10'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 5.0 / 3.0);
+  EXPECT_EQ(-a + a, Duration::zero());
+}
+
+TEST(Duration, ComparisonsAreTotalOrder) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((Duration::zero() - 1_ns).is_negative());
+  EXPECT_TRUE(Duration::infinite().is_infinite());
+}
+
+TEST(Duration, ToStringPicksReadableUnit) {
+  EXPECT_EQ(to_string(2_s), "2s");
+  EXPECT_EQ(to_string(5_ms), "5ms");
+  EXPECT_EQ(to_string(42_us), "42us");
+  EXPECT_EQ(to_string(7_ns), "7ns");
+}
+
+// ---------------------------------------------------------------- TimePoint
+
+TEST(TimePoint, EpochPlusDurationRoundTrips) {
+  const TimePoint t = TimePoint::epoch() + 5_s;
+  EXPECT_EQ(t.since_epoch(), 5_s);
+  EXPECT_EQ((t - 2_s).since_epoch(), 3_s);
+  EXPECT_EQ(t - TimePoint::epoch(), 5_s);
+}
+
+TEST(TimePoint, OrderingFollowsClock) {
+  const TimePoint a = TimePoint::epoch() + 1_s;
+  const TimePoint b = TimePoint::epoch() + 2_s;
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a + 1_s, b);
+}
+
+// ---------------------------------------------------------------- DataRate
+
+TEST(DataRate, TransmissionTimeMatchesHandMath) {
+  // 1500 bytes at 12 Mbit/s = 1 ms.
+  EXPECT_EQ(DataRate::mbps(12).transmission_time(1500), 1_ms);
+  // 125 bytes at 1 Mbit/s = 1 ms.
+  EXPECT_EQ(DataRate::mbps(1).transmission_time(125), 1_ms);
+}
+
+TEST(DataRate, BytesInInvertsTransmissionTime) {
+  const DataRate r = DataRate::mbps(100);
+  EXPECT_NEAR(r.bytes_in(1_s), 12'500'000.0, 1.0);
+}
+
+TEST(DataRate, RateOfComputesObservedThroughput) {
+  // 12.5 MB in one second = 100 Mbit/s.
+  EXPECT_NEAR(rate_of(12'500'000, 1_s).to_mbps(), 100.0, 1e-9);
+  EXPECT_TRUE(rate_of(1000, Duration::zero()).is_zero());
+}
+
+TEST(DataRate, LiteralsAndComparisons) {
+  EXPECT_EQ(100_mbps, DataRate::mbps(100));
+  EXPECT_LT(10_mbps, 1_gbps);
+  EXPECT_EQ((2 * 50_mbps).to_mbps(), 100.0);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsStableAndIndependent) {
+  const Rng parent{7};
+  Rng f1 = parent.fork("quic");
+  Rng f2 = parent.fork("quic");
+  Rng f3 = parent.fork("tcp");
+  EXPECT_EQ(f1.next(), f2.next());
+  EXPECT_NE(f1.next(), f3.next());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng{3};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{4};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng{5};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng rng{6};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng{8};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng{9};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng{10};
+  std::uniform_int_distribution<int> dist(0, 9);
+  for (int i = 0; i < 100; ++i) {
+    const int v = dist(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+  }
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(Flags, ParsesKeyValueAndBareFlags) {
+  const char* argv[] = {"prog", "--seed=42", "--verbose", "pos1", "--rate=1.5"};
+  const Flags f = Flags::parse(5, argv);
+  EXPECT_EQ(f.get_int("seed", 0), 42);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 1.5);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Flags f = Flags::parse(1, argv);
+  EXPECT_EQ(f.get("name", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_FALSE(f.has("n"));
+}
+
+TEST(Flags, TracksUnusedKeys) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  const Flags f = Flags::parse(3, argv);
+  (void)f.get_int("used", 0);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ull);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+}  // namespace
+}  // namespace slp
