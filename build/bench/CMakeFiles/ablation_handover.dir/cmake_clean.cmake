@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_handover.dir/ablation_handover.cpp.o"
+  "CMakeFiles/ablation_handover.dir/ablation_handover.cpp.o.d"
+  "ablation_handover"
+  "ablation_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

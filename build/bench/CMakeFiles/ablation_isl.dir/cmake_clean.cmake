@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_isl.dir/ablation_isl.cpp.o"
+  "CMakeFiles/ablation_isl.dir/ablation_isl.cpp.o.d"
+  "ablation_isl"
+  "ablation_isl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_isl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pacing.dir/ablation_pacing.cpp.o"
+  "CMakeFiles/ablation_pacing.dir/ablation_pacing.cpp.o.d"
+  "ablation_pacing"
+  "ablation_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_conns.dir/ablation_parallel_conns.cpp.o"
+  "CMakeFiles/ablation_parallel_conns.dir/ablation_parallel_conns.cpp.o.d"
+  "ablation_parallel_conns"
+  "ablation_parallel_conns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_conns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

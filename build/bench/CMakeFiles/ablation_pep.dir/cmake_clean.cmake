@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pep.dir/ablation_pep.cpp.o"
+  "CMakeFiles/ablation_pep.dir/ablation_pep.cpp.o.d"
+  "ablation_pep"
+  "ablation_pep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

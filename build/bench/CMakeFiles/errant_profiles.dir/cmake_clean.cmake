@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errant_profiles.dir/errant_profiles.cpp.o"
+  "CMakeFiles/errant_profiles.dir/errant_profiles.cpp.o.d"
+  "errant_profiles"
+  "errant_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errant_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_rtt_anchors.dir/fig1_rtt_anchors.cpp.o"
+  "CMakeFiles/fig1_rtt_anchors.dir/fig1_rtt_anchors.cpp.o.d"
+  "fig1_rtt_anchors"
+  "fig1_rtt_anchors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_rtt_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_rtt_timeseries.dir/fig2_rtt_timeseries.cpp.o"
+  "CMakeFiles/fig2_rtt_timeseries.dir/fig2_rtt_timeseries.cpp.o.d"
+  "fig2_rtt_timeseries"
+  "fig2_rtt_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rtt_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_loss_bursts.dir/fig4_loss_bursts.cpp.o"
+  "CMakeFiles/fig4_loss_bursts.dir/fig4_loss_bursts.cpp.o.d"
+  "fig4_loss_bursts"
+  "fig4_loss_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_loss_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_web_qoe.dir/fig6_web_qoe.cpp.o"
+  "CMakeFiles/fig6_web_qoe.dir/fig6_web_qoe.cpp.o.d"
+  "fig6_web_qoe"
+  "fig6_web_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_web_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

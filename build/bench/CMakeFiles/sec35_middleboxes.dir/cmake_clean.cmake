@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec35_middleboxes.dir/sec35_middleboxes.cpp.o"
+  "CMakeFiles/sec35_middleboxes.dir/sec35_middleboxes.cpp.o.d"
+  "sec35_middleboxes"
+  "sec35_middleboxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec35_middleboxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

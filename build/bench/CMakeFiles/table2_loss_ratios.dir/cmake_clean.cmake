@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_loss_ratios.dir/table2_loss_ratios.cpp.o"
+  "CMakeFiles/table2_loss_ratios.dir/table2_loss_ratios.cpp.o.d"
+  "table2_loss_ratios"
+  "table2_loss_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_loss_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

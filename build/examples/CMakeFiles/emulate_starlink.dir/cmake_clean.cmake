@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulate_starlink.dir/emulate_starlink.cpp.o"
+  "CMakeFiles/emulate_starlink.dir/emulate_starlink.cpp.o.d"
+  "emulate_starlink"
+  "emulate_starlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulate_starlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for emulate_starlink.
+# This may be replaced when dependencies are built.

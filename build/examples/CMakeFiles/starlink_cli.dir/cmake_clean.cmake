@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_cli.dir/starlink_cli.cpp.o"
+  "CMakeFiles/starlink_cli.dir/starlink_cli.cpp.o.d"
+  "starlink_cli"
+  "starlink_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

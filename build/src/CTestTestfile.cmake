@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("sim")
+subdirs("phy")
+subdirs("leo")
+subdirs("tcp")
+subdirs("quic")
+subdirs("geo")
+subdirs("apps")
+subdirs("web")
+subdirs("mbox")
+subdirs("emu")
+subdirs("measure")

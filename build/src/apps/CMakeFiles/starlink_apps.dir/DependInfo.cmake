@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/h3.cpp" "src/apps/CMakeFiles/starlink_apps.dir/h3.cpp.o" "gcc" "src/apps/CMakeFiles/starlink_apps.dir/h3.cpp.o.d"
+  "/root/repo/src/apps/messages.cpp" "src/apps/CMakeFiles/starlink_apps.dir/messages.cpp.o" "gcc" "src/apps/CMakeFiles/starlink_apps.dir/messages.cpp.o.d"
+  "/root/repo/src/apps/ping.cpp" "src/apps/CMakeFiles/starlink_apps.dir/ping.cpp.o" "gcc" "src/apps/CMakeFiles/starlink_apps.dir/ping.cpp.o.d"
+  "/root/repo/src/apps/speedtest.cpp" "src/apps/CMakeFiles/starlink_apps.dir/speedtest.cpp.o" "gcc" "src/apps/CMakeFiles/starlink_apps.dir/speedtest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/starlink_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/starlink_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/starlink_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/starlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_apps.dir/h3.cpp.o"
+  "CMakeFiles/starlink_apps.dir/h3.cpp.o.d"
+  "CMakeFiles/starlink_apps.dir/messages.cpp.o"
+  "CMakeFiles/starlink_apps.dir/messages.cpp.o.d"
+  "CMakeFiles/starlink_apps.dir/ping.cpp.o"
+  "CMakeFiles/starlink_apps.dir/ping.cpp.o.d"
+  "CMakeFiles/starlink_apps.dir/speedtest.cpp.o"
+  "CMakeFiles/starlink_apps.dir/speedtest.cpp.o.d"
+  "libstarlink_apps.a"
+  "libstarlink_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

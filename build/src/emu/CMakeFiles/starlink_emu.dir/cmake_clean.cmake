@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_emu.dir/errant.cpp.o"
+  "CMakeFiles/starlink_emu.dir/errant.cpp.o.d"
+  "libstarlink_emu.a"
+  "libstarlink_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_geo.dir/geo_access.cpp.o"
+  "CMakeFiles/starlink_geo.dir/geo_access.cpp.o.d"
+  "CMakeFiles/starlink_geo.dir/pep.cpp.o"
+  "CMakeFiles/starlink_geo.dir/pep.cpp.o.d"
+  "libstarlink_geo.a"
+  "libstarlink_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_leo.dir/access.cpp.o"
+  "CMakeFiles/starlink_leo.dir/access.cpp.o.d"
+  "CMakeFiles/starlink_leo.dir/constellation.cpp.o"
+  "CMakeFiles/starlink_leo.dir/constellation.cpp.o.d"
+  "CMakeFiles/starlink_leo.dir/geodesy.cpp.o"
+  "CMakeFiles/starlink_leo.dir/geodesy.cpp.o.d"
+  "CMakeFiles/starlink_leo.dir/handover.cpp.o"
+  "CMakeFiles/starlink_leo.dir/handover.cpp.o.d"
+  "CMakeFiles/starlink_leo.dir/isl.cpp.o"
+  "CMakeFiles/starlink_leo.dir/isl.cpp.o.d"
+  "libstarlink_leo.a"
+  "libstarlink_leo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_leo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_mbox.dir/tracebox.cpp.o"
+  "CMakeFiles/starlink_mbox.dir/tracebox.cpp.o.d"
+  "CMakeFiles/starlink_mbox.dir/traceroute.cpp.o"
+  "CMakeFiles/starlink_mbox.dir/traceroute.cpp.o.d"
+  "CMakeFiles/starlink_mbox.dir/wehe.cpp.o"
+  "CMakeFiles/starlink_mbox.dir/wehe.cpp.o.d"
+  "libstarlink_mbox.a"
+  "libstarlink_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

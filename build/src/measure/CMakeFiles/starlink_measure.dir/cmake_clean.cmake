@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_measure.dir/campaign.cpp.o"
+  "CMakeFiles/starlink_measure.dir/campaign.cpp.o.d"
+  "CMakeFiles/starlink_measure.dir/loss.cpp.o"
+  "CMakeFiles/starlink_measure.dir/loss.cpp.o.d"
+  "CMakeFiles/starlink_measure.dir/testbed.cpp.o"
+  "CMakeFiles/starlink_measure.dir/testbed.cpp.o.d"
+  "libstarlink_measure.a"
+  "libstarlink_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

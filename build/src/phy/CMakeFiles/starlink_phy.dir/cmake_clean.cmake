@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_phy.dir/gilbert_elliott.cpp.o"
+  "CMakeFiles/starlink_phy.dir/gilbert_elliott.cpp.o.d"
+  "CMakeFiles/starlink_phy.dir/load_process.cpp.o"
+  "CMakeFiles/starlink_phy.dir/load_process.cpp.o.d"
+  "CMakeFiles/starlink_phy.dir/outage.cpp.o"
+  "CMakeFiles/starlink_phy.dir/outage.cpp.o.d"
+  "libstarlink_phy.a"
+  "libstarlink_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

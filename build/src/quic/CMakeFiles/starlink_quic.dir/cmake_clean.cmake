@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_quic.dir/qlog.cpp.o"
+  "CMakeFiles/starlink_quic.dir/qlog.cpp.o.d"
+  "CMakeFiles/starlink_quic.dir/quic.cpp.o"
+  "CMakeFiles/starlink_quic.dir/quic.cpp.o.d"
+  "libstarlink_quic.a"
+  "libstarlink_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

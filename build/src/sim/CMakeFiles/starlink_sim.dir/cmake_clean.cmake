@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/starlink_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/starlink_sim.dir/host.cpp.o"
+  "CMakeFiles/starlink_sim.dir/host.cpp.o.d"
+  "CMakeFiles/starlink_sim.dir/link.cpp.o"
+  "CMakeFiles/starlink_sim.dir/link.cpp.o.d"
+  "CMakeFiles/starlink_sim.dir/nat.cpp.o"
+  "CMakeFiles/starlink_sim.dir/nat.cpp.o.d"
+  "CMakeFiles/starlink_sim.dir/packet.cpp.o"
+  "CMakeFiles/starlink_sim.dir/packet.cpp.o.d"
+  "CMakeFiles/starlink_sim.dir/routing.cpp.o"
+  "CMakeFiles/starlink_sim.dir/routing.cpp.o.d"
+  "CMakeFiles/starlink_sim.dir/simulator.cpp.o"
+  "CMakeFiles/starlink_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/starlink_sim.dir/trace.cpp.o"
+  "CMakeFiles/starlink_sim.dir/trace.cpp.o.d"
+  "libstarlink_sim.a"
+  "libstarlink_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/starlink_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/starlink_stats.dir/histogram.cpp.o"
+  "CMakeFiles/starlink_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/starlink_stats.dir/moods_test.cpp.o"
+  "CMakeFiles/starlink_stats.dir/moods_test.cpp.o.d"
+  "CMakeFiles/starlink_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/starlink_stats.dir/quantiles.cpp.o.d"
+  "CMakeFiles/starlink_stats.dir/summary.cpp.o"
+  "CMakeFiles/starlink_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/starlink_stats.dir/table.cpp.o"
+  "CMakeFiles/starlink_stats.dir/table.cpp.o.d"
+  "CMakeFiles/starlink_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/starlink_stats.dir/timeseries.cpp.o.d"
+  "libstarlink_stats.a"
+  "libstarlink_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_tcp.dir/bbr.cpp.o"
+  "CMakeFiles/starlink_tcp.dir/bbr.cpp.o.d"
+  "CMakeFiles/starlink_tcp.dir/congestion.cpp.o"
+  "CMakeFiles/starlink_tcp.dir/congestion.cpp.o.d"
+  "CMakeFiles/starlink_tcp.dir/tcp.cpp.o"
+  "CMakeFiles/starlink_tcp.dir/tcp.cpp.o.d"
+  "libstarlink_tcp.a"
+  "libstarlink_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_util.dir/flags.cpp.o"
+  "CMakeFiles/starlink_util.dir/flags.cpp.o.d"
+  "CMakeFiles/starlink_util.dir/log.cpp.o"
+  "CMakeFiles/starlink_util.dir/log.cpp.o.d"
+  "CMakeFiles/starlink_util.dir/rng.cpp.o"
+  "CMakeFiles/starlink_util.dir/rng.cpp.o.d"
+  "CMakeFiles/starlink_util.dir/units.cpp.o"
+  "CMakeFiles/starlink_util.dir/units.cpp.o.d"
+  "libstarlink_util.a"
+  "libstarlink_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

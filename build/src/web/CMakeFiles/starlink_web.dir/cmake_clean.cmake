@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_web.dir/browser.cpp.o"
+  "CMakeFiles/starlink_web.dir/browser.cpp.o.d"
+  "CMakeFiles/starlink_web.dir/dns.cpp.o"
+  "CMakeFiles/starlink_web.dir/dns.cpp.o.d"
+  "CMakeFiles/starlink_web.dir/page.cpp.o"
+  "CMakeFiles/starlink_web.dir/page.cpp.o.d"
+  "CMakeFiles/starlink_web.dir/server.cpp.o"
+  "CMakeFiles/starlink_web.dir/server.cpp.o.d"
+  "libstarlink_web.a"
+  "libstarlink_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

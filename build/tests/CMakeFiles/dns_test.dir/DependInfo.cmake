@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/web/CMakeFiles/starlink_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/starlink_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/starlink_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/leo/CMakeFiles/starlink_leo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/starlink_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/starlink_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/starlink_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/starlink_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbox/CMakeFiles/starlink_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/starlink_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/starlink_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/starlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_test.dir/leo_test.cpp.o"
+  "CMakeFiles/leo_test.dir/leo_test.cpp.o.d"
+  "leo_test"
+  "leo_test.pdb"
+  "leo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlog_test.dir/qlog_test.cpp.o"
+  "CMakeFiles/qlog_test.dir/qlog_test.cpp.o.d"
+  "qlog_test"
+  "qlog_test.pdb"
+  "qlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
