@@ -5,9 +5,11 @@
 // loss-based control (Cubic, NewReno) pays for every medium-loss burst,
 // while model-based BBR shrugs them off and keeps the queue shallow.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "measure/testbed.hpp"
+#include "runner/pool.hpp"
 #include "tcp/tcp.hpp"
 
 namespace {
@@ -73,17 +75,35 @@ int main(int argc, char** argv) {
                       {"newreno", cc::CcAlgorithm::kNewReno},
                       {"bbr", cc::CcAlgorithm::kBbr}};
 
+  // Every (loss regime, controller, replication) is an independent cell —
+  // run them all on one pool and read results back in cell order, so the
+  // table is identical for any --jobs.
+  const int runs = args.scaled(3) * args.seeds;
+  std::vector<CcResult> cells(2 * 3 * static_cast<std::size_t>(runs));
+  {
+    runner::Pool pool{args.jobs};
+    std::size_t cell = 0;
+    for (const bool heavy : {false, true}) {
+      for (const Row& row : rows) {
+        for (int i = 0; i < runs; ++i, ++cell) {
+          const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(i) * 13;
+          pool.submit([&cells, cell, seed, algorithm = row.algorithm, heavy] {
+            cells[cell] = run_one(seed, algorithm, heavy);
+          });
+        }
+      }
+    }
+    pool.drain();
+  }
+
+  std::size_t cell = 0;
   for (const bool heavy : {false, true}) {
     std::printf("%s\n", heavy ? "\nheavy medium loss (bursts every ~3 s — rainy/obstructed dish):"
                                : "default calibration (bursts every ~24 s):");
     stats::TextTable table{{"controller", "p25 Mbit/s", "median Mbit/s", "p75 Mbit/s"}};
     for (const Row& row : rows) {
       stats::Samples mbps;
-      const int runs = args.scaled(3);
-      for (int i = 0; i < runs; ++i) {
-        mbps.add(run_one(args.seed + static_cast<std::uint64_t>(i) * 13, row.algorithm, heavy)
-                     .mbps);
-      }
+      for (int i = 0; i < runs; ++i, ++cell) mbps.add(cells[cell].mbps);
       using stats::TextTable;
       table.add_row({row.name, TextTable::num(mbps.percentile(25), 0),
                      TextTable::num(mbps.median(), 0),

@@ -13,6 +13,7 @@
 #include "apps/ping.hpp"
 #include "bench_common.hpp"
 #include "measure/testbed.hpp"
+#include "runner/pool.hpp"
 
 namespace {
 
@@ -87,8 +88,39 @@ int main(int argc, char** argv) {
   const auto args = bench::CommonArgs::parse(argc, argv);
   bench::banner("Ablation: handovers", "RTT structure on the 15-second scheduling grid");
 
-  for (const double penalty_ms : {8.0, 0.0}) {
-    const FoldResult fold = probe_phase_fold(args.seed, Duration::from_millis(penalty_ms));
+  // One cell per (penalty, seed replication); folds append in cell order so
+  // the output is --jobs invariant.
+  const double penalties_ms[] = {8.0, 0.0};
+  std::vector<FoldResult> cells(2 * static_cast<std::size_t>(args.seeds));
+  {
+    runner::Pool pool{args.jobs};
+    for (std::size_t p = 0; p < 2; ++p) {
+      for (int s = 0; s < args.seeds; ++s) {
+        const std::size_t cell = p * static_cast<std::size_t>(args.seeds) +
+                                 static_cast<std::size_t>(s);
+        const std::uint64_t seed =
+            runner::cell_seed(args.seed, static_cast<std::uint64_t>(s));
+        const Duration penalty = Duration::from_millis(penalties_ms[p]);
+        pool.submit([&cells, cell, seed, penalty] {
+          cells[cell] = probe_phase_fold(seed, penalty);
+        });
+      }
+    }
+    pool.drain();
+  }
+
+  for (std::size_t p = 0; p < 2; ++p) {
+    const double penalty_ms = penalties_ms[p];
+    FoldResult fold = std::move(cells[p * static_cast<std::size_t>(args.seeds)]);
+    for (int s = 1; s < args.seeds; ++s) {
+      const FoldResult& from =
+          cells[p * static_cast<std::size_t>(args.seeds) + static_cast<std::size_t>(s)];
+      for (std::size_t i = 0; i < fold.by_phase.size(); ++i) {
+        fold.by_phase[i].add_all(from.by_phase[i].values());
+      }
+      fold.slot_medians.add_all(from.slot_medians.values());
+      fold.boundary_steps_ms.add_all(from.boundary_steps_ms.values());
+    }
     std::printf("\nslot penalty U(0, %.0f ms):\n  median RTT by second-in-slot:", penalty_ms);
     for (const auto& phase : fold.by_phase) {
       std::printf(" %5.1f", phase.empty() ? 0.0 : phase.median());

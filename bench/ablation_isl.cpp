@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   config.duration = Duration::hours(static_cast<std::int64_t>(12 * args.scale));
   config.cadence = Duration::minutes(5);
   config.epochs = false;
-  const auto pings = measure::PingCampaign::run(config);
+  const auto pings = bench::run_sweep<measure::PingCampaign>(args, config);
 
   struct Target {
     const char* anchor_name;

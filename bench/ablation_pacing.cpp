@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     config.upload = true;
     config.sessions = args.scaled(4);
     config.pacing = pacing;
-    const auto result = measure::MessageCampaign::run(config);
+    const auto result = bench::run_sweep<measure::MessageCampaign>(args, config);
     using stats::TextTable;
     table.add_row({pacing ? "pacing on" : "pacing off (quiche)",
                    TextTable::num(result.rtt_ms.median(), 0),

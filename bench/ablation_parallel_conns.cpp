@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     config.access = measure::AccessKind::kStarlink;
     config.tests = args.scaled(8);
     config.connections = connections;
-    const auto result = measure::SpeedtestCampaign::run(config);
+    const auto result = bench::run_sweep<measure::SpeedtestCampaign>(args, config);
     using stats::TextTable;
     table.add_row({std::to_string(connections),
                    TextTable::num(result.mbps.percentile(25), 0),

@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
     web_config.visits = args.scaled(12);
     web_config.satcom_pep = pep;
 
-    const auto st = measure::SpeedtestCampaign::run(st_config);
-    const auto web = measure::WebCampaign::run(web_config);
+    const auto st = bench::run_sweep<measure::SpeedtestCampaign>(args, st_config);
+    const auto web = bench::run_sweep<measure::WebCampaign>(args, web_config);
     using stats::TextTable;
     table.add_row({pep ? "PEP enabled (paper)" : "PEP disabled",
                    TextTable::num(st.mbps.median(), 0),

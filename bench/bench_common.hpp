@@ -7,12 +7,15 @@
 //     agreement is a one-glance check (EXPERIMENTS.md records the pairs).
 //
 // Common flags: --seed=N, --scale=F (scales campaign sizes; 1.0 = the
-// defaults documented in DESIGN.md, larger = closer to paper scale).
+// defaults documented in DESIGN.md, larger = closer to paper scale),
+// --seeds=N (independent seed replications per campaign, merged cell-id
+// ordered) and --jobs=M (worker threads; results are identical for any M).
 #pragma once
 
 #include <cstdio>
 #include <string>
 
+#include "runner/sweep.hpp"
 #include "stats/quantiles.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
@@ -55,12 +58,16 @@ inline std::vector<std::string> boxplot_row(const std::string& name,
 struct CommonArgs {
   std::uint64_t seed = 1;
   double scale = 1.0;
+  int seeds = 1;  ///< seed replications per campaign (cells of the sweep)
+  int jobs = 1;   ///< worker threads; 0 = hardware concurrency
 
   static CommonArgs parse(int argc, char** argv) {
     const Flags flags = Flags::parse(argc, argv);
     CommonArgs args;
     args.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     args.scale = flags.get_double("scale", 1.0);
+    args.seeds = std::max(1, static_cast<int>(flags.get_int("seeds", 1)));
+    args.jobs = std::max(0, static_cast<int>(flags.get_int("jobs", 1)));
     for (const auto& key : flags.unused()) {
       std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
     }
@@ -70,6 +77,18 @@ struct CommonArgs {
   [[nodiscard]] int scaled(int base) const {
     return std::max(1, static_cast<int>(base * scale));
   }
+
+  [[nodiscard]] runner::SweepConfig sweep() const { return {seeds, jobs}; }
 };
+
+/// Runs `config` once per seed cell (runner/sweep.hpp) and folds the results
+/// in cell-id order — the drop-in replacement for `Campaign::run(config)`
+/// in every regenerator. With --seeds=1 (the default) the output is exactly
+/// the single-seed campaign, whatever --jobs says.
+template <typename Campaign>
+[[nodiscard]] typename Campaign::Result run_sweep(const CommonArgs& args,
+                                                  const typename Campaign::Config& config) {
+  return runner::run_merged<Campaign>(args.sweep(), config);
+}
 
 }  // namespace slp::bench

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   config.duration = Duration::hours(static_cast<std::int64_t>(48 * args.scale));
   config.cadence = Duration::minutes(5);
   config.epochs = false;  // Figure 1 aggregates; epochs belong to Figure 2
-  const auto result = measure::PingCampaign::run(config);
+  const auto result = bench::run_sweep<measure::PingCampaign>(args, config);
 
   // The paper's published per-anchor reference points (median / min).
   const char* paper[] = {

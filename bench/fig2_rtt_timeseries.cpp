@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   // sparser grid over the full timeline — same bins, fewer samples per bin).
   config.cadence = Duration::minutes(static_cast<std::int64_t>(120 / args.scale));
   config.epochs = true;
-  const auto result = measure::PingCampaign::run(config);
+  const auto result = bench::run_sweep<measure::PingCampaign>(args, config);
 
   // One row per ~6-day stride of 6h bins to keep the series readable.
   stats::TextTable table{{"day", "min", "p25", "median", "p75", "p95", "samples"}};

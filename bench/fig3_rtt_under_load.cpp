@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed;
     config.download = true;
     config.transfers = args.scaled(6);
-    const auto down = measure::H3Campaign::run(config);
+    const auto down = bench::run_sweep<measure::H3Campaign>(args, config);
     print_row(table, "H3 download", down.rtt_ms, "95 / 175 / 210");
   }
   {
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     config.download = false;
     config.transfers = args.scaled(3);
     config.bytes = 40ull * 1000 * 1000;  // uploads at ~17 Mbit/s take a while
-    const auto up = measure::H3Campaign::run(config);
+    const auto up = bench::run_sweep<measure::H3Campaign>(args, config);
     print_row(table, "H3 upload", up.rtt_ms, "104 / 237 / 310");
   }
   {
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed + 2;
     config.upload = false;
     config.sessions = args.scaled(4);
-    const auto down = measure::MessageCampaign::run(config);
+    const auto down = bench::run_sweep<measure::MessageCampaign>(args, config);
     print_row(table, "messages download", down.rtt_ms, "50 / 71 / 87");
   }
   {
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed + 3;
     config.upload = true;
     config.sessions = args.scaled(4);
-    const auto up = measure::MessageCampaign::run(config);
+    const auto up = bench::run_sweep<measure::MessageCampaign>(args, config);
     print_row(table, "messages upload", up.rtt_ms, "66 / 87 / 143");
   }
 

@@ -12,14 +12,14 @@
 
 namespace {
 
-slp::stats::Samples speedtest(std::uint64_t seed, slp::measure::AccessKind access,
-                              bool download, int tests) {
+slp::stats::Samples speedtest(const slp::bench::CommonArgs& args, std::uint64_t seed,
+                              slp::measure::AccessKind access, bool download, int tests) {
   slp::measure::SpeedtestCampaign::Config config;
   config.seed = seed;
   config.access = access;
   config.download = download;
   config.tests = tests;
-  return slp::measure::SpeedtestCampaign::run(config).mbps;
+  return slp::bench::run_sweep<slp::measure::SpeedtestCampaign>(args, config).mbps;
 }
 
 }  // namespace
@@ -35,17 +35,21 @@ int main(int argc, char** argv) {
 
   table.add_row(bench::boxplot_row(
       "starlink ookla down",
-      speedtest(args.seed, measure::AccessKind::kStarlink, true, tests), "178 (max 386)"));
+      speedtest(args, args.seed, measure::AccessKind::kStarlink, true, tests),
+      "178 (max 386)"));
   table.add_row(bench::boxplot_row(
       "starlink ookla up",
-      speedtest(args.seed + 1, measure::AccessKind::kStarlink, false, tests), "17 (max 64)"));
+      speedtest(args, args.seed + 1, measure::AccessKind::kStarlink, false, tests),
+      "17 (max 64)"));
   table.add_row(bench::boxplot_row(
       "satcom ookla down",
-      speedtest(args.seed + 2, measure::AccessKind::kSatCom, true, std::max(2, tests / 2)),
+      speedtest(args, args.seed + 2, measure::AccessKind::kSatCom, true,
+                std::max(2, tests / 2)),
       "82"));
   table.add_row(bench::boxplot_row(
       "satcom ookla up",
-      speedtest(args.seed + 3, measure::AccessKind::kSatCom, false, std::max(2, tests / 2)),
+      speedtest(args, args.seed + 3, measure::AccessKind::kSatCom, false,
+                std::max(2, tests / 2)),
       "4.5"));
 
   {
@@ -53,7 +57,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed + 4;
     config.download = true;
     config.transfers = args.scaled(8);
-    const auto h3 = measure::H3Campaign::run(config);
+    const auto h3 = bench::run_sweep<measure::H3Campaign>(args, config);
     table.add_row(bench::boxplot_row("starlink H3 down", h3.goodput_mbps, "100-150"));
   }
   {
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
     config.download = false;
     config.transfers = args.scaled(4);
     config.bytes = 40ull * 1000 * 1000;
-    const auto h3 = measure::H3Campaign::run(config);
+    const auto h3 = bench::run_sweep<measure::H3Campaign>(args, config);
     table.add_row(bench::boxplot_row("starlink H3 up", h3.goodput_mbps, "~17, stable"));
   }
 

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed;
     config.access = row.access;
     config.visits = row.visits;
-    const auto result = measure::WebCampaign::run(config);
+    const auto result = bench::run_sweep<measure::WebCampaign>(args, config);
     results.push_back(result);
     using stats::TextTable;
     auto table_row = [&](const stats::Samples& s, const char* paper) {

@@ -1,0 +1,117 @@
+// sweep_cli — parallel multi-seed campaign sweeps over a scenario grid.
+//
+// Runs the Ookla-style speedtest campaign for every cell of
+//   {access technologies} x {load levels (parallel TCP connections)}
+// with N independent seed replications per cell, all scheduled on one
+// work-stealing pool, and prints one aggregate throughput table.
+//
+//   ./sweep_cli --seeds=8 --jobs=8
+//   ./sweep_cli --grid=leo,wired --loads=1,8 --tests=6 --seeds=4
+//
+// The merged table is bit-identical for any --jobs value: cells derive their
+// seeds from (cell id, replication id) alone and results are folded in cell
+// order, never completion order (see src/runner/sweep.hpp).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "measure/campaign.hpp"
+#include "runner/pool.hpp"
+#include "runner/sweep.hpp"
+#include "stats/table.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace slp;
+
+struct Scenario {
+  std::string name;          // grid label: leo | geo | wired
+  measure::AccessKind kind;
+};
+
+bool parse_access(const std::string& label, measure::AccessKind& out) {
+  if (label == "leo" || label == "starlink") out = measure::AccessKind::kStarlink;
+  else if (label == "geo" || label == "satcom") out = measure::AccessKind::kSatCom;
+  else if (label == "wired") out = measure::AccessKind::kWired;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int seeds = std::max<int>(1, static_cast<int>(flags.get_int("seeds", 4)));
+  const int jobs = std::max<int>(0, static_cast<int>(flags.get_int("jobs", 0)));
+  const int tests = std::max<int>(1, static_cast<int>(flags.get_int("tests", 4)));
+  const bool download = flags.get_bool("download", true);
+  const auto grid_labels = flags.get_list("grid", {"leo", "geo", "wired"});
+  const auto loads = flags.get_double_list("loads", {1, 4, 8});
+  for (const auto& key : flags.unused()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+  }
+
+  std::vector<Scenario> scenarios;
+  for (const std::string& label : grid_labels) {
+    Scenario scenario{label, measure::AccessKind::kStarlink};
+    if (!parse_access(label, scenario.kind)) {
+      std::fprintf(stderr, "unknown access '%s' (want leo|geo|wired)\n", label.c_str());
+      return 1;
+    }
+    scenarios.push_back(std::move(scenario));
+  }
+
+  std::printf("sweep: %zu access x %zu load levels, %d seeds/cell, %s direction\n",
+              scenarios.size(), loads.size(), seeds, download ? "download" : "upload");
+
+  // One task per (scenario, load, seed) cell, all on one pool. Each task
+  // fills its own pre-assigned slot; the merge below walks slots in order.
+  const std::size_t grid = scenarios.size() * loads.size();
+  std::vector<measure::SpeedtestCampaign::Result> cells(grid * static_cast<std::size_t>(seeds));
+  runner::Pool pool{jobs};
+  for (std::size_t g = 0; g < grid; ++g) {
+    const Scenario& scenario = scenarios[g / loads.size()];
+    const int connections = static_cast<int>(loads[g % loads.size()]);
+    for (int s = 0; s < seeds; ++s) {
+      const std::size_t slot = g * static_cast<std::size_t>(seeds) + static_cast<std::size_t>(s);
+      // Two-level derivation: grid index picks a per-cell base stream,
+      // replication index forks within it. g+1 so grid cell 0 is mixed too.
+      const std::uint64_t seed = runner::cell_seed(runner::cell_seed(base_seed, g + 1),
+                                                   static_cast<std::uint64_t>(s));
+      pool.submit([&cells, slot, seed, kind = scenario.kind, connections, tests, download] {
+        measure::SpeedtestCampaign::Config config;
+        config.seed = seed;
+        config.access = kind;
+        config.connections = connections;
+        config.tests = tests;
+        config.download = download;
+        cells[slot] = measure::SpeedtestCampaign::run(config);
+      });
+    }
+  }
+  pool.drain();
+
+  stats::TextTable table{{"access", "connections", "tests", "p25", "median", "p75", "p95"}};
+  for (std::size_t g = 0; g < grid; ++g) {
+    measure::SpeedtestCampaign::Result merged =
+        std::move(cells[g * static_cast<std::size_t>(seeds)]);
+    for (int s = 1; s < seeds; ++s) {
+      merge(merged, cells[g * static_cast<std::size_t>(seeds) + static_cast<std::size_t>(s)]);
+    }
+    using stats::TextTable;
+    table.add_row({scenarios[g / loads.size()].name,
+                   TextTable::num(loads[g % loads.size()], 0),
+                   std::to_string(merged.mbps.size()),
+                   TextTable::num(merged.mbps.percentile(25), 1),
+                   TextTable::num(merged.mbps.median(), 1),
+                   TextTable::num(merged.mbps.percentile(75), 1),
+                   TextTable::num(merged.mbps.percentile(95), 1)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\npool: %d workers, %llu tasks, %llu stolen\n", pool.workers(),
+              static_cast<unsigned long long>(pool.tasks_completed()),
+              static_cast<unsigned long long>(pool.tasks_stolen()));
+  return 0;
+}

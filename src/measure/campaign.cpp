@@ -1,5 +1,6 @@
 #include "measure/campaign.hpp"
 
+#include <cassert>
 #include <memory>
 
 #include "apps/h3.hpp"
@@ -360,6 +361,63 @@ WebCampaign::Result WebCampaign::run(const Config& config) {
     result.mean_connections = total_connections / result.visits_completed;
   }
   return result;
+}
+
+// ============================================================ sweep support
+
+namespace {
+
+void append(stats::Samples& into, const stats::Samples& from) {
+  into.reserve(into.size() + from.size());
+  into.add_all(from.values());
+}
+
+}  // namespace
+
+void merge(PingCampaign::Result& into, const PingCampaign::Result& from) {
+  assert(into.anchors.size() == from.anchors.size());
+  for (std::size_t i = 0; i < into.anchors.size(); ++i) {
+    append(into.anchors[i].rtt_ms, from.anchors[i].rtt_ms);
+  }
+  into.eu_timeline.merge(from.eu_timeline);
+  for (std::size_t h = 0; h < into.eu_by_hour.size(); ++h) {
+    into.eu_by_hour[h].insert(into.eu_by_hour[h].end(), from.eu_by_hour[h].begin(),
+                              from.eu_by_hour[h].end());
+  }
+  into.pings_sent += from.pings_sent;
+  into.pings_lost += from.pings_lost;
+}
+
+void merge(H3Campaign::Result& into, const H3Campaign::Result& from) {
+  append(into.rtt_ms, from.rtt_ms);
+  append(into.goodput_mbps, from.goodput_mbps);
+  into.loss = LossAnalyzer::combine({into.loss, from.loss});
+  into.transfers_completed += from.transfers_completed;
+}
+
+void merge(MessageCampaign::Result& into, const MessageCampaign::Result& from) {
+  append(into.rtt_ms, from.rtt_ms);
+  append(into.latency_ms, from.latency_ms);
+  into.loss = LossAnalyzer::combine({into.loss, from.loss});
+  into.messages_sent += from.messages_sent;
+}
+
+void merge(SpeedtestCampaign::Result& into, const SpeedtestCampaign::Result& from) {
+  append(into.mbps, from.mbps);
+}
+
+void merge(WebCampaign::Result& into, const WebCampaign::Result& from) {
+  append(into.onload_s, from.onload_s);
+  append(into.speedindex_s, from.speedindex_s);
+  append(into.setup_ms, from.setup_ms);
+  const int total = into.visits_completed + from.visits_completed;
+  if (total > 0) {
+    into.mean_connections = (into.mean_connections * into.visits_completed +
+                             from.mean_connections * from.visits_completed) /
+                            total;
+  }
+  into.visits_completed = total;
+  into.visits_timed_out += from.visits_timed_out;
 }
 
 // =============================================================== middleboxes

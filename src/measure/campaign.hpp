@@ -163,6 +163,20 @@ struct WebCampaign {
   static Result run(const Config& config);
 };
 
+// ============================================================ sweep support
+//
+// Per-cell result folds for runner::run_merged (runner/sweep.hpp): each
+// merge() appends `from`'s distributions to `into` and sums its counters.
+// Folds are applied in cell-id order by the sweep, which keeps multi-seed
+// campaigns bit-identical across --jobs settings. Requires both results to
+// come from the same campaign shape (e.g. the same anchor set for pings).
+
+void merge(PingCampaign::Result& into, const PingCampaign::Result& from);
+void merge(H3Campaign::Result& into, const H3Campaign::Result& from);
+void merge(MessageCampaign::Result& into, const MessageCampaign::Result& from);
+void merge(SpeedtestCampaign::Result& into, const SpeedtestCampaign::Result& from);
+void merge(WebCampaign::Result& into, const WebCampaign::Result& from);
+
 // =============================================================== middleboxes
 
 struct MiddleboxAudit {

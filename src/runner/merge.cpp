@@ -1,0 +1,27 @@
+#include "runner/merge.hpp"
+
+namespace slp::runner {
+
+void merge(stats::Samples& into, const stats::Samples& from) {
+  into.reserve(into.size() + from.size());
+  into.add_all(from.values());
+}
+
+stats::Samples merge_samples(std::span<const stats::Samples> shards) {
+  stats::Samples out;
+  std::size_t total = 0;
+  for (const stats::Samples& shard : shards) total += shard.size();
+  out.reserve(total);
+  for (const stats::Samples& shard : shards) out.add_all(shard.values());
+  return out;
+}
+
+stats::Ecdf merged_ecdf(std::span<const stats::Samples> shards) {
+  return stats::Ecdf{merge_samples(shards)};
+}
+
+void merge(stats::TimeBinner& into, const stats::TimeBinner& from) {
+  into.merge(from);
+}
+
+}  // namespace slp::runner

@@ -1,0 +1,31 @@
+// merge.hpp — order-insensitive folds of per-cell statistics.
+//
+// Sweep cells finish in scheduling order but must be *folded* in cell-id
+// order so parallel and serial runs stay bit-identical. The primitives here
+// are each associative, and commutative up to sample order — quantiles,
+// ECDFs and histograms computed from a merge are identical for any partition
+// of the same underlying multiset (tests/sweep_property_test.cpp asserts
+// both properties).
+#pragma once
+
+#include <span>
+
+#include "stats/ecdf.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/timeseries.hpp"
+
+namespace slp::runner {
+
+/// Appends `from`'s samples to `into`, preserving `from`'s insertion order.
+void merge(stats::Samples& into, const stats::Samples& from);
+
+/// Concatenates shards in span order into one sample set.
+[[nodiscard]] stats::Samples merge_samples(std::span<const stats::Samples> shards);
+
+/// ECDF over the union of all shards (Figures 4/6 at sweep scale).
+[[nodiscard]] stats::Ecdf merged_ecdf(std::span<const stats::Samples> shards);
+
+/// Pools `from`'s per-bin samples into `into`. Bin widths must match.
+void merge(stats::TimeBinner& into, const stats::TimeBinner& from);
+
+}  // namespace slp::runner

@@ -1,0 +1,123 @@
+#include "runner/pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace slp::runner {
+
+namespace {
+
+// Which pool (if any) the current thread belongs to, and its worker index.
+// Lets nested submit() calls target the submitting worker's own deque.
+thread_local Pool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = 0;
+
+}  // namespace
+
+Pool::Pool(int workers) {
+  if (workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  queues_.resize(static_cast<std::size_t>(workers));
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    threads_.emplace_back([this, i] { run_worker(i); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::unique_lock lock{mutex_};
+    drain_cv_.wait(lock, [this] { return pending_ == 0; });
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Pool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard lock{mutex_};
+    const std::size_t target =
+        tl_pool == this ? tl_worker : (next_queue_++ % queues_.size());
+    queues_[target].deque.push_front(std::move(fn));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void Pool::drain() {
+  std::unique_lock lock{mutex_};
+  drain_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::uint64_t Pool::tasks_completed() const {
+  std::lock_guard lock{mutex_};
+  return completed_;
+}
+
+std::uint64_t Pool::tasks_stolen() const {
+  std::lock_guard lock{mutex_};
+  return stolen_;
+}
+
+bool Pool::take(std::size_t me, std::function<void()>& out, bool& stolen) {
+  // Own deque first: front, LIFO — the task most recently pushed here.
+  if (!queues_[me].deque.empty()) {
+    out = std::move(queues_[me].deque.front());
+    queues_[me].deque.pop_front();
+    stolen = false;
+    return true;
+  }
+  // Steal from the back of the most loaded victim.
+  std::size_t victim = queues_.size();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (i != me && queues_[i].deque.size() > best) {
+      best = queues_[i].deque.size();
+      victim = i;
+    }
+  }
+  if (victim == queues_.size()) return false;
+  out = std::move(queues_[victim].deque.back());
+  queues_[victim].deque.pop_back();
+  stolen = true;
+  return true;
+}
+
+void Pool::run_worker(std::size_t me) {
+  tl_pool = this;
+  tl_worker = me;
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    std::function<void()> task;
+    bool stolen = false;
+    if (take(me, task, stolen)) {
+      if (stolen) ++stolen_;
+      lock.unlock();
+      try {
+        task();
+      } catch (...) {
+        lock.lock();
+        if (!first_error_) first_error_ = std::current_exception();
+        lock.unlock();
+      }
+      task = nullptr;  // destroy captures outside the lock
+      lock.lock();
+      ++completed_;
+      if (--pending_ == 0) drain_cv_.notify_all();
+      continue;
+    }
+    if (shutdown_) break;
+    work_cv_.wait(lock);
+  }
+  tl_pool = nullptr;
+}
+
+}  // namespace slp::runner

@@ -22,8 +22,10 @@ namespace slp::stats {
 class Samples {
  public:
   Samples() = default;
-  explicit Samples(std::vector<double> values) : values_(std::move(values)), dirty_(true) {}
-  Samples(std::initializer_list<double> values) : values_(values), dirty_(true) {}
+  explicit Samples(std::vector<double> values) : values_(std::move(values)), dirty_(true) {
+    for (const double x : values_) summary_.add(x);
+  }
+  Samples(std::initializer_list<double> values) : Samples(std::vector<double>{values}) {}
 
   void add(double x) {
     values_.push_back(x);

@@ -11,6 +11,14 @@ void TimeBinner::add(TimePoint t, double value) {
   bins_[idx].add(value);
 }
 
+void TimeBinner::merge(const TimeBinner& other) {
+  assert(bin_width_ == other.bin_width_);
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size());
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+    for (const double v : other.bins_[i].values()) bins_[i].add(v);
+  }
+}
+
 TimePoint TimeBinner::bin_start(std::size_t i) const {
   return TimePoint::epoch() + bin_width_ * static_cast<double>(i);
 }

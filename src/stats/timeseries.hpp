@@ -19,6 +19,10 @@ class TimeBinner {
 
   void add(TimePoint t, double value);
 
+  /// Pools `other`'s per-bin samples into this binner (same bin width
+  /// required). Used to fold per-seed timelines of a parallel sweep.
+  void merge(const TimeBinner& other);
+
   [[nodiscard]] std::size_t bins() const { return bins_.size(); }
   [[nodiscard]] Duration bin_width() const { return bin_width_; }
   /// Start time of bin i.

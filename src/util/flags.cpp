@@ -59,6 +59,34 @@ bool Flags::get_bool(std::string_view key, bool def) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::vector<std::string> Flags::get_list(std::string_view key,
+                                         std::vector<std::string> def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  std::vector<std::string> out;
+  std::string_view rest{it->second};
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    if (!item.empty()) out.emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+std::vector<double> Flags::get_double_list(std::string_view key,
+                                           std::vector<double> def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::vector<double> out;
+  for (const std::string& item : get_list(key, {})) {
+    out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
 std::vector<std::string> Flags::unused() const {
   std::vector<std::string> result;
   for (const auto& [key, value] : values_) {

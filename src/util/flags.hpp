@@ -26,6 +26,14 @@ class Flags {
   [[nodiscard]] double get_double(std::string_view key, double def) const;
   [[nodiscard]] bool get_bool(std::string_view key, bool def) const;
 
+  /// Comma-separated list value (`--grid=leo,geo,wired`); `def` when absent.
+  /// Empty elements are dropped, so `--grid=` means "empty list".
+  [[nodiscard]] std::vector<std::string> get_list(std::string_view key,
+                                                  std::vector<std::string> def) const;
+  /// Comma-separated numeric list (`--loads=0.2,0.5,0.9`).
+  [[nodiscard]] std::vector<double> get_double_list(std::string_view key,
+                                                    std::vector<double> def) const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
 
   /// Keys that were supplied but never queried; call after all get()s to warn

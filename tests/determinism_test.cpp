@@ -56,7 +56,7 @@ TEST(Determinism, DifferentSeedsDiverge) {
   EXPECT_TRUE(any_diff);
 }
 
-TEST(Determinism, SpeedtestCampaignIsReproducible) {
+TEST(Determinism, SpeedtestCampaignIsBitIdenticalPerSeed) {
   SpeedtestCampaign::Config config;
   config.access = AccessKind::kStarlink;
   config.tests = 2;
@@ -64,10 +64,51 @@ TEST(Determinism, SpeedtestCampaignIsReproducible) {
   config.seed = 777;
   const auto a = SpeedtestCampaign::run(config);
   const auto b = SpeedtestCampaign::run(config);
-  ASSERT_EQ(a.mbps.size(), b.mbps.size());
-  for (std::size_t i = 0; i < a.mbps.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.mbps.values()[i], b.mbps.values()[i]);
-  }
+  ASSERT_FALSE(a.mbps.empty());
+  // Bit-identity, not approximate equality: the replay guarantee covers
+  // throughput probes exactly like the ping campaigns.
+  EXPECT_EQ(a.mbps.values(), b.mbps.values());
+}
+
+TEST(Determinism, SpeedtestCampaignIsBitIdenticalOverSatCom) {
+  // The SatCom path adds the GEO access and its PEP to the replayed stack.
+  SpeedtestCampaign::Config config;
+  config.access = AccessKind::kSatCom;
+  config.tests = 2;
+  config.test_duration = Duration::seconds(6);
+  config.seed = 4242;
+  const auto a = SpeedtestCampaign::run(config);
+  const auto b = SpeedtestCampaign::run(config);
+  ASSERT_FALSE(a.mbps.empty());
+  EXPECT_EQ(a.mbps.values(), b.mbps.values());
+}
+
+TEST(Determinism, SpeedtestDifferentSeedsDiverge) {
+  SpeedtestCampaign::Config config;
+  config.access = AccessKind::kStarlink;
+  config.tests = 2;
+  config.test_duration = Duration::seconds(6);
+  config.seed = 1;
+  const auto a = SpeedtestCampaign::run(config);
+  config.seed = 2;
+  const auto b = SpeedtestCampaign::run(config);
+  ASSERT_FALSE(a.mbps.empty());
+  ASSERT_FALSE(b.mbps.empty());
+  EXPECT_NE(a.mbps.values(), b.mbps.values());
+}
+
+TEST(Determinism, H3CampaignIsBitIdenticalPerSeed) {
+  H3Campaign::Config config;
+  config.seed = 31415;
+  config.transfers = 2;
+  config.bytes = 5ull * 1000 * 1000;
+  config.epochs = false;
+  const auto a = H3Campaign::run(config);
+  const auto b = H3Campaign::run(config);
+  ASSERT_FALSE(a.goodput_mbps.empty());
+  EXPECT_EQ(a.goodput_mbps.values(), b.goodput_mbps.values());
+  EXPECT_EQ(a.rtt_ms.values(), b.rtt_ms.values());
+  EXPECT_EQ(a.loss.packets_lost, b.loss.packets_lost);
 }
 
 TEST(Determinism, TestbedTopologyIsStable) {

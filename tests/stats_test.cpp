@@ -90,6 +90,18 @@ TEST(Samples, QuantileAfterIncrementalAdds) {
   EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
 }
 
+TEST(Samples, ConstructorFeedsStreamingSummary) {
+  // Regression: the vector/initializer-list constructors used to leave the
+  // streaming summary empty, so mean()/min()/max() silently returned 0.
+  const Samples s{10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
+  const Samples from_vector{std::vector<double>{4.0, 8.0}};
+  EXPECT_DOUBLE_EQ(from_vector.mean(), 6.0);
+  EXPECT_EQ(from_vector.summary().count(), 2u);
+}
+
 TEST(Samples, ClearResetsEverything) {
   Samples s{1, 2, 3};
   s.clear();
