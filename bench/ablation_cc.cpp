@@ -20,12 +20,15 @@ struct CcResult {
   double mbps = 0.0;
   double srtt_ms = 0.0;
   std::uint64_t retransmissions = 0;
+  obs::Snapshot obs;
 };
 
-CcResult run_one(std::uint64_t seed, cc::CcAlgorithm algorithm, bool heavy_medium_loss) {
+CcResult run_one(std::uint64_t seed, cc::CcAlgorithm algorithm, bool heavy_medium_loss,
+                 const obs::Options& obs_opts) {
   measure::TestbedConfig config;
   config.seed = seed;
   config.with_satcom = false;
+  config.obs = obs_opts;
   if (heavy_medium_loss) {
     // A rainy/obstructed installation: medium-loss bursts every ~3 s.
     config.starlink.medium_loss.mean_good = Duration::from_seconds(3.0);
@@ -56,6 +59,7 @@ CcResult run_one(std::uint64_t seed, cc::CcAlgorithm algorithm, bool heavy_mediu
     result.mbps = delivered * 8.0 / (last - first).to_seconds() / 1e6;
   }
   result.srtt_ms = conn.srtt().to_millis();
+  result.obs = bed.take_obs();
   return result;
 }
 
@@ -87,8 +91,9 @@ int main(int argc, char** argv) {
       for (const Row& row : rows) {
         for (int i = 0; i < runs; ++i, ++cell) {
           const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(i) * 13;
-          pool.submit([&cells, cell, seed, algorithm = row.algorithm, heavy] {
-            cells[cell] = run_one(seed, algorithm, heavy);
+          pool.submit([&cells, cell, seed, algorithm = row.algorithm, heavy,
+                       obs_opts = args.obs()] {
+            cells[cell] = run_one(seed, algorithm, heavy, obs_opts);
           });
         }
       }
@@ -117,5 +122,11 @@ int main(int argc, char** argv) {
               "BBR's model ignores them (§3.2's closing remark: transports "
               "cannot tell medium loss from congestion — unless they stop "
               "using loss as the signal).\n");
+
+  // Cells were filled by completion order but are merged by index — the
+  // export is --jobs invariant like everything else.
+  obs::Snapshot all_obs;
+  for (const CcResult& c : cells) obs::merge(all_obs, c.obs);
+  bench::write_obs(args, all_obs);
   return 0;
 }

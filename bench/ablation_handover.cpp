@@ -23,13 +23,16 @@ struct FoldResult {
   std::array<stats::Samples, 15> by_phase;  ///< second within the 15 s slot
   stats::Samples slot_medians;
   stats::Samples boundary_steps_ms;
+  obs::Snapshot obs;
 };
 
-FoldResult probe_phase_fold(std::uint64_t seed, Duration slot_penalty) {
+FoldResult probe_phase_fold(std::uint64_t seed, Duration slot_penalty,
+                            const obs::Options& obs_opts) {
   measure::TestbedConfig config;
   config.seed = seed;
   config.with_satcom = false;
   config.starlink.slot_penalty_max = slot_penalty;
+  config.obs = obs_opts;
   measure::Testbed bed{config};
 
   FoldResult result;
@@ -78,6 +81,7 @@ FoldResult probe_phase_fold(std::uint64_t seed, Duration slot_penalty) {
     }
     current_slot.add(rtt);
   }
+  result.obs = bed.take_obs();
   return result;
 }
 
@@ -101,13 +105,17 @@ int main(int argc, char** argv) {
         const std::uint64_t seed =
             runner::cell_seed(args.seed, static_cast<std::uint64_t>(s));
         const Duration penalty = Duration::from_millis(penalties_ms[p]);
-        pool.submit([&cells, cell, seed, penalty] {
-          cells[cell] = probe_phase_fold(seed, penalty);
+        pool.submit([&cells, cell, seed, penalty, obs_opts = args.obs()] {
+          cells[cell] = probe_phase_fold(seed, penalty, obs_opts);
         });
       }
     }
     pool.drain();
   }
+
+  // Merge obs by cell index before the fold below moves cells out.
+  obs::Snapshot all_obs;
+  for (const FoldResult& c : cells) obs::merge(all_obs, c.obs);
 
   for (std::size_t p = 0; p < 2; ++p) {
     const double penalty_ms = penalties_ms[p];
@@ -135,5 +143,6 @@ int main(int argc, char** argv) {
               "medians disperse and step by several ms at boundaries (the "
               "mechanism behind Figure 1's box width); without it only the "
               "geometry component remains.\n");
+  bench::write_obs(args, all_obs);
   return 0;
 }

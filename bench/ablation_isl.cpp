@@ -54,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: ISL routing undercuts the bent-pipe + fiber "
               "detour substantially on transcontinental routes (laser at c in "
               "vacuum vs fiber at 2c/3 with path stretch).\n");
+  bench::write_obs(args, pings.obs);
   return 0;
 }

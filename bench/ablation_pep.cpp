@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   stats::TextTable table{{"configuration", "ookla down median", "web onLoad median",
                           "conn setup mean", "note"}};
+  obs::Snapshot all_obs;
   for (const bool pep : {true, false}) {
     measure::SpeedtestCampaign::Config st_config;
     st_config.seed = args.seed;
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
 
     const auto st = bench::run_sweep<measure::SpeedtestCampaign>(args, st_config);
     const auto web = bench::run_sweep<measure::WebCampaign>(args, web_config);
+    obs::merge(all_obs, st.obs);
+    obs::merge(all_obs, web.obs);
     using stats::TextTable;
     table.add_row({pep ? "PEP enabled (paper)" : "PEP disabled",
                    TextTable::num(st.mbps.median(), 0),
@@ -42,5 +45,6 @@ int main(int argc, char** argv) {
               "(slow start over 600 ms) while connection setup stays ~3 RTT "
               "either way — PEPs cannot fix handshakes, which is why SatCom "
               "web QoE is poor even with them.\n");
+  bench::write_obs(args, all_obs);
   return 0;
 }

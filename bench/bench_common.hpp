@@ -10,15 +10,24 @@
 // defaults documented in DESIGN.md, larger = closer to paper scale),
 // --seeds=N (independent seed replications per campaign, merged cell-id
 // ordered) and --jobs=M (worker threads; results are identical for any M).
+//
+// Observability flags (EXPERIMENTS.md "Metrics & tracing"):
+//   --metrics=PATH          write the merged metrics JSON document
+//   --trace=PATH            write a Chrome trace-event file (.jsonl => JSONL)
+//   --sample-interval=SECS  sample gauges (queue depth, cwnd, ...) on a grid
+//   --log-level=LEVEL       trace|debug|info|warn|error|off (default warn)
+// The merged exports are byte-identical for any --jobs value.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
+#include "obs/recorder.hpp"
 #include "runner/sweep.hpp"
 #include "stats/quantiles.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 
 namespace slp::bench {
 
@@ -60,6 +69,9 @@ struct CommonArgs {
   double scale = 1.0;
   int seeds = 1;  ///< seed replications per campaign (cells of the sweep)
   int jobs = 1;   ///< worker threads; 0 = hardware concurrency
+  std::string metrics;          ///< --metrics=PATH; empty = metrics off
+  std::string trace;            ///< --trace=PATH; empty = tracing off
+  double sample_interval = 0;   ///< --sample-interval=SECS; 0 = sampling off
 
   static CommonArgs parse(int argc, char** argv) {
     const Flags flags = Flags::parse(argc, argv);
@@ -68,6 +80,11 @@ struct CommonArgs {
     args.scale = flags.get_double("scale", 1.0);
     args.seeds = std::max(1, static_cast<int>(flags.get_int("seeds", 1)));
     args.jobs = std::max(0, static_cast<int>(flags.get_int("jobs", 1)));
+    args.metrics = flags.get("metrics", "");
+    args.trace = flags.get("trace", "");
+    args.sample_interval = std::max(0.0, flags.get_double("sample-interval", 0.0));
+    Logger::instance().set_level(
+        parse_log_level(flags.get("log-level", "warn"), LogLevel::kWarn));
     for (const auto& key : flags.unused()) {
       std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
     }
@@ -79,15 +96,55 @@ struct CommonArgs {
   }
 
   [[nodiscard]] runner::SweepConfig sweep() const { return {seeds, jobs}; }
+
+  /// Per-cell observability options implied by the flags.
+  [[nodiscard]] obs::Options obs() const {
+    obs::Options opts;
+    opts.metrics = !metrics.empty();
+    opts.trace = !trace.empty();
+    if (sample_interval > 0) opts.sample_interval = Duration::from_seconds(sample_interval);
+    return opts;
+  }
 };
+
+inline void write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+/// Writes the --metrics/--trace outputs a bench collected. A snapshot taken
+/// with obs off still yields a valid (mostly empty) document, so benches can
+/// call this unconditionally.
+inline void write_obs(const CommonArgs& args, const obs::Snapshot& snap) {
+  if (!args.metrics.empty()) {
+    write_text_file(args.metrics, obs::metrics_json(snap));
+    std::printf("\nmetrics -> %s (%zu counters, %zu series, %llu cells)\n",
+                args.metrics.c_str(), snap.counters.size(), snap.series.size(),
+                static_cast<unsigned long long>(snap.cells));
+  }
+  if (!args.trace.empty()) {
+    const bool jsonl = args.trace.size() >= 6 &&
+                       args.trace.compare(args.trace.size() - 6, 6, ".jsonl") == 0;
+    write_text_file(args.trace,
+                    jsonl ? obs::trace_jsonl(snap.events) : obs::trace_json(snap.events));
+    std::printf("trace   -> %s (%zu events)\n", args.trace.c_str(), snap.events.size());
+  }
+}
 
 /// Runs `config` once per seed cell (runner/sweep.hpp) and folds the results
 /// in cell-id order — the drop-in replacement for `Campaign::run(config)`
 /// in every regenerator. With --seeds=1 (the default) the output is exactly
-/// the single-seed campaign, whatever --jobs says.
+/// the single-seed campaign, whatever --jobs says. The bench's obs flags are
+/// injected into every cell; the merged Result carries the folded snapshot.
 template <typename Campaign>
 [[nodiscard]] typename Campaign::Result run_sweep(const CommonArgs& args,
-                                                  const typename Campaign::Config& config) {
+                                                  typename Campaign::Config config) {
+  config.obs = args.obs();
   return runner::run_merged<Campaign>(args.sweep(), config);
 }
 

@@ -20,18 +20,21 @@ int main(int argc, char** argv) {
   measure::SpeedtestCampaign::Config down_cfg;
   down_cfg.seed = args.seed;
   down_cfg.tests = args.scaled(8);
+  down_cfg.obs = args.obs();
   const auto down = measure::SpeedtestCampaign::run(down_cfg);
 
   measure::SpeedtestCampaign::Config up_cfg;
   up_cfg.seed = args.seed + 1;
   up_cfg.tests = args.scaled(8);
   up_cfg.download = false;
+  up_cfg.obs = args.obs();
   const auto up = measure::SpeedtestCampaign::run(up_cfg);
 
   measure::PingCampaign::Config ping_cfg;
   ping_cfg.seed = args.seed + 2;
   ping_cfg.duration = Duration::hours(6);
   ping_cfg.epochs = false;
+  ping_cfg.obs = args.obs();
   const auto pings = measure::PingCampaign::run(ping_cfg);
   stats::Samples eu_rtts;
   for (const auto& anchor : pings.anchors) {
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
   measure::MessageCampaign::Config msg_cfg;
   msg_cfg.seed = args.seed + 3;
   msg_cfg.sessions = 2;
+  msg_cfg.obs = args.obs();
   const auto messages = measure::MessageCampaign::run(msg_cfg);
 
   const emu::ErrantProfile starlink = emu::ErrantProfile::fit(
@@ -85,5 +89,12 @@ int main(int argc, char** argv) {
                 params.delay_one_way.to_millis(), params.jitter.to_millis(),
                 params.loss_ratio * 100.0);
   }
+
+  obs::Snapshot all_obs;
+  obs::merge(all_obs, down.obs);
+  obs::merge(all_obs, up.obs);
+  obs::merge(all_obs, pings.obs);
+  obs::merge(all_obs, messages.obs);
+  bench::write_obs(args, all_obs);
   return 0;
 }

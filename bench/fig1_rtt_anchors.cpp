@@ -44,5 +44,6 @@ int main(int argc, char** argv) {
                   static_cast<double>(result.pings_sent));
   std::printf("Paper take-away: minimum latency ~20 ms for close destinations; "
               "distant anchors exit through the same European PoPs.\n");
+  bench::write_obs(args, result.obs);
   return 0;
 }

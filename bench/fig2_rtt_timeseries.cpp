@@ -89,5 +89,6 @@ int main(int argc, char** argv) {
                 "subsample): chi2=%.1f p=%.3f (paper: same median across hours)\n",
                 groups.size(), moods.chi2, moods.p_value);
   }
+  bench::write_obs(args, result.obs);
   return 0;
 }

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 3 / §3.1", "RTT under load: H3 bulk and messages, both directions");
 
   stats::TextTable table{{"workload", "samples", "median", "p95", "p99", "paper med/p95/p99"}};
+  obs::Snapshot all_obs;
 
   {
     measure::H3Campaign::Config config;
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
     config.download = true;
     config.transfers = args.scaled(6);
     const auto down = bench::run_sweep<measure::H3Campaign>(args, config);
+    obs::merge(all_obs, down.obs);
     print_row(table, "H3 download", down.rtt_ms, "95 / 175 / 210");
   }
   {
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
     config.transfers = args.scaled(3);
     config.bytes = 40ull * 1000 * 1000;  // uploads at ~17 Mbit/s take a while
     const auto up = bench::run_sweep<measure::H3Campaign>(args, config);
+    obs::merge(all_obs, up.obs);
     print_row(table, "H3 upload", up.rtt_ms, "104 / 237 / 310");
   }
   {
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
     config.upload = false;
     config.sessions = args.scaled(4);
     const auto down = bench::run_sweep<measure::MessageCampaign>(args, config);
+    obs::merge(all_obs, down.obs);
     print_row(table, "messages download", down.rtt_ms, "50 / 71 / 87");
   }
   {
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
     config.upload = true;
     config.sessions = args.scaled(4);
     const auto up = bench::run_sweep<measure::MessageCampaign>(args, config);
+    obs::merge(all_obs, up.obs);
     print_row(table, "messages upload", up.rtt_ms, "66 / 87 / 143");
   }
 
@@ -70,5 +75,6 @@ int main(int argc, char** argv) {
   std::printf("\nPaper take-aways to check: uploads inflate more than downloads "
               "(asymmetric draining); messages stay mostly under 100 ms, with the "
               "upload tail driven by quiche's missing pacing (25 kB bursts).\n");
+  bench::write_obs(args, all_obs);
   return 0;
 }

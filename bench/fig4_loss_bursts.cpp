@@ -66,5 +66,12 @@ int main(int argc, char** argv) {
               "occasionally >100 packets\n");
   print_cdf("messages download", msg_down.loss.burst_lengths);
   print_cdf("messages upload", msg_up.loss.burst_lengths);
+
+  obs::Snapshot all_obs;
+  obs::merge(all_obs, h3_down.obs);
+  obs::merge(all_obs, h3_up.obs);
+  obs::merge(all_obs, msg_down.obs);
+  obs::merge(all_obs, msg_up.obs);
+  bench::write_obs(args, all_obs);
   return 0;
 }

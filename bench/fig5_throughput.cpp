@@ -13,13 +13,16 @@
 namespace {
 
 slp::stats::Samples speedtest(const slp::bench::CommonArgs& args, std::uint64_t seed,
-                              slp::measure::AccessKind access, bool download, int tests) {
+                              slp::measure::AccessKind access, bool download, int tests,
+                              slp::obs::Snapshot& all_obs) {
   slp::measure::SpeedtestCampaign::Config config;
   config.seed = seed;
   config.access = access;
   config.download = download;
   config.tests = tests;
-  return slp::bench::run_sweep<slp::measure::SpeedtestCampaign>(args, config).mbps;
+  auto result = slp::bench::run_sweep<slp::measure::SpeedtestCampaign>(args, config);
+  slp::obs::merge(all_obs, result.obs);
+  return std::move(result.mbps);
 }
 
 }  // namespace
@@ -30,26 +33,27 @@ int main(int argc, char** argv) {
   bench::banner("Figure 5", "throughput distributions (Ookla TCP vs QUIC H3)");
 
   const int tests = args.scaled(16);
+  obs::Snapshot all_obs;
   stats::TextTable table{
       {"experiment", "min", "p5", "p25", "median", "p75", "p95", "paper median"}};
 
   table.add_row(bench::boxplot_row(
       "starlink ookla down",
-      speedtest(args, args.seed, measure::AccessKind::kStarlink, true, tests),
+      speedtest(args, args.seed, measure::AccessKind::kStarlink, true, tests, all_obs),
       "178 (max 386)"));
   table.add_row(bench::boxplot_row(
       "starlink ookla up",
-      speedtest(args, args.seed + 1, measure::AccessKind::kStarlink, false, tests),
+      speedtest(args, args.seed + 1, measure::AccessKind::kStarlink, false, tests, all_obs),
       "17 (max 64)"));
   table.add_row(bench::boxplot_row(
       "satcom ookla down",
       speedtest(args, args.seed + 2, measure::AccessKind::kSatCom, true,
-                std::max(2, tests / 2)),
+                std::max(2, tests / 2), all_obs),
       "82"));
   table.add_row(bench::boxplot_row(
       "satcom ookla up",
       speedtest(args, args.seed + 3, measure::AccessKind::kSatCom, false,
-                std::max(2, tests / 2)),
+                std::max(2, tests / 2), all_obs),
       "4.5"));
 
   {
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
     config.download = true;
     config.transfers = args.scaled(8);
     const auto h3 = bench::run_sweep<measure::H3Campaign>(args, config);
+    obs::merge(all_obs, h3.obs);
     table.add_row(bench::boxplot_row("starlink H3 down", h3.goodput_mbps, "100-150"));
   }
   {
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
     config.transfers = args.scaled(4);
     config.bytes = 40ull * 1000 * 1000;
     const auto h3 = bench::run_sweep<measure::H3Campaign>(args, config);
+    obs::merge(all_obs, h3.obs);
     table.add_row(bench::boxplot_row("starlink H3 up", h3.goodput_mbps, "~17, stable"));
   }
 
@@ -74,5 +80,6 @@ int main(int argc, char** argv) {
   std::printf("\nPaper take-aways to check: Starlink beats SatCom both ways; "
               "single-connection QUIC downloads sit below the multi-connection "
               "TCP tests; uploads agree across protocols.\n");
+  bench::write_obs(args, all_obs);
   return 0;
 }

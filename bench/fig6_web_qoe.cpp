@@ -71,5 +71,9 @@ int main(int argc, char** argv) {
   }
   std::printf("\nPaper take-away: Starlink is 75-80%% faster than SatCom on "
               "QoE metrics and close to wired.\n");
+
+  obs::Snapshot all_obs;
+  for (const auto& result : results) obs::merge(all_obs, result.obs);
+  bench::write_obs(args, all_obs);
   return 0;
 }

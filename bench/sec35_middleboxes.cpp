@@ -42,19 +42,25 @@ int main(int argc, char** argv) {
   const auto args = bench::CommonArgs::parse(argc, argv);
   bench::banner("§3.5", "middleboxes (traceroute, Tracebox) and TD (Wehe)");
 
+  obs::Snapshot all_obs;
   {
     measure::MiddleboxAudit::Config config;
     config.seed = args.seed;
     config.access = measure::AccessKind::kStarlink;
-    print_audit("Starlink (paper: 2 NATs, checksums only, no PEP, no TD)",
-                measure::MiddleboxAudit::run(config));
+    config.obs = args.obs();
+    const auto result = measure::MiddleboxAudit::run(config);
+    obs::merge(all_obs, result.obs);
+    print_audit("Starlink (paper: 2 NATs, checksums only, no PEP, no TD)", result);
   }
   {
     measure::MiddleboxAudit::Config config;
     config.seed = args.seed + 1;
     config.access = measure::AccessKind::kSatCom;
-    print_audit("SatCom control (PEPs are the norm on GEO links)",
-                measure::MiddleboxAudit::run(config));
+    config.obs = args.obs();
+    const auto result = measure::MiddleboxAudit::run(config);
+    obs::merge(all_obs, result.obs);
+    print_audit("SatCom control (PEPs are the norm on GEO links)", result);
   }
+  bench::write_obs(args, all_obs);
   return 0;
 }

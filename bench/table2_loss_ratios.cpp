@@ -75,5 +75,12 @@ int main(int argc, char** argv) {
 
   std::printf("\nPaper take-away: loaded-link losses are frequent but short "
               "(congestion); unloaded losses are rare but long (medium).\n");
+
+  obs::Snapshot all_obs;
+  obs::merge(all_obs, h3_down.obs);
+  obs::merge(all_obs, h3_up.obs);
+  obs::merge(all_obs, msg_down.obs);
+  obs::merge(all_obs, msg_up.obs);
+  bench::write_obs(args, all_obs);
   return 0;
 }

@@ -7,6 +7,7 @@
 //
 //   ./sweep_cli --seeds=8 --jobs=8
 //   ./sweep_cli --grid=leo,wired --loads=1,8 --tests=6 --seeds=4
+//   ./sweep_cli --seeds=4 --jobs=4 --metrics=sweep.json --trace=sweep.trace.json
 //
 // The merged table is bit-identical for any --jobs value: cells derive their
 // seeds from (cell id, replication id) alone and results are folded in cell
@@ -16,10 +17,12 @@
 #include <vector>
 
 #include "measure/campaign.hpp"
+#include "obs/recorder.hpp"
 #include "runner/pool.hpp"
 #include "runner/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -49,6 +52,15 @@ int main(int argc, char** argv) {
   const bool download = flags.get_bool("download", true);
   const auto grid_labels = flags.get_list("grid", {"leo", "geo", "wired"});
   const auto loads = flags.get_double_list("loads", {1, 4, 8});
+  const std::string metrics_path = flags.get("metrics", "");
+  const std::string trace_path = flags.get("trace", "");
+  const double sample_interval = flags.get_double("sample-interval", 0.0);
+  Logger::instance().set_level(
+      parse_log_level(flags.get("log-level", "warn"), LogLevel::kWarn));
+  obs::Options obs_opts;
+  obs_opts.metrics = !metrics_path.empty();
+  obs_opts.trace = !trace_path.empty();
+  if (sample_interval > 0) obs_opts.sample_interval = Duration::from_seconds(sample_interval);
   for (const auto& key : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
   }
@@ -80,13 +92,15 @@ int main(int argc, char** argv) {
       // replication index forks within it. g+1 so grid cell 0 is mixed too.
       const std::uint64_t seed = runner::cell_seed(runner::cell_seed(base_seed, g + 1),
                                                    static_cast<std::uint64_t>(s));
-      pool.submit([&cells, slot, seed, kind = scenario.kind, connections, tests, download] {
+      pool.submit([&cells, slot, seed, kind = scenario.kind, connections, tests, download,
+                   obs_opts] {
         measure::SpeedtestCampaign::Config config;
         config.seed = seed;
         config.access = kind;
         config.connections = connections;
         config.tests = tests;
         config.download = download;
+        config.obs = obs_opts;
         cells[slot] = measure::SpeedtestCampaign::run(config);
       });
     }
@@ -94,12 +108,14 @@ int main(int argc, char** argv) {
   pool.drain();
 
   stats::TextTable table{{"access", "connections", "tests", "p25", "median", "p75", "p95"}};
+  obs::Snapshot all_obs;
   for (std::size_t g = 0; g < grid; ++g) {
     measure::SpeedtestCampaign::Result merged =
         std::move(cells[g * static_cast<std::size_t>(seeds)]);
     for (int s = 1; s < seeds; ++s) {
       merge(merged, cells[g * static_cast<std::size_t>(seeds) + static_cast<std::size_t>(s)]);
     }
+    obs::merge(all_obs, merged.obs);
     using stats::TextTable;
     table.add_row({scenarios[g / loads.size()].name,
                    TextTable::num(loads[g % loads.size()], 0),
@@ -110,8 +126,31 @@ int main(int argc, char** argv) {
                    TextTable::num(merged.mbps.percentile(95), 1)});
   }
   std::printf("%s", table.str().c_str());
-  std::printf("\npool: %d workers, %llu tasks, %llu stolen\n", pool.workers(),
-              static_cast<unsigned long long>(pool.tasks_completed()),
-              static_cast<unsigned long long>(pool.tasks_stolen()));
+  std::printf("\npool: %d workers, %llu tasks, %llu stolen, %.2fs cell time "
+              "(max cell %.2fs)\n",
+              pool.workers(), static_cast<unsigned long long>(pool.tasks_completed()),
+              static_cast<unsigned long long>(pool.tasks_stolen()),
+              pool.task_seconds_total(), pool.task_seconds_max());
+
+  const auto write_file = [](const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  };
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, obs::metrics_json(all_obs));
+    std::printf("metrics -> %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    const bool jsonl =
+        trace_path.size() >= 6 && trace_path.compare(trace_path.size() - 6, 6, ".jsonl") == 0;
+    write_file(trace_path,
+               jsonl ? obs::trace_jsonl(all_obs.events) : obs::trace_json(all_obs.events));
+    std::printf("trace   -> %s\n", trace_path.c_str());
+  }
   return 0;
 }

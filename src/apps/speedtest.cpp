@@ -1,5 +1,7 @@
 #include "apps/speedtest.hpp"
 
+#include "obs/json.hpp"
+
 namespace slp::apps {
 
 namespace {
@@ -31,6 +33,7 @@ Speedtest::Speedtest(tcp::TcpStack& stack, Config config)
     : stack_{&stack}, config_{config}, window_timer_{stack.sim()}, end_timer_{stack.sim()} {}
 
 void Speedtest::start() {
+  start_ = stack_->sim().now();
   const std::uint16_t port = config_.download ? config_.download_port : config_.upload_port;
   for (int i = 0; i < config_.connections; ++i) {
     tcp::TcpConnection& conn = stack_->connect(config_.server, port, config_.tcp);
@@ -69,6 +72,14 @@ void Speedtest::finish() {
   result.bytes_measured = measured_bytes_now() - bytes_before_window_;
   result.goodput = rate_of(result.bytes_measured, result.window);
   result.connections_established = established_;
+  if (auto* rec = stack_->sim().obs(); rec != nullptr && rec->trace().enabled()) {
+    const char* dir = config_.download ? "down" : "up";
+    rec->trace().span("apps.speedtest", std::string{"ramp."} + dir, start_, window_start_);
+    rec->trace().span(
+        "apps.speedtest", std::string{"window."} + dir, window_start_, stack_->sim().now(),
+        "{\"mbps\":" + obs::json_number(result.goodput.to_mbps()) +
+            ",\"conns\":" + std::to_string(result.connections_established) + "}");
+  }
   for (tcp::TcpConnection* conn : conns_) conn->abort();
   conns_.clear();
   if (on_complete) on_complete(result);

@@ -66,6 +66,7 @@ class Speedtest {
   std::vector<tcp::TcpConnection*> conns_;
   std::uint64_t bytes_before_window_ = 0;
   std::uint64_t bytes_total_ = 0;
+  TimePoint start_;
   TimePoint window_start_;
   TimePoint test_end_;
   int established_ = 0;

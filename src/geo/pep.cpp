@@ -14,6 +14,9 @@ Pep::Pep(sim::Simulator& sim, std::string name, Config config)
       sim, [this](sim::Packet pkt) { sat_side().send(std::move(pkt)); });
   net_stack_ = std::make_unique<tcp::TcpStack>(
       sim, [this](sim::Packet pkt) { net_side().send(std::move(pkt)); });
+  if (auto* rec = sim.obs(); rec != nullptr && rec->options().metrics) {
+    obs_splits_ = rec->registry().counter("geo.pep.flows_split");
+  }
 }
 
 void Pep::intercept_syn(const sim::Packet& pkt) {
@@ -22,6 +25,12 @@ void Pep::intercept_syn(const sim::Packet& pkt) {
 
   Flow& flow = flows_[key];
   stats_.flows_split++;
+  obs_splits_.add();
+  if (auto* rec = sim().obs(); rec != nullptr && rec->trace().enabled()) {
+    rec->trace().instant("geo.pep", "split", sim().now(),
+                         "{\"client_port\":" + std::to_string(pkt.src_port) +
+                             ",\"server_port\":" + std::to_string(pkt.dst_port) + "}");
+  }
 
   // Client leg: impersonate the server.
   flow.client_leg =

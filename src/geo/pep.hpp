@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 
+#include "obs/registry.hpp"
 #include "sim/node.hpp"
 #include "tcp/tcp.hpp"
 
@@ -102,6 +103,7 @@ class Pep : public sim::Node {
   void intercept_syn(const sim::Packet& pkt);
 
   Config config_;
+  obs::Counter obs_splits_;
   /// Stack facing the client (transmits out of sat_side).
   std::unique_ptr<tcp::TcpStack> sat_stack_;
   /// Stack facing the server (transmits out of net_side).

@@ -87,13 +87,40 @@ StarlinkAccess::StarlinkAccess(sim::Network& net, Config config)
     note_enqueue(1, pkt.size_bytes, t);
     return loaded_down_->should_drop(t, pkt, fraction);
   };
+  sat.name = "sat";
   sat_link_ = &net.connect(cpe_->outside(), cgn_->inside(), std::move(sat));
+
+  // --- observability --------------------------------------------------
+  sim_ = &net.sim();
+  if (auto* rec = sim_->obs()) {
+    scheduler_->set_obs(rec);
+    loss_up_->set_obs(rec, "up");
+    loss_down_->set_obs(rec, "down");
+    // Up and down outage processes draw identical windows; wire one.
+    outage_up_->set_obs(rec);
+    if (rec->sampler() != nullptr) {
+      visible_probe_id_ = rec->sampler()->add_probe("leo.visible_sats", [this](TimePoint t) {
+        const int active =
+            config_.active_planes_fn ? config_.active_planes_fn(t) : 0;
+        return static_cast<double>(
+            constellation_
+                ->visible_from(config_.terminal, t, config_.terminal_min_elevation_deg, active)
+                .size());
+      });
+    }
+  }
 
   // --- backhaul: CGN <-> exit PoP -------------------------------------
   sim::Interface& pop_if = pop_->add_interface(kPopGatewayIf);
   net.connect(cgn_->outside(), pop_if,
               sim::Network::symmetric(DataRate::gbps(10), config_.backhaul_delay));
   pop_->routes().add_route(make_addr(149, 6, 50, 0), 24, pop_if);
+}
+
+StarlinkAccess::~StarlinkAccess() {
+  if (visible_probe_id_ != 0 && sim_->obs() != nullptr && sim_->obs()->sampler() != nullptr) {
+    sim_->obs()->sampler()->remove_probe(visible_probe_id_);
+  }
 }
 
 sim::Ipv4Addr StarlinkAccess::public_addr() const { return kCgnExternal; }

@@ -119,6 +119,7 @@ class StarlinkAccess {
   /// Builds the access slice inside `net`. The caller then wires
   /// `pop_uplink_interface()` into its internet topology.
   StarlinkAccess(sim::Network& net, Config config);
+  ~StarlinkAccess();
 
   [[nodiscard]] sim::Host& client() { return *client_; }
   [[nodiscard]] sim::Router& pop() { return *pop_; }
@@ -155,6 +156,9 @@ class StarlinkAccess {
   std::unique_ptr<phy::UtilizationLoss> loaded_up_;
   std::unique_ptr<phy::UtilizationLoss> loaded_down_;
   Rng jitter_rng_;
+
+  sim::Simulator* sim_ = nullptr;
+  std::uint64_t visible_probe_id_ = 0;  ///< "leo.visible_sats" sampler probe
 
   sim::Host* client_ = nullptr;
   sim::Nat* cpe_ = nullptr;

@@ -11,17 +11,57 @@ HandoverScheduler::HandoverScheduler(const Constellation& constellation, Config 
   assert(!config_.gateways.empty());
 }
 
+void HandoverScheduler::set_obs(obs::Recorder* rec) {
+  if (rec == nullptr) {
+    obs_slots_ = {};
+    obs_handovers_ = {};
+    obs_unconnected_ = {};
+    trace_ = nullptr;
+    return;
+  }
+  if (rec->options().metrics) {
+    obs_slots_ = rec->registry().counter("leo.slots_computed");
+    obs_handovers_ = rec->registry().counter("leo.handovers");
+    obs_unconnected_ = rec->registry().counter("leo.unconnected_slots");
+  }
+  trace_ = rec->trace().enabled() ? &rec->trace() : nullptr;
+}
+
 const HandoverScheduler::Path& HandoverScheduler::path_at(TimePoint t) {
   const std::int64_t slot = t.ns() / config_.slot.ns();
   if (slot != cached_slot_) {
     cached_slot_ = slot;
-    cached_path_ = compute_path(TimePoint::from_ns(slot * config_.slot.ns()));
+    const TimePoint slot_start = TimePoint::from_ns(slot * config_.slot.ns());
+    cached_path_ = compute_path(slot_start);
     stats_.slots_computed++;
+    obs_slots_.add();
+    bool handover = false;
     if (cached_path_.connected) {
-      if (last_sat_.valid() && !(cached_path_.sat == last_sat_)) stats_.handovers++;
+      handover = last_sat_.valid() && !(cached_path_.sat == last_sat_);
+      if (handover) {
+        stats_.handovers++;
+        obs_handovers_.add();
+      }
       last_sat_ = cached_path_.sat;
     } else {
       stats_.unconnected_slots++;
+      obs_unconnected_.add();
+    }
+    if (trace_ != nullptr) {
+      // One complete span per reconfiguration slot: visible in Perfetto as a
+      // contiguous ribbon with sat/gateway identity, gaps = unconnected.
+      std::string args = "{\"connected\":";
+      args += cached_path_.connected ? "true" : "false";
+      if (cached_path_.connected) {
+        args += ",\"sat\":\"" + std::to_string(cached_path_.sat.plane) + "/" +
+                std::to_string(cached_path_.sat.slot) + "\",\"gw\":" +
+                std::to_string(cached_path_.gateway) +
+                ",\"handover\":" + (handover ? "true" : "false");
+      }
+      args += "}";
+      trace_->span("leo", cached_path_.connected ? "slot" : "unconnected", slot_start,
+                   slot_start + config_.slot, std::move(args));
+      if (handover) trace_->instant("leo", "handover", slot_start);
     }
   }
   return cached_path_;

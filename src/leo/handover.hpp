@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "leo/constellation.hpp"
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace slp::leo {
@@ -59,6 +60,10 @@ class HandoverScheduler {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Wires metrics counters and per-slot trace spans (category "leo").
+  /// Safe to call with nullptr (disables again).
+  void set_obs(obs::Recorder* rec);
+
  private:
   [[nodiscard]] Path compute_path(TimePoint slot_start);
 
@@ -69,6 +74,10 @@ class HandoverScheduler {
   Path cached_path_;
   SatIndex last_sat_;
   Stats stats_;
+  obs::Counter obs_slots_;
+  obs::Counter obs_handovers_;
+  obs::Counter obs_unconnected_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace slp::leo

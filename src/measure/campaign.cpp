@@ -41,6 +41,7 @@ PingCampaign::Result PingCampaign::run(const Config& config) {
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
   tb_config.with_satcom = false;  // the paper pings over Starlink only
+  tb_config.obs = config.obs;
   if (config.epochs) apply_paper_epochs(tb_config.starlink);
   Testbed bed{tb_config};
 
@@ -101,6 +102,7 @@ PingCampaign::Result PingCampaign::run(const Config& config) {
     });
   }
   bed.sim().run();
+  result.obs = bed.take_obs();
   return result;
 }
 
@@ -110,6 +112,7 @@ H3Campaign::Result H3Campaign::run(const Config& config) {
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
   tb_config.with_satcom = false;
+  tb_config.obs = config.obs;
   if (config.epochs) apply_paper_epochs(tb_config.starlink);
   Testbed bed{tb_config};
 
@@ -182,6 +185,7 @@ H3Campaign::Result H3Campaign::run(const Config& config) {
   bed.sim().run();
 
   result.loss = analyzer.analyze();
+  result.obs = bed.take_obs();
   return result;
 }
 
@@ -191,6 +195,7 @@ MessageCampaign::Result MessageCampaign::run(const Config& config) {
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
   tb_config.with_satcom = false;
+  tb_config.obs = config.obs;
   Testbed bed{tb_config};
 
   Result result;
@@ -257,6 +262,7 @@ MessageCampaign::Result MessageCampaign::run(const Config& config) {
   bed.sim().run();
 
   result.loss = analyzer.analyze();
+  result.obs = bed.take_obs();
   return result;
 }
 
@@ -267,6 +273,7 @@ SpeedtestCampaign::Result SpeedtestCampaign::run(const Config& config) {
   tb_config.seed = config.seed;
   tb_config.with_satcom = config.access == AccessKind::kSatCom;
   tb_config.geo.pep.enabled = config.satcom_pep;
+  tb_config.obs = config.obs;
   Testbed bed{tb_config};
 
   Result result;
@@ -292,6 +299,7 @@ SpeedtestCampaign::Result SpeedtestCampaign::run(const Config& config) {
   };
   launch(config.tests);
   bed.sim().run();
+  result.obs = bed.take_obs();
   return result;
 }
 
@@ -302,6 +310,7 @@ WebCampaign::Result WebCampaign::run(const Config& config) {
   tb_config.seed = config.seed;
   tb_config.with_satcom = config.access == AccessKind::kSatCom;
   tb_config.geo.pep.enabled = config.satcom_pep;
+  tb_config.obs = config.obs;
   Testbed bed{tb_config};
 
   Result result;
@@ -360,6 +369,7 @@ WebCampaign::Result WebCampaign::run(const Config& config) {
   if (result.visits_completed > 0) {
     result.mean_connections = total_connections / result.visits_completed;
   }
+  result.obs = bed.take_obs();
   return result;
 }
 
@@ -386,6 +396,7 @@ void merge(PingCampaign::Result& into, const PingCampaign::Result& from) {
   }
   into.pings_sent += from.pings_sent;
   into.pings_lost += from.pings_lost;
+  obs::merge(into.obs, from.obs);
 }
 
 void merge(H3Campaign::Result& into, const H3Campaign::Result& from) {
@@ -393,6 +404,7 @@ void merge(H3Campaign::Result& into, const H3Campaign::Result& from) {
   append(into.goodput_mbps, from.goodput_mbps);
   into.loss = LossAnalyzer::combine({into.loss, from.loss});
   into.transfers_completed += from.transfers_completed;
+  obs::merge(into.obs, from.obs);
 }
 
 void merge(MessageCampaign::Result& into, const MessageCampaign::Result& from) {
@@ -400,10 +412,12 @@ void merge(MessageCampaign::Result& into, const MessageCampaign::Result& from) {
   append(into.latency_ms, from.latency_ms);
   into.loss = LossAnalyzer::combine({into.loss, from.loss});
   into.messages_sent += from.messages_sent;
+  obs::merge(into.obs, from.obs);
 }
 
 void merge(SpeedtestCampaign::Result& into, const SpeedtestCampaign::Result& from) {
   append(into.mbps, from.mbps);
+  obs::merge(into.obs, from.obs);
 }
 
 void merge(WebCampaign::Result& into, const WebCampaign::Result& from) {
@@ -418,6 +432,7 @@ void merge(WebCampaign::Result& into, const WebCampaign::Result& from) {
   }
   into.visits_completed = total;
   into.visits_timed_out += from.visits_timed_out;
+  obs::merge(into.obs, from.obs);
 }
 
 // =============================================================== middleboxes
@@ -426,6 +441,7 @@ MiddleboxAudit::Result MiddleboxAudit::run(const Config& config) {
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
   tb_config.with_satcom = config.access == AccessKind::kSatCom;
+  tb_config.obs = config.obs;
   Testbed bed{tb_config};
 
   Result result;
@@ -463,6 +479,7 @@ MiddleboxAudit::Result MiddleboxAudit::run(const Config& config) {
   wehe.start();
   bed.sim().run();
 
+  result.obs = bed.take_obs();
   return result;
 }
 

@@ -48,6 +48,7 @@ struct PingCampaign {
     Duration cadence = Duration::minutes(5);
     int pings_per_round = 3;
     bool epochs = true;
+    obs::Options obs;  ///< per-cell observability (testbed-wide)
   };
 
   struct AnchorResult {
@@ -63,6 +64,7 @@ struct PingCampaign {
     std::array<std::vector<double>, 24> eu_by_hour;     ///< Mood's test input
     std::uint64_t pings_sent = 0;
     std::uint64_t pings_lost = 0;
+    obs::Snapshot obs;  ///< metrics/trace/series of this cell (or merged)
   };
 
   static Result run(const Config& config);
@@ -80,6 +82,7 @@ struct H3Campaign {
     bool pacing = false;     ///< quiche default; true for the ablation
     bool epochs = true;      ///< second-session capacity applies
     Duration transfer_timeout = Duration::minutes(5);
+    obs::Options obs;
   };
 
   struct Result {
@@ -87,6 +90,7 @@ struct H3Campaign {
     stats::Samples goodput_mbps;      ///< per transfer (Fig. 5)
     LossAnalyzer::Report loss;        ///< Table 2 / Fig. 4a / §3.2 durations
     int transfers_completed = 0;
+    obs::Snapshot obs;
   };
 
   static Result run(const Config& config);
@@ -102,6 +106,7 @@ struct MessageCampaign {
     Duration session_duration = Duration::minutes(2);
     Duration gap = Duration::seconds(10);
     bool pacing = false;
+    obs::Options obs;
   };
 
   struct Result {
@@ -109,6 +114,7 @@ struct MessageCampaign {
     stats::Samples latency_ms;    ///< per message, queue -> delivered
     LossAnalyzer::Report loss;    ///< Table 2 / Fig. 4b
     int messages_sent = 0;
+    obs::Snapshot obs;
   };
 
   static Result run(const Config& config);
@@ -126,10 +132,12 @@ struct SpeedtestCampaign {
     Duration test_duration = Duration::seconds(12);
     Duration gap = Duration::minutes(2);
     bool satcom_pep = true;  ///< PEP ablation switch (SatCom access only)
+    obs::Options obs;
   };
 
   struct Result {
     stats::Samples mbps;  ///< one sample per test (Fig. 5)
+    obs::Snapshot obs;
   };
 
   static Result run(const Config& config);
@@ -149,6 +157,7 @@ struct WebCampaign {
     /// Name resolution across the access link (one lookup per origin per
     /// cold cache) — part of every real onLoad.
     bool dns = true;
+    obs::Options obs;
   };
 
   struct Result {
@@ -158,6 +167,7 @@ struct WebCampaign {
     double mean_connections = 0.0;
     int visits_completed = 0;
     int visits_timed_out = 0;
+    obs::Snapshot obs;
   };
 
   static Result run(const Config& config);
@@ -184,12 +194,14 @@ struct MiddleboxAudit {
     std::uint64_t seed = 6;
     AccessKind access = AccessKind::kStarlink;
     int wehe_repetitions = 10;  ///< the paper ran the suite ten times
+    obs::Options obs;
   };
 
   struct Result {
     std::vector<mbox::Traceroute::Hop> traceroute;
     mbox::Tracebox::Report tracebox;
     mbox::WeheClient::Report wehe;
+    obs::Snapshot obs;
   };
 
   static Result run(const Config& config);

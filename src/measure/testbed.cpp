@@ -28,7 +28,21 @@ std::string_view to_string(AccessKind kind) {
 
 Testbed::Testbed(TestbedConfig config)
     : config_{std::move(config)}, sim_{config_.seed}, net_{sim_} {
+  if (config_.obs.any()) sim_.enable_obs(config_.obs);
   build_core();
+}
+
+obs::Snapshot Testbed::take_obs() {
+  auto* rec = sim_.obs();
+  if (rec == nullptr) {
+    obs::Snapshot empty;
+    empty.cells = 1;
+    return empty;
+  }
+  if (rec->options().metrics) {
+    rec->registry().counter("sim.events_processed").add(sim_.events_processed());
+  }
+  return rec->take_snapshot();
 }
 
 sim::Host& Testbed::attach_to_core(const std::string& name, sim::Ipv4Addr addr,

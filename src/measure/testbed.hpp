@@ -20,6 +20,7 @@
 
 #include "geo/geo_access.hpp"
 #include "leo/access.hpp"
+#include "obs/recorder.hpp"
 #include "sim/network.hpp"
 #include "web/dns.hpp"
 #include "tcp/tcp.hpp"
@@ -38,6 +39,9 @@ struct TestbedConfig {
   bool with_satcom = true;
   /// Campus <-> internet-core one-way delay (Louvain-la-Neuve to AMS).
   Duration campus_core_delay = Duration::from_millis(2.2);
+  /// Observability: enabled on the Simulator *before* the topology is built
+  /// so every component binds its handles/probes at construction.
+  obs::Options obs;
 };
 
 class Testbed {
@@ -72,6 +76,10 @@ class Testbed {
 
   /// Runs the simulation for `d` of simulated time.
   void run_for(Duration d) { sim_.run_for(d); }
+
+  /// Freezes this cell's observability data (a valid empty snapshot when obs
+  /// is off, so campaign results merge uniformly across configurations).
+  [[nodiscard]] obs::Snapshot take_obs();
 
  private:
   void build_core();

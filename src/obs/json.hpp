@@ -1,0 +1,26 @@
+// json.hpp — tiny deterministic JSON fragment helpers for the exporters.
+//
+// Every serializer in the system (metrics registry, trace sink, qlog) emits
+// JSON by hand; these helpers keep the escaping correct and the number
+// formatting byte-stable, which the --jobs invariance contract depends on
+// (merged exports are compared with cmp/diff in CI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace slp::obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+/// and control characters; the latter as \uXXXX).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// `"escaped"` — the escaped string including surrounding quotes.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Shortest-ish deterministic rendering of a double ("%.12g"; -0, nan and
+/// inf are normalized to 0 so the output is always valid JSON).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace slp::obs

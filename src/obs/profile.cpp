@@ -1,0 +1,30 @@
+#include "obs/profile.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace slp::obs {
+
+std::uint64_t WallProfile::quantile_ns(double q) const {
+  if (events_ == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(events_ - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) return std::uint64_t{1} << (b + 1);  // upper bucket edge
+  }
+  return std::uint64_t{1} << kBuckets;
+}
+
+std::string WallProfile::report() const {
+  char buf[256];
+  const double mean =
+      events_ == 0 ? 0.0 : static_cast<double>(total_ns_) / static_cast<double>(events_);
+  std::snprintf(buf, sizeof(buf),
+                "events=%" PRIu64 " callback mean=%.0fns p50<=%" PRIu64 "ns p99<=%" PRIu64
+                "ns max<=%" PRIu64 "ns",
+                events_, mean, quantile_ns(0.50), quantile_ns(0.99), quantile_ns(1.0));
+  return buf;
+}
+
+}  // namespace slp::obs

@@ -1,0 +1,53 @@
+// profile.hpp — wall-clock self-profiling of the event loop.
+//
+// Deliberately separate from the Registry/Snapshot: wall-clock numbers are
+// nondeterministic, and the Snapshot export is compared byte-for-byte across
+// --jobs values in CI. WallProfile lives on the Simulator, is off by default
+// (the timing calls would cost ~2x on the micro benchmark), and is reported
+// out-of-band (stderr / Pool task table), never merged into metrics JSON.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace slp::obs {
+
+/// Log2-bucketed nanosecond histogram of event-callback latency plus an
+/// event counter. Bucket i counts callbacks with latency in [2^i, 2^(i+1)) ns.
+class WallProfile {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void record_callback_ns(std::uint64_t ns) {
+    events_++;
+    total_ns_ += ns;
+    buckets_[bucket_of(ns)]++;
+  }
+
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] std::uint64_t total_ns() const { return total_ns_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  /// Approximate latency quantile (upper edge of the bucket holding rank q).
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const;
+
+  /// Multi-line human-readable report ("events=N mean=...ns p50=... p99=...").
+  [[nodiscard]] std::string report() const;
+
+ private:
+  [[nodiscard]] static int bucket_of(std::uint64_t ns) {
+    int b = 0;
+    while (ns > 1 && b < kBuckets - 1) {
+      ns >>= 1;
+      b++;
+    }
+    return b;
+  }
+
+  std::uint64_t events_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace slp::obs

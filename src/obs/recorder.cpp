@@ -1,0 +1,140 @@
+#include "obs/recorder.hpp"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace slp::obs {
+
+Recorder::Recorder(const Options& opts)
+    : opts_{opts}, trace_{opts.trace, opts.max_trace_events} {
+  if (opts_.sample_interval > Duration::zero()) {
+    sampler_ = std::make_unique<Sampler>(opts_.sample_interval, opts_.max_series_points);
+  }
+}
+
+Snapshot Recorder::take_snapshot() {
+  Snapshot snap;
+  snap.cells = 1;
+  snap.counters = registry_.counters();
+  snap.gauges = registry_.gauges();
+  snap.histograms = registry_.histograms();
+  if (sampler_) snap.series = sampler_->take();
+  if (trace_.dropped() > 0) snap.counters["obs.trace.dropped_events"] += trace_.dropped();
+  snap.events = trace_.take();
+  return snap;
+}
+
+void merge(Snapshot& into, const Snapshot& from) {
+  for (const auto& [name, v] : from.counters) into.counters[name] += v;
+  for (const auto& [name, v] : from.gauges) into.gauges[name] = v;
+  for (const auto& [name, cell] : from.histograms) {
+    auto [it, inserted] = into.histograms.emplace(name, cell);
+    if (!inserted) {
+      auto& dst = it->second;
+      assert(dst.edges == cell.edges && "histogram edges must match to merge");
+      for (std::size_t i = 0; i < dst.counts.size() && i < cell.counts.size(); ++i) {
+        dst.counts[i] += cell.counts[i];
+      }
+      dst.total += cell.total;
+      dst.sum += cell.sum;
+    }
+  }
+  const auto offset = static_cast<std::uint32_t>(into.cells);
+  for (const auto& s : from.series) {
+    into.series.push_back(s);
+    into.series.back().cell += offset;
+  }
+  for (const auto& ev : from.events) {
+    into.events.push_back(ev);
+    into.events.back().cell += offset;
+  }
+  into.cells += from.cells;
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string metrics_json(const Snapshot& snap) {
+  std::string out = "{\n  \"cells\": ";
+  append_u64(out, snap.cells);
+
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_quote(name) + ": ";
+    append_u64(out, v);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_quote(name) + ": " + json_number(v);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_quote(name) + ": {\"edges\": [";
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += json_number(h.edges[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out += ", ";
+      append_u64(out, h.counts[i]);
+    }
+    out += "], \"total\": ";
+    append_u64(out, h.total);
+    out += ", \"sum\": " + json_number(h.sum) + "}";
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"series\": [";
+  first = true;
+  for (const auto& s : snap.series) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": " + json_quote(s.name) + ", \"cell\": ";
+    append_u64(out, s.cell);
+    out += ", \"points\": [";
+    for (std::size_t i = 0; i < s.points.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += '[';
+      append_i64(out, s.points[i].t_ns);
+      out += ", " + json_number(s.points[i].value) + ']';
+    }
+    out += "]}";
+  }
+  out += first ? "]" : "\n  ]";
+
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace slp::obs

@@ -1,0 +1,85 @@
+// recorder.hpp — per-Simulator observability bundle and its mergeable export.
+//
+// A Recorder owns one Registry, one TraceSink and (optionally) one Sampler
+// for a single simulation. At the end of a run, `take_snapshot()` freezes
+// everything into a plain `Snapshot` value that rides the campaign Result
+// through `runner::run_merged`'s cell-id-ordered fold — obs::merge is
+// associative over that ordering, which is what makes the merged export
+// byte-identical for --jobs=1 vs --jobs=N.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "util/units.hpp"
+
+namespace slp::obs {
+
+struct Options {
+  bool metrics = false;              ///< collect registry counters/gauges/histograms
+  bool trace = false;                ///< record trace events
+  Duration sample_interval = Duration::zero();  ///< zero = sampling off
+  bool profile = false;              ///< wall-clock event-loop profiling (Simulator-side)
+
+  /// Bounds that keep months-long campaigns from producing gigabyte exports:
+  /// the trace keeps a ring of the most recent events per cell (overwrites
+  /// are counted in the "obs.trace.dropped_events" counter) and each sampled
+  /// series decimates by stride doubling once it reaches the point cap.
+  /// 0 = unlimited.
+  std::size_t max_trace_events = 8192;    ///< per-cell trace ring capacity
+  std::size_t max_series_points = 4096;   ///< per-probe per-cell series cap
+
+  [[nodiscard]] bool any() const {
+    return metrics || trace || profile || sample_interval > Duration::zero();
+  }
+};
+
+/// Frozen, mergeable observability data for one or more sweep cells.
+/// Trace events and series carry a cell id so a merged trace still shows
+/// which seed produced each event (Perfetto pid = cell).
+struct Snapshot {
+  std::uint64_t cells = 0;  ///< how many per-cell snapshots were folded in
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;  ///< last-writer-wins in cell order
+  std::map<std::string, HistogramCell> histograms;
+  std::vector<Series> series;
+  std::vector<TraceEvent> events;
+};
+
+/// Folds `from` into `into`: counters and histogram buckets sum, gauges take
+/// the later cell's value, series/events append with their cell ids offset by
+/// the cells already merged. Found by ADL from runner::run_merged.
+void merge(Snapshot& into, const Snapshot& from);
+
+/// Deterministic metrics document: cells, counters, gauges, histograms and
+/// sampled series (name-sorted maps, %.12g numbers).
+[[nodiscard]] std::string metrics_json(const Snapshot& snap);
+
+class Recorder {
+ public:
+  explicit Recorder(const Options& opts);
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] TraceSink& trace() { return trace_; }
+  /// Null when sampling is off; callers register probes only if present.
+  [[nodiscard]] Sampler* sampler() { return sampler_.get(); }
+
+  /// Moves all collected data out as a single-cell snapshot (cells=1, cell
+  /// id 0 on every event/series). The Recorder is spent afterwards.
+  [[nodiscard]] Snapshot take_snapshot();
+
+ private:
+  Options opts_;
+  Registry registry_;
+  TraceSink trace_;
+  std::unique_ptr<Sampler> sampler_;
+};
+
+}  // namespace slp::obs

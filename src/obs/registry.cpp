@@ -1,0 +1,81 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slp::obs {
+
+void HistogramCell::observe(double x) {
+  const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+  counts[static_cast<std::size_t>(it - edges.begin())]++;
+  total++;
+  sum += x;
+}
+
+Counter Registry::counter(std::string_view name) {
+  auto it = counter_index_.find(name);
+  if (it == counter_index_.end()) {
+    counter_cells_.push_back(0);
+    it = counter_index_.emplace(std::string{name}, counter_cells_.size() - 1).first;
+  }
+  Counter handle;
+  handle.v_ = &counter_cells_[it->second];
+  return handle;
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  auto it = gauge_index_.find(name);
+  if (it == gauge_index_.end()) {
+    gauge_cells_.push_back(0.0);
+    it = gauge_index_.emplace(std::string{name}, gauge_cells_.size() - 1).first;
+  }
+  Gauge handle;
+  handle.v_ = &gauge_cells_[it->second];
+  return handle;
+}
+
+HistogramHandle Registry::histogram(std::string_view name, std::span<const double> edges) {
+  auto it = histogram_index_.find(name);
+  if (it == histogram_index_.end()) {
+    assert(std::is_sorted(edges.begin(), edges.end()));
+    HistogramCell cell;
+    cell.edges.assign(edges.begin(), edges.end());
+    cell.counts.assign(edges.size() + 1, 0);
+    histogram_cells_.push_back(std::move(cell));
+    it = histogram_index_.emplace(std::string{name}, histogram_cells_.size() - 1).first;
+  }
+  HistogramHandle handle;
+  handle.cell_ = &histogram_cells_[it->second];
+  return handle;
+}
+
+std::vector<double> Registry::exp_edges(double lo, double factor, int count) {
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(count));
+  double edge = lo;
+  for (int i = 0; i < count; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return edges;
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, idx] : counter_index_) out.emplace(name, counter_cells_[idx]);
+  return out;
+}
+
+std::map<std::string, double> Registry::gauges() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, idx] : gauge_index_) out.emplace(name, gauge_cells_[idx]);
+  return out;
+}
+
+std::map<std::string, HistogramCell> Registry::histograms() const {
+  std::map<std::string, HistogramCell> out;
+  for (const auto& [name, idx] : histogram_index_) out.emplace(name, histogram_cells_[idx]);
+  return out;
+}
+
+}  // namespace slp::obs

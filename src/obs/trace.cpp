@@ -1,0 +1,103 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace slp::obs {
+
+void TraceSink::push(TraceEvent&& ev) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    events_[head_] = std::move(ev);
+    head_ = (head_ + 1) % max_events_;
+    ++dropped_;
+  } else {
+    events_.push_back(std::move(ev));
+  }
+}
+
+std::vector<TraceEvent> TraceSink::take() {
+  if (head_ != 0) {
+    std::rotate(events_.begin(),
+                events_.begin() + static_cast<std::ptrdiff_t>(head_), events_.end());
+    head_ = 0;
+  }
+  return std::move(events_);
+}
+
+void TraceSink::instant(std::string category, std::string name, TimePoint at,
+                        std::string args_json) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.category = std::move(category);
+  ev.name = std::move(name);
+  ev.phase = 'i';
+  ev.ts_ns = at.ns();
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+void TraceSink::span(std::string category, std::string name, TimePoint start, TimePoint end,
+                     std::string args_json) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.category = std::move(category);
+  ev.name = std::move(name);
+  ev.phase = 'X';
+  ev.ts_ns = start.ns();
+  ev.dur_ns = (end - start).ns();
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+std::string trace_event_json(const TraceEvent& ev) {
+  // Chrome trace-event timestamps are in microseconds; keep sub-us precision
+  // by emitting fractional us (ns are always exact multiples of 0.001 us).
+  char num[64];
+  std::string out = "{\"name\":" + json_quote(ev.name) +
+                    ",\"cat\":" + json_quote(ev.category) + ",\"ph\":\"";
+  out += ev.phase;
+  out += '"';
+  std::snprintf(num, sizeof(num), ",\"ts\":%" PRId64 ".%03d", ev.ts_ns / 1000,
+                static_cast<int>(ev.ts_ns % 1000));
+  out += num;
+  if (ev.phase == 'X') {
+    std::snprintf(num, sizeof(num), ",\"dur\":%" PRId64 ".%03d", ev.dur_ns / 1000,
+                  static_cast<int>(ev.dur_ns % 1000));
+    out += num;
+  }
+  std::snprintf(num, sizeof(num), ",\"pid\":%u,\"tid\":", ev.cell);
+  out += num;
+  out += json_quote(ev.category);
+  out += ",\"args\":";
+  out += ev.args_json.empty() ? "{}" : ev.args_json;
+  out += '}';
+  return out;
+}
+
+std::string trace_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  ";
+    out += trace_event_json(ev);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string trace_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const auto& ev : events) {
+    out += trace_event_json(ev);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace slp::obs

@@ -1,0 +1,79 @@
+// trace.hpp — structured sim-time event/span recording.
+//
+// The TraceSink collects Chrome trace-event-format records: instant events
+// (ph="i") for point occurrences (queue drop, PEP split, CC transition) and
+// complete events (ph="X") for spans with a duration (outage window, GE bad
+// burst, handover reconfiguration slot, speedtest phase). Timestamps are
+// sim-time microseconds; `pid` is the sweep cell id (assigned at merge time)
+// and `tid` groups events by category so Perfetto lays each subsystem out on
+// its own track.
+//
+// `args` is a pre-rendered JSON object fragment ("{...}") built by the call
+// site with the json.hpp helpers — the sink never interprets it, it just
+// splices it into the output, which keeps recording cheap and the exporter
+// byte-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace slp::obs {
+
+struct TraceEvent {
+  std::string category;  ///< becomes the Perfetto thread/track ("leo", "phy.ge", ...)
+  std::string name;
+  char phase = 'i';              ///< 'i' instant, 'X' complete (has dur)
+  std::int64_t ts_ns = 0;        ///< sim time of the event (span start for 'X')
+  std::int64_t dur_ns = 0;       ///< span length, 'X' only
+  std::string args_json;         ///< pre-rendered JSON object ("{}" if none)
+  std::uint32_t cell = 0;        ///< sweep cell id; offset during merge
+};
+
+class TraceSink {
+ public:
+  /// A disabled sink drops events on arrival; call sites stay unconditional.
+  /// `max_events` makes the sink a ring of the most recent events (Chrome
+  /// tracing's "trace buffer full" semantics) so a 140-day campaign that
+  /// emits a handover span every 15 s cannot grow without bound; overwritten
+  /// events are counted in `dropped()`. 0 = unlimited.
+  explicit TraceSink(bool enabled = true, std::size_t max_events = 0)
+      : enabled_{enabled}, max_events_{max_events} {}
+
+  void instant(std::string category, std::string name, TimePoint at,
+               std::string args_json = "{}");
+  void span(std::string category, std::string name, TimePoint start, TimePoint end,
+            std::string args_json = "{}");
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Ring order once the sink has wrapped; `take()` restores chronology.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::vector<TraceEvent> take();
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+ private:
+  void push(TraceEvent&& ev);
+
+  bool enabled_ = true;
+  std::size_t max_events_ = 0;  ///< ring capacity; 0 = unlimited
+  std::size_t head_ = 0;        ///< oldest slot once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// One serialized trace-event object (no trailing comma/newline).
+[[nodiscard]] std::string trace_event_json(const TraceEvent& ev);
+
+/// Chrome trace-event-format document: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+/// Loadable in Perfetto / about://tracing.
+[[nodiscard]] std::string trace_json(const std::vector<TraceEvent>& events);
+
+/// One JSON object per line — greppable / streamable form of the same data.
+[[nodiscard]] std::string trace_jsonl(const std::vector<TraceEvent>& events);
+
+}  // namespace slp::obs

@@ -7,8 +7,24 @@ GilbertElliott::GilbertElliott(Config config, Rng rng) : config_{config}, rng_{r
       TimePoint::epoch() + Duration::from_seconds(rng_.exponential(config_.mean_good.to_seconds()));
 }
 
+void GilbertElliott::set_obs(obs::Recorder* rec, std::string label) {
+  if (rec == nullptr) {
+    obs_bad_periods_ = {};
+    obs_dropped_ = {};
+    trace_ = nullptr;
+    return;
+  }
+  obs_label_ = std::move(label);
+  if (rec->options().metrics) {
+    obs_bad_periods_ = rec->registry().counter("phy.ge." + obs_label_ + ".bad_periods");
+    obs_dropped_ = rec->registry().counter("phy.ge." + obs_label_ + ".dropped");
+  }
+  trace_ = rec->trace().enabled() ? &rec->trace() : nullptr;
+}
+
 void GilbertElliott::advance_to(TimePoint now) {
   while (next_transition_ <= now) {
+    const TimePoint at = next_transition_;
     bad_ = !bad_;
     if (bad_) stats_.bad_periods++;
     const Duration mean = bad_ ? config_.mean_bad : config_.mean_good;
@@ -16,6 +32,13 @@ void GilbertElliott::advance_to(TimePoint now) {
     // Guard against a zero draw stalling the chain at one instant.
     if (sojourn <= Duration::zero()) sojourn = Duration::nanos(1);
     next_transition_ = next_transition_ + sojourn;
+    if (bad_) {
+      obs_bad_periods_.add();
+      // The full burst extent is known the moment we enter Bad.
+      if (trace_ != nullptr) {
+        trace_->span("phy.ge", "bad." + obs_label_, at, next_transition_);
+      }
+    }
   }
 }
 
@@ -25,7 +48,10 @@ bool GilbertElliott::should_drop(TimePoint now, const sim::Packet& pkt) {
   stats_.evaluated++;
   const double p = bad_ ? config_.loss_bad : config_.loss_good;
   const bool drop = rng_.chance(p);
-  if (drop) stats_.dropped++;
+  if (drop) {
+    stats_.dropped++;
+    obs_dropped_.add();
+  }
   return drop;
 }
 

@@ -10,6 +10,9 @@
 // and messaging transfers.
 #pragma once
 
+#include <string>
+
+#include "obs/recorder.hpp"
 #include "sim/link.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -38,6 +41,10 @@ class GilbertElliott final : public sim::LossModel {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Wires drop/bad-period counters and a complete trace span per Bad burst
+  /// under "phy.ge.<label>". nullptr disables.
+  void set_obs(obs::Recorder* rec, std::string label);
+
  private:
   void advance_to(TimePoint now);
 
@@ -46,6 +53,10 @@ class GilbertElliott final : public sim::LossModel {
   bool bad_ = false;
   TimePoint next_transition_;
   Stats stats_;
+  std::string obs_label_;
+  obs::Counter obs_bad_periods_;
+  obs::Counter obs_dropped_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace slp::phy

@@ -9,6 +9,22 @@ OutageProcess::OutageProcess(Config config, Rng rng) : config_{config}, rng_{rng
                 Duration::from_seconds(rng_.lognormal(config_.duration_mu, config_.duration_sigma));
 }
 
+void OutageProcess::set_obs(obs::Recorder* rec) {
+  if (rec == nullptr) {
+    obs_outages_ = {};
+    obs_dropped_ = {};
+    trace_ = nullptr;
+    return;
+  }
+  if (rec->options().metrics) {
+    obs_outages_ = rec->registry().counter("phy.outage.windows");
+    obs_dropped_ = rec->registry().counter("phy.outage.dropped");
+  }
+  trace_ = rec->trace().enabled() ? &rec->trace() : nullptr;
+  // The first window was drawn in the constructor, before obs was wired.
+  if (trace_ != nullptr) trace_->span("phy.outage", "outage", outage_start_, outage_end_);
+}
+
 void OutageProcess::advance_to(TimePoint now) {
   while (outage_end_ <= now) {
     outage_start_ = outage_end_ + Duration::from_seconds(
@@ -16,6 +32,8 @@ void OutageProcess::advance_to(TimePoint now) {
     outage_end_ = outage_start_ + Duration::from_seconds(
                                       rng_.lognormal(config_.duration_mu, config_.duration_sigma));
     stats_.outages_started++;
+    obs_outages_.add();
+    if (trace_ != nullptr) trace_->span("phy.outage", "outage", outage_start_, outage_end_);
   }
 }
 
@@ -27,7 +45,10 @@ bool OutageProcess::in_outage(TimePoint t) {
 bool OutageProcess::should_drop(TimePoint now, const sim::Packet& pkt) {
   (void)pkt;
   const bool drop = in_outage(now);
-  if (drop) stats_.dropped++;
+  if (drop) {
+    stats_.dropped++;
+    obs_dropped_.add();
+  }
   return drop;
 }
 

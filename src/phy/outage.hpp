@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "sim/link.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -36,6 +37,11 @@ class OutageProcess final : public sim::LossModel {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Wires counters and a complete trace span per outage window (category
+  /// "phy.outage"). Wire only ONE of a shared up/down pair — both draw
+  /// identical windows, so instrumenting both would double every span.
+  void set_obs(obs::Recorder* rec);
+
  private:
   void advance_to(TimePoint now);
 
@@ -44,6 +50,9 @@ class OutageProcess final : public sim::LossModel {
   TimePoint outage_start_;
   TimePoint outage_end_;
   Stats stats_;
+  obs::Counter obs_outages_;
+  obs::Counter obs_dropped_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 /// Drops when any child model drops; children are advanced for every packet

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace slp::quic {
 
 std::string_view to_string(QlogTrace::EventType type) {
@@ -49,7 +51,7 @@ std::uint64_t QlogTrace::count(EventType type) const {
 }
 
 void QlogTrace::write_json(std::ostream& os) const {
-  os << "{\"qlog_version\":\"0.4\",\"title\":\"" << title_ << "\",\"traces\":[{"
+  os << "{\"qlog_version\":\"0.4\",\"title\":" << obs::json_quote(title_) << ",\"traces\":[{"
      << "\"common_fields\":{\"time_format\":\"relative\",\"reference_time\":"
      << (have_reference_ ? reference_.to_seconds() : 0.0) << "},\"events\":[";
   bool first = true;

@@ -99,9 +99,32 @@ QuicConnection::QuicConnection(QuicStack& stack, sim::Ipv4Addr remote_addr,
   cc_config.hystart = config_.hystart;
   cc_ = cc::make_controller(config_.algorithm, cc_config);
   flow_id_ = stack.sim().next_flow_id();
+  if (auto* rec = stack.sim().obs(); rec != nullptr && rec->sampler() != nullptr) {
+    cwnd_probe_id_ = rec->sampler()->add_probe(
+        "quic.cwnd", [this](TimePoint) { return static_cast<double>(cc_->cwnd_bytes()); });
+  }
 }
 
-QuicConnection::~QuicConnection() = default;
+QuicConnection::~QuicConnection() {
+  if (cwnd_probe_id_ != 0) {
+    if (auto* rec = stack_->sim().obs(); rec != nullptr && rec->sampler() != nullptr) {
+      rec->sampler()->remove_probe(cwnd_probe_id_);
+    }
+  }
+}
+
+void QuicConnection::note_cc_event(const char* what) {
+  auto* rec = stack_->sim().obs();
+  if (rec == nullptr) return;
+  if (rec->options().metrics) {
+    rec->registry().counter(std::string{"quic.cc."} + what).add();
+  }
+  if (rec->trace().enabled()) {
+    rec->trace().instant("quic.cc", what, stack_->sim().now(),
+                         "{\"flow\":" + std::to_string(flow_id_) +
+                             ",\"cwnd\":" + std::to_string(cc_->cwnd_bytes()) + "}");
+  }
+}
 
 sim::Simulator& QuicConnection::sim() const { return stack_->sim(); }
 
@@ -652,6 +675,7 @@ void QuicConnection::detect_losses(TimePoint now) {
     if (react) {
       congestion_recovery_start_ = now;
       cc_->on_congestion_event(now);
+      note_cc_event("congestion");
     }
     maybe_send();
   }
@@ -706,6 +730,7 @@ void QuicConnection::on_loss_timer() {
   // PTO: probe by retransmitting the oldest un-acked content with a new pn.
   pto_count_++;
   stats_.ptos++;
+  note_cc_event("pto");
   if (!sent_.empty()) {
     auto it = sent_.begin();
     SentPacket sp = it->second;

@@ -195,6 +195,8 @@ class QuicConnection {
   void send_ack_only();
   void arm_loss_timer();
   void on_loss_timer();
+  /// Records a congestion-control transition (counter + trace instant).
+  void note_cc_event(const char* what);
   void update_rtt(Duration sample);
   void maybe_send_max_data();
   [[nodiscard]] Duration pto_interval() const;
@@ -211,6 +213,7 @@ class QuicConnection {
   bool handshake_sent_ = false;
   std::unique_ptr<cc::CongestionController> cc_;
   std::uint64_t flow_id_ = 0;
+  std::uint64_t cwnd_probe_id_ = 0;  ///< "quic.cwnd" sampler probe
 
   // --- send state ---
   std::uint64_t next_pn_ = 0;

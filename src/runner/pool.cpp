@@ -1,6 +1,7 @@
 #include "runner/pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace slp::runner {
@@ -67,6 +68,16 @@ std::uint64_t Pool::tasks_stolen() const {
   return stolen_;
 }
 
+double Pool::task_seconds_total() const {
+  std::lock_guard lock{mutex_};
+  return task_seconds_total_;
+}
+
+double Pool::task_seconds_max() const {
+  std::lock_guard lock{mutex_};
+  return task_seconds_max_;
+}
+
 bool Pool::take(std::size_t me, std::function<void()>& out, bool& stolen) {
   // Own deque first: front, LIFO — the task most recently pushed here.
   if (!queues_[me].deque.empty()) {
@@ -101,6 +112,7 @@ void Pool::run_worker(std::size_t me) {
     if (take(me, task, stolen)) {
       if (stolen) ++stolen_;
       lock.unlock();
+      const auto t0 = std::chrono::steady_clock::now();
       try {
         task();
       } catch (...) {
@@ -108,9 +120,13 @@ void Pool::run_worker(std::size_t me) {
         if (!first_error_) first_error_ = std::current_exception();
         lock.unlock();
       }
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       task = nullptr;  // destroy captures outside the lock
       lock.lock();
       ++completed_;
+      task_seconds_total_ += secs;
+      task_seconds_max_ = std::max(task_seconds_max_, secs);
       if (--pending_ == 0) drain_cv_.notify_all();
       continue;
     }

@@ -51,6 +51,10 @@ class Pool {
   [[nodiscard]] std::uint64_t tasks_completed() const;
   /// Tasks executed by a thief rather than their home worker.
   [[nodiscard]] std::uint64_t tasks_stolen() const;
+  /// Wall-clock profiling across all finished tasks: summed busy seconds and
+  /// the longest single task (the straggler that bounds sweep latency).
+  [[nodiscard]] double task_seconds_total() const;
+  [[nodiscard]] double task_seconds_max() const;
 
  private:
   struct Worker {
@@ -72,6 +76,8 @@ class Pool {
   std::uint64_t pending_ = 0;         // submitted, not yet finished
   std::uint64_t completed_ = 0;
   std::uint64_t stolen_ = 0;
+  double task_seconds_total_ = 0.0;
+  double task_seconds_max_ = 0.0;
   std::exception_ptr first_error_;
   bool shutdown_ = false;
 };

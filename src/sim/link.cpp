@@ -30,6 +30,48 @@ Link::Link(Simulator& sim, Interface& a, Interface& b, Config config) : sim_{&si
   dir_[0].to = &b;
   dir_[1].config = std::move(config.b_to_a);
   dir_[1].to = &a;
+  obs_name_ = config.name.empty() ? "other" : config.name;
+  traced_ = !config.name.empty();
+  init_obs();
+}
+
+Link::~Link() {
+  auto* rec = sim_->obs();
+  if (rec == nullptr || rec->sampler() == nullptr) return;
+  for (auto& d : dir_) {
+    if (d.obs.probe_id != 0) rec->sampler()->remove_probe(d.obs.probe_id);
+  }
+}
+
+void Link::init_obs() {
+  auto* rec = sim_->obs();
+  if (rec == nullptr) return;
+  static const char* kDirTag[2] = {"ab", "ba"};
+  for (int i = 0; i < 2; ++i) {
+    Direction& d = dir_[i];
+    if (rec->options().metrics) {
+      const std::string prefix = "link." + obs_name_ + "." + kDirTag[i] + ".";
+      d.obs.enqueued = rec->registry().counter(prefix + "enqueued_packets");
+      d.obs.tx_bytes = rec->registry().counter(prefix + "tx_bytes");
+      d.obs.delivered = rec->registry().counter(prefix + "delivered_packets");
+      d.obs.dropped_overflow = rec->registry().counter(prefix + "dropped_overflow");
+      d.obs.dropped_medium = rec->registry().counter(prefix + "dropped_medium");
+      d.obs.dropped_aqm = rec->registry().counter(prefix + "dropped_aqm");
+    }
+    if (traced_ && rec->sampler() != nullptr) {
+      d.obs.probe_id = rec->sampler()->add_probe(
+          "link." + obs_name_ + "." + kDirTag[i] + ".queue_bytes",
+          [&d](TimePoint) { return static_cast<double>(d.queued_bytes); });
+    }
+  }
+}
+
+void Link::trace_drop(int direction, const char* kind, const Packet& pkt) {
+  auto* rec = sim_->obs();
+  if (rec == nullptr || !traced_ || !rec->trace().enabled()) return;
+  rec->trace().instant("sim.link", std::string{"drop."} + kind, sim_->now(),
+                       "{\"link\":\"" + obs_name_ + "\",\"dir\":" + std::to_string(direction) +
+                           ",\"bytes\":" + std::to_string(pkt.size_bytes) + "}");
 }
 
 std::size_t Link::queued_bytes(int direction) const { return dir_[direction].queued_bytes; }
@@ -53,17 +95,22 @@ void Link::set_delivery_tap(int direction, std::function<void(const Packet&)> ta
 void Link::enqueue(int direction, Packet pkt) {
   Direction& d = dir_[direction];
   d.stats.enqueued_packets++;
+  d.obs.enqueued.add();
   if (d.config.aqm) {
     const double fraction =
         static_cast<double>(d.queued_bytes) / static_cast<double>(d.config.queue_capacity_bytes);
     if (d.config.aqm(sim_->now(), pkt, fraction)) {
       d.stats.dropped_aqm++;
+      d.obs.dropped_aqm.add();
+      trace_drop(direction, "aqm", pkt);
       return;
     }
   }
   if (d.transmitting || !d.queue.empty()) {
     if (d.queued_bytes + pkt.size_bytes > d.config.queue_capacity_bytes) {
       d.stats.dropped_overflow++;
+      d.obs.dropped_overflow.add();
+      trace_drop(direction, "overflow", pkt);
       return;  // drop-tail
     }
     d.queued_bytes += pkt.size_bytes;
@@ -97,6 +144,7 @@ void Link::finish_transmission(int direction, Packet pkt) {
   Direction& d = dir_[direction];
   d.stats.tx_packets++;
   d.stats.tx_bytes += pkt.size_bytes;
+  d.obs.tx_bytes.add(pkt.size_bytes);
 
   // Serialization finished; the next queued packet can start immediately.
   if (!d.queue.empty()) {
@@ -109,6 +157,8 @@ void Link::finish_transmission(int direction, Packet pkt) {
   // serialization time, the receiver simply never sees it.
   if (d.config.loss != nullptr && d.config.loss->should_drop(sim_->now(), pkt)) {
     d.stats.dropped_medium++;
+    d.obs.dropped_medium.add();
+    trace_drop(direction, "medium", pkt);
     return;
   }
 
@@ -117,6 +167,7 @@ void Link::finish_transmission(int direction, Packet pkt) {
   sim_->schedule_in(delay, [this, direction, to, pkt = std::move(pkt)]() mutable {
     Direction& dd = dir_[direction];
     dd.stats.delivered_packets++;
+    dd.obs.delivered.add();
     if (dd.tap) dd.tap(pkt);
     to->owner().handle_packet(std::move(pkt), *to);
   });

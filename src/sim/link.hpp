@@ -14,7 +14,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "obs/registry.hpp"
 #include "sim/node.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
@@ -51,6 +53,10 @@ class Link {
   struct Config {
     DirectionConfig a_to_b;
     DirectionConfig b_to_a;
+    /// Observability name ("sat", "isp", ...). Links sharing a name share
+    /// metric counters; empty = pooled under "other". Named links also get
+    /// queue-depth sampler probes and drop trace events.
+    std::string name;
   };
 
   struct DirStats {
@@ -66,6 +72,7 @@ class Link {
 
   /// Wires interfaces `a` and `b` together. Both must be unattached.
   Link(Simulator& sim, Interface& a, Interface& b, Config config);
+  ~Link();
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -88,6 +95,16 @@ class Link {
  private:
   friend class Interface;
 
+  struct DirObs {
+    obs::Counter enqueued;
+    obs::Counter tx_bytes;
+    obs::Counter delivered;
+    obs::Counter dropped_overflow;
+    obs::Counter dropped_medium;
+    obs::Counter dropped_aqm;
+    std::uint64_t probe_id = 0;  ///< queue-depth sampler probe (0 = none)
+  };
+
   struct Direction {
     DirectionConfig config;
     Interface* to = nullptr;
@@ -96,7 +113,11 @@ class Link {
     bool transmitting = false;
     DirStats stats;
     std::function<void(const Packet&)> tap;
+    DirObs obs;
   };
+
+  void init_obs();
+  void trace_drop(int direction, const char* kind, const Packet& pkt);
 
   /// Called by Interface::send.
   void enqueue(int direction, Packet pkt);
@@ -105,6 +126,8 @@ class Link {
 
   Simulator* sim_;
   Direction dir_[2];
+  std::string obs_name_;  ///< resolved metric name ("other" when unnamed)
+  bool traced_ = false;   ///< emit per-drop trace events (named links only)
 };
 
 }  // namespace slp::sim

@@ -1,20 +1,62 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <chrono>
+
+#include "util/log.hpp"
 
 namespace slp::sim {
 
-Simulator::Simulator(std::uint64_t seed) : rng_{seed} {}
+Simulator::Simulator(std::uint64_t seed) : rng_{seed} {
+  // Log records from this thread carry this simulation's clock ("[t=...s]")
+  // while it is the thread's live simulator. Sweep cells run one Testbed per
+  // worker at a time, so last-registered-wins is exactly right.
+  Logger::set_time_source(this, [](const void* owner) {
+    return static_cast<const Simulator*>(owner)->now().ns();
+  });
+}
+
+Simulator::~Simulator() { Logger::clear_time_source(this); }
 
 EventId Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule into the past");
   return queue_.schedule(at, std::move(fn));
 }
 
+void Simulator::enable_obs(const obs::Options& opts) {
+  recorder_ = std::make_unique<obs::Recorder>(opts);
+  sampler_ = recorder_->sampler();
+  if (opts.profile) profile_ = std::make_unique<obs::WallProfile>();
+}
+
+void Simulator::sample_up_to(TimePoint at) {
+  // A grid point t is sampled when the clock first moves past it, so the
+  // sample sees the state after every event at t has run — the same answer
+  // regardless of how events at t are batched.
+  if (sampler_->next_due() < at) {
+    sampler_->sample_until(at - Duration::nanos(1));
+  }
+}
+
 void Simulator::run() {
   stopped_ = false;
+  if (profile_) {
+    using Clock = std::chrono::steady_clock;
+    while (!queue_.empty() && !stopped_) {
+      auto [at, fn] = queue_.pop();
+      if (sampler_ != nullptr) sample_up_to(at);
+      now_ = at;
+      ++events_processed_;
+      const auto t0 = Clock::now();
+      fn();
+      profile_->record_callback_ns(
+          static_cast<std::uint64_t>((Clock::now() - t0).count()));
+    }
+    return;
+  }
   while (!queue_.empty() && !stopped_) {
     auto [at, fn] = queue_.pop();
+    if (sampler_ != nullptr) sample_up_to(at);
     now_ = at;
     ++events_processed_;
     fn();
@@ -25,11 +67,15 @@ void Simulator::run_until(TimePoint deadline) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
     auto [at, fn] = queue_.pop();
+    if (sampler_ != nullptr) sample_up_to(at);
     now_ = at;
     ++events_processed_;
     fn();
   }
-  if (!stopped_ && now_ < deadline) now_ = deadline;
+  if (!stopped_ && now_ < deadline) {
+    if (sampler_ != nullptr) sampler_->sample_until(deadline);
+    now_ = deadline;
+  }
 }
 
 void Timer::arm(Duration delay, std::function<void()> fn) {

@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -19,6 +22,7 @@ namespace slp::sim {
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -46,12 +50,26 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Turns on observability for this simulation. Call before building the
+  /// topology so components can bind handles / register probes at
+  /// construction. No-op data collection when never called.
+  void enable_obs(const obs::Options& opts);
+  /// Null unless enable_obs() was called — instrumentation sites check this
+  /// once at setup, so the per-event cost of disabled obs is zero.
+  [[nodiscard]] obs::Recorder* obs() { return recorder_.get(); }
+  /// Non-null only when Options::profile was set.
+  [[nodiscard]] const obs::WallProfile* wall_profile() const { return profile_.get(); }
+
   /// Fresh globally-unique packet uid.
   [[nodiscard]] std::uint64_t next_packet_uid() { return next_packet_uid_++; }
   /// Fresh globally-unique flow id.
   [[nodiscard]] std::uint64_t next_flow_id() { return next_flow_id_++; }
 
  private:
+  /// Emits any sample-grid points the clock is about to pass. Kept out of
+  /// line so the run loop's fast path is a single null check.
+  void sample_up_to(TimePoint at);
+
   EventQueue queue_;
   TimePoint now_;
   Rng rng_;
@@ -59,6 +77,9 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   std::uint64_t next_packet_uid_ = 1;
   std::uint64_t next_flow_id_ = 1;
+  std::unique_ptr<obs::Recorder> recorder_;
+  obs::Sampler* sampler_ = nullptr;  ///< cached from recorder_ for the run loop
+  std::unique_ptr<obs::WallProfile> profile_;
 };
 
 /// A re-armable one-shot timer bound to a simulator; cancels itself on

@@ -517,6 +517,7 @@ void TcpConnection::handle_ack(const sim::Packet& pkt) {
     if (in_recovery_ && snd_una_ >= recovery_point_) {
       in_recovery_ = false;
       rto_recovery_ = false;
+      note_cc_event("recovery_exit");
     }
     if (fin_sent_ && ack > fin_seq()) {
       fin_acked_ = true;
@@ -603,6 +604,20 @@ void TcpConnection::detect_losses() {
     prr_credit_ = config_.mss;  // allow the first retransmission out
     cc_->on_congestion_event(stack_->sim().now());
     stats_.fast_recoveries++;
+    note_cc_event("fast_recovery");
+  }
+}
+
+void TcpConnection::note_cc_event(const char* what) {
+  auto* rec = stack_->sim().obs();
+  if (rec == nullptr) return;
+  if (rec->options().metrics) {
+    rec->registry().counter(std::string{"tcp.cc."} + what).add();
+  }
+  if (rec->trace().enabled()) {
+    rec->trace().instant("tcp.cc", what, stack_->sim().now(),
+                         "{\"flow\":" + std::to_string(flow_id_) +
+                             ",\"cwnd\":" + std::to_string(cc_->cwnd_bytes()) + "}");
   }
 }
 
@@ -744,6 +759,7 @@ void TcpConnection::on_rto_expired() {
   stats_.rtos++;
   rto_backoff_++;
   cc_->on_rto(now);
+  note_cc_event("rto");
   prr_credit_ = config_.mss;
   rto_recovery_ = true;
 

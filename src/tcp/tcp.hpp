@@ -163,6 +163,8 @@ class TcpConnection {
   void autotune_rcv_buffer();
   [[nodiscard]] std::uint64_t advertise_window();
   void enter_dead_state();
+  /// Records a congestion-control state transition (counter + trace instant).
+  void note_cc_event(const char* what);
   [[nodiscard]] std::uint64_t send_window() const;
   [[nodiscard]] std::uint64_t fin_seq() const { return 1 + stream_length_; }
 

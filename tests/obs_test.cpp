@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace slp::obs {
+namespace {
+
+using namespace slp::literals;
+
+// ------------------------------------------------------------------ json
+
+TEST(Json, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view{"\x01", 1}), "\\u0001");
+  EXPECT_EQ(json_quote("x\"y"), "\"x\\\"y\"");
+}
+
+TEST(Json, NumbersAreDeterministicAndFinite) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(-0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(1.0 / 0.0), "0");
+  EXPECT_EQ(json_number(0.0 / 0.0), "0");
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Registry, HandlesBindToSharedCells) {
+  Registry reg;
+  Counter a = reg.counter("x.count");
+  Counter b = reg.counter("x.count");
+  a.add();
+  b.add(4);
+  EXPECT_EQ(reg.counters().at("x.count"), 5u);
+}
+
+TEST(Registry, UnboundHandlesAreNoops) {
+  Counter c;
+  Gauge g;
+  HistogramHandle h;
+  EXPECT_FALSE(c.bound());
+  c.add(7);
+  g.set(1.0);
+  h.observe(2.0);  // must not crash
+}
+
+TEST(Registry, HistogramBucketsBySortedEdges) {
+  Registry reg;
+  const std::array<double, 3> edges{1.0, 10.0, 100.0};
+  HistogramHandle h = reg.histogram("lat", edges);
+  h.observe(0.5);    // bucket 0: (-inf, 1)
+  h.observe(1.0);    // bucket 1: [1, 10)
+  h.observe(50.0);   // bucket 2: [10, 100)
+  h.observe(100.0);  // bucket 3: [100, +inf)
+  h.observe(1e9);    // bucket 3
+  const HistogramCell cell = reg.histograms().at("lat");
+  ASSERT_EQ(cell.counts.size(), 4u);
+  EXPECT_EQ(cell.counts[0], 1u);
+  EXPECT_EQ(cell.counts[1], 1u);
+  EXPECT_EQ(cell.counts[2], 1u);
+  EXPECT_EQ(cell.counts[3], 2u);
+  EXPECT_EQ(cell.total, 5u);
+}
+
+TEST(Registry, ExpEdgesGrowGeometrically) {
+  const auto edges = Registry::exp_edges(1.0, 2.0, 4);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[3], 8.0);
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(TraceSink, DisabledSinkDropsEvents) {
+  TraceSink sink{false};
+  sink.instant("cat", "ev", TimePoint::epoch());
+  sink.span("cat", "sp", TimePoint::epoch(), TimePoint::epoch() + 1_ms);
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSink, ExportsChromeTraceFormat) {
+  TraceSink sink{true};
+  sink.instant("leo", "handover", TimePoint::epoch() + Duration::seconds(15),
+               "{\"sat\":\"3/12\"}");
+  sink.span("phy.outage", "outage", TimePoint::epoch() + 1_ms,
+            TimePoint::epoch() + 3_ms);
+  const std::string doc = trace_json(sink.events());
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"sat\":\"3/12\""), std::string::npos);
+  // 15 s in fractional microseconds.
+  EXPECT_NE(doc.find("\"ts\":15000000.000"), std::string::npos);
+  const std::string lines = trace_jsonl(sink.events());
+  EXPECT_EQ(std::count(lines.begin(), lines.end(), '\n'), 2);
+}
+
+// --------------------------------------------------------------- sampler
+
+TEST(Sampler, SamplesEveryGridPointOnce) {
+  Sampler sampler{Duration::seconds(1)};
+  int calls = 0;
+  sampler.add_probe("x", [&calls](TimePoint) { return static_cast<double>(++calls); });
+  sampler.sample_until(TimePoint::epoch() + Duration::from_millis(2500));
+  sampler.sample_until(TimePoint::epoch() + Duration::from_millis(2500));  // no re-sampling
+  const auto series = sampler.take();
+  ASSERT_EQ(series.size(), 1u);
+  // Grid points 0, 1, 2 s.
+  ASSERT_EQ(series[0].points.size(), 3u);
+  EXPECT_EQ(series[0].points[2].t_ns, 2'000'000'000);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Sampler, RemovedProbeKeepsItsPoints) {
+  Sampler sampler{Duration::seconds(1)};
+  const std::uint64_t id = sampler.add_probe("gone", [](TimePoint) { return 1.0; });
+  sampler.sample_until(TimePoint::epoch() + Duration::seconds(1));
+  sampler.remove_probe(id);
+  sampler.sample_until(TimePoint::epoch() + Duration::seconds(3));
+  const auto series = sampler.take();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].points.size(), 2u);  // only t=0s and t=1s
+}
+
+TEST(Sampler, DecimatesByStrideDoublingAtTheCap) {
+  Sampler sampler{Duration::seconds(1), /*max_points=*/4};
+  sampler.add_probe("x", [](TimePoint t) { return t.to_seconds(); });
+  sampler.sample_until(TimePoint::epoch() + Duration::seconds(10));
+  EXPECT_EQ(sampler.stride(), 4u);  // doubled at 4 points, again at 4
+  const auto series = sampler.take();
+  ASSERT_EQ(series.size(), 1u);
+  // Grid 0..10 s at 1 s would be 11 points; the cap leaves a uniform
+  // 4 s grid: t = 0, 4, 8.
+  ASSERT_EQ(series[0].points.size(), 3u);
+  EXPECT_EQ(series[0].points[0].t_ns, 0);
+  EXPECT_EQ(series[0].points[1].t_ns, 4'000'000'000);
+  EXPECT_EQ(series[0].points[2].t_ns, 8'000'000'000);
+}
+
+TEST(Sampler, DecimationIsIndependentOfSamplingChunks) {
+  // The lazy pull cadence (one sample_until per dispatched event) must not
+  // change what gets recorded — only sim time may.
+  const auto run = [](const std::vector<std::int64_t>& stops_ms) {
+    Sampler sampler{Duration::from_millis(250), /*max_points=*/8};
+    sampler.add_probe("x", [](TimePoint t) { return t.to_seconds(); });
+    for (const auto ms : stops_ms) {
+      sampler.sample_until(TimePoint::epoch() + Duration::from_millis(static_cast<double>(ms)));
+    }
+    return sampler.take();
+  };
+  const auto one = run({9000});
+  const auto many = run({40, 700, 1300, 2900, 3000, 8999, 9000});
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_EQ(many.size(), 1u);
+  EXPECT_EQ(one[0].points, many[0].points);
+}
+
+TEST(TraceSink, RingKeepsMostRecentEventsAndCountsDrops) {
+  TraceSink sink{true, /*max_events=*/3};
+  for (int i = 1; i <= 5; ++i) {
+    std::string name = "e";
+    name += static_cast<char>('0' + i);
+    sink.instant("cat", name, TimePoint::epoch() + Duration::seconds(i));
+  }
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const auto events = sink.take();
+  ASSERT_EQ(events.size(), 3u);
+  // Chronological after take(), oldest events overwritten.
+  EXPECT_EQ(events[0].name, "e3");
+  EXPECT_EQ(events[1].name, "e4");
+  EXPECT_EQ(events[2].name, "e5");
+}
+
+TEST(Simulator, LazySamplingSeesPostEventState) {
+  sim::Simulator sim;
+  Options opts;
+  opts.sample_interval = Duration::seconds(1);
+  sim.enable_obs(opts);
+  double value = 0.0;
+  sim.obs()->sampler()->add_probe("v", [&value](TimePoint) { return value; });
+  // The event at exactly t=1s runs *before* the t=1s grid point is sampled.
+  sim.schedule_at(TimePoint::epoch() + Duration::seconds(1), [&value] { value = 7.0; });
+  sim.schedule_at(TimePoint::epoch() + Duration::from_millis(2500), [] {});
+  sim.run();
+  const Snapshot snap = sim.obs()->take_snapshot();
+  ASSERT_EQ(snap.series.size(), 1u);
+  ASSERT_GE(snap.series[0].points.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap.series[0].points[0].value, 0.0);  // t=0
+  EXPECT_DOUBLE_EQ(snap.series[0].points[1].value, 7.0);  // t=1s, after the event
+  EXPECT_DOUBLE_EQ(snap.series[0].points[2].value, 7.0);  // t=2s
+}
+
+TEST(Simulator, RunUntilSamplesTrailingGridPoints) {
+  sim::Simulator sim;
+  Options opts;
+  opts.sample_interval = Duration::seconds(1);
+  sim.enable_obs(opts);
+  sim.obs()->sampler()->add_probe("v", [](TimePoint) { return 1.0; });
+  sim.run_until(TimePoint::epoch() + Duration::from_millis(3500));
+  const Snapshot snap = sim.obs()->take_snapshot();
+  ASSERT_EQ(snap.series.size(), 1u);
+  EXPECT_EQ(snap.series[0].points.size(), 4u);  // 0, 1, 2, 3 s
+}
+
+// ------------------------------------------------------- snapshot merging
+
+Snapshot one_cell(std::uint64_t count, double gauge, std::int64_t event_ns) {
+  Recorder rec{[] {
+    Options o;
+    o.metrics = true;
+    o.trace = true;
+    o.sample_interval = Duration::seconds(1);
+    return o;
+  }()};
+  rec.registry().counter("c").add(count);
+  rec.registry().gauge("g").set(gauge);
+  const std::array<double, 2> edges{10.0, 100.0};
+  rec.registry().histogram("h", edges).observe(gauge);
+  rec.trace().instant("cat", "ev", TimePoint::from_ns(event_ns));
+  rec.sampler()->add_probe("s", [gauge](TimePoint) { return gauge; });
+  rec.sampler()->sample_until(TimePoint::epoch() + Duration::seconds(1));
+  return rec.take_snapshot();
+}
+
+TEST(Snapshot, MergeIsCellOrderDeterministic) {
+  Snapshot a = one_cell(3, 5.0, 100);
+  Snapshot b = one_cell(4, 50.0, 200);
+  Snapshot merged;
+  merge(merged, a);
+  merge(merged, b);
+  EXPECT_EQ(merged.cells, 2u);
+  EXPECT_EQ(merged.counters.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 50.0);  // later cell wins
+  EXPECT_EQ(merged.histograms.at("h").total, 2u);
+  EXPECT_EQ(merged.histograms.at("h").counts[0], 1u);  // 5 < 10
+  EXPECT_EQ(merged.histograms.at("h").counts[1], 1u);  // 10 <= 50 < 100
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_EQ(merged.events[0].cell, 0u);
+  EXPECT_EQ(merged.events[1].cell, 1u);
+  ASSERT_EQ(merged.series.size(), 2u);
+  EXPECT_EQ(merged.series[1].cell, 1u);
+}
+
+TEST(Snapshot, MetricsJsonIsByteIdenticalForSameData) {
+  Snapshot m1;
+  merge(m1, one_cell(3, 5.0, 100));
+  merge(m1, one_cell(4, 50.0, 200));
+  Snapshot m2;
+  merge(m2, one_cell(3, 5.0, 100));
+  merge(m2, one_cell(4, 50.0, 200));
+  EXPECT_EQ(metrics_json(m1), metrics_json(m2));
+  EXPECT_NE(metrics_json(m1).find("\"cells\": 2"), std::string::npos);
+}
+
+// --------------------------------------------------------------- profile
+
+TEST(WallProfile, RecordsLog2Buckets) {
+  WallProfile profile;
+  profile.record_callback_ns(100);
+  profile.record_callback_ns(100);
+  profile.record_callback_ns(1'000'000);
+  EXPECT_EQ(profile.events(), 3u);
+  EXPECT_GE(profile.quantile_ns(0.5), 100u);
+  EXPECT_GE(profile.quantile_ns(1.0), 1'000'000u);
+  EXPECT_FALSE(profile.report().empty());
+}
+
+// ------------------------------------------------------ simulator plumbing
+
+TEST(Simulator, ObsOffByDefault) {
+  sim::Simulator sim;
+  EXPECT_EQ(sim.obs(), nullptr);
+  EXPECT_EQ(sim.wall_profile(), nullptr);
+}
+
+TEST(Simulator, ProfileCountsCallbacks) {
+  sim::Simulator sim;
+  Options opts;
+  opts.profile = true;
+  sim.enable_obs(opts);
+  for (int i = 0; i < 10; ++i) sim.schedule_in(Duration::micros(i), [] {});
+  sim.run();
+  ASSERT_NE(sim.wall_profile(), nullptr);
+  EXPECT_EQ(sim.wall_profile()->events(), 10u);
+}
+
+}  // namespace
+}  // namespace slp::obs

@@ -70,6 +70,22 @@ TEST_F(QlogFixture, JsonIsWellFormedIsh) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST_F(QlogFixture, TitleWithSpecialCharactersIsEscaped) {
+  cb_->listen(443, [](quic::QuicConnection&) {});
+  quic::QuicConnection& conn = ca_->connect(b_->addr(), 443);
+  quic::QlogTrace trace;
+  trace.attach(conn, "h3 \"up\" 40MB\nrun\\2");
+  conn.on_established = [&conn] { conn.send_stream(10'000); };
+  sim_.run();
+  const std::string json = trace.to_json();
+  // The quote, backslash and newline must come out escaped, keeping the
+  // document parseable.
+  EXPECT_NE(json.find("\"title\":\"h3 \\\"up\\\" 40MB\\nrun\\\\2\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
 TEST_F(QlogFixture, TimesAreRelativeAndMonotonicPerSide) {
   cb_->listen(443, [](quic::QuicConnection&) {});
   quic::QuicConnection& conn = ca_->connect(b_->addr(), 443);

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/flags.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -220,6 +223,70 @@ TEST(Fnv1a, StableKnownValue) {
   // FNV-1a 64-bit of empty string is the offset basis.
   EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ull);
   EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+// ------------------------------------------------------------------ Logger
+
+TEST(Logger, ParsesLevelNames) {
+  EXPECT_EQ(parse_log_level("trace", LogLevel::kWarn), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+TEST(Logger, ConcurrentWritesDoNotInterleave) {
+  // Capture std::clog; each record must come out as one intact line even
+  // with several threads logging at once (the sweep-pool scenario).
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+  const LogLevel old_level = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        SLP_LOG(kInfo, "worker", "thread=" << t << " line=" << i << " padpadpadpad");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  Logger::instance().set_level(old_level);
+  std::clog.rdbuf(old);
+
+  std::istringstream lines{captured.str()};
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_NE(line.find("[INFO] worker: thread="), std::string::npos) << line;
+    EXPECT_NE(line.find("padpadpadpad"), std::string::npos) << line;
+  }
+  EXPECT_EQ(count, 200);
+}
+
+TEST(Logger, ThreadTimeSourcePrefixesSimTime) {
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+  const LogLevel old_level = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  const int owner = 0;
+  Logger::set_time_source(&owner, [](const void*) -> std::int64_t {
+    return 1'500'000'000;  // 1.5 s of sim time
+  });
+  SLP_LOG(kInfo, "sim", "with clock");
+  Logger::clear_time_source(&owner);
+  SLP_LOG(kInfo, "sim", "without clock");
+
+  Logger::instance().set_level(old_level);
+  std::clog.rdbuf(old);
+  const std::string out = captured.str();
+  EXPECT_NE(out.find("[t=1.500000000s] sim: with clock"), std::string::npos);
+  EXPECT_EQ(out.find("[t=1.500000000s] sim: without clock"), std::string::npos);
 }
 
 }  // namespace
