@@ -14,16 +14,25 @@
 // Observability flags (EXPERIMENTS.md "Metrics & tracing"):
 //   --metrics=PATH          write the merged metrics JSON document
 //   --trace=PATH            write a Chrome trace-event file (.jsonl => JSONL)
-//   --sample-interval=SECS  sample gauges (queue depth, cwnd, ...) on a grid
+//   --sample-interval=DUR   sample gauges (queue depth, cwnd, ...) on a grid
 //   --log-level=LEVEL       trace|debug|info|warn|error|off (default warn)
 // The merged exports are byte-identical for any --jobs value.
+//
+// Scenario flags (EXPERIMENTS.md "Scenario runs"):
+//   --scenario=PATH         replay an environment/fault timeline (scenario.hpp
+//                           format; examples/scenarios/*.scn) onto every cell
+//   --scenario-offset=DUR   shift the whole timeline later by DUR
+// Durations accept unit suffixes: 90s, 15m, 2h (bare numbers = seconds).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "obs/recorder.hpp"
 #include "runner/sweep.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/quantiles.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
@@ -71,7 +80,9 @@ struct CommonArgs {
   int jobs = 1;   ///< worker threads; 0 = hardware concurrency
   std::string metrics;          ///< --metrics=PATH; empty = metrics off
   std::string trace;            ///< --trace=PATH; empty = tracing off
-  double sample_interval = 0;   ///< --sample-interval=SECS; 0 = sampling off
+  Duration sample_interval = Duration::zero();  ///< zero = sampling off
+  /// --scenario=PATH, already loaded/validated/offset; null = clear sky.
+  std::shared_ptr<const scenario::Scenario> scenario;
 
   static CommonArgs parse(int argc, char** argv) {
     const Flags flags = Flags::parse(argc, argv);
@@ -82,7 +93,22 @@ struct CommonArgs {
     args.jobs = std::max(0, static_cast<int>(flags.get_int("jobs", 1)));
     args.metrics = flags.get("metrics", "");
     args.trace = flags.get("trace", "");
-    args.sample_interval = std::max(0.0, flags.get_double("sample-interval", 0.0));
+    args.sample_interval =
+        std::max(Duration::zero(), flags.get_duration("sample-interval", Duration::zero()));
+    const std::string scenario_path = flags.get("scenario", "");
+    const Duration scenario_offset = flags.get_duration("scenario-offset", Duration::zero());
+    if (!scenario_path.empty()) {
+      try {
+        auto scn = scenario::Scenario::load(scenario_path);
+        if (scenario_offset != Duration::zero()) scn.shift(scenario_offset);
+        args.scenario = std::make_shared<const scenario::Scenario>(std::move(scn));
+        std::printf("scenario: %s (%zu events) from %s\n", args.scenario->name.c_str(),
+                    args.scenario->events.size(), scenario_path.c_str());
+      } catch (const scenario::ScenarioError& e) {
+        std::fprintf(stderr, "error: --scenario=%s: %s\n", scenario_path.c_str(), e.what());
+        std::exit(2);
+      }
+    }
     Logger::instance().set_level(
         parse_log_level(flags.get("log-level", "warn"), LogLevel::kWarn));
     for (const auto& key : flags.unused()) {
@@ -102,7 +128,7 @@ struct CommonArgs {
     obs::Options opts;
     opts.metrics = !metrics.empty();
     opts.trace = !trace.empty();
-    if (sample_interval > 0) opts.sample_interval = Duration::from_seconds(sample_interval);
+    if (sample_interval > Duration::zero()) opts.sample_interval = sample_interval;
     return opts;
   }
 };
@@ -139,12 +165,14 @@ inline void write_obs(const CommonArgs& args, const obs::Snapshot& snap) {
 /// Runs `config` once per seed cell (runner/sweep.hpp) and folds the results
 /// in cell-id order — the drop-in replacement for `Campaign::run(config)`
 /// in every regenerator. With --seeds=1 (the default) the output is exactly
-/// the single-seed campaign, whatever --jobs says. The bench's obs flags are
-/// injected into every cell; the merged Result carries the folded snapshot.
+/// the single-seed campaign, whatever --jobs says. The bench's obs flags and
+/// --scenario timeline are injected into every cell; the merged Result
+/// carries the folded snapshot.
 template <typename Campaign>
 [[nodiscard]] typename Campaign::Result run_sweep(const CommonArgs& args,
                                                   typename Campaign::Config config) {
   config.obs = args.obs();
+  config.scenario = args.scenario;
   return runner::run_merged<Campaign>(args.sweep(), config);
 }
 

@@ -8,16 +8,19 @@
 //   ./sweep_cli --seeds=8 --jobs=8
 //   ./sweep_cli --grid=leo,wired --loads=1,8 --tests=6 --seeds=4
 //   ./sweep_cli --seeds=4 --jobs=4 --metrics=sweep.json --trace=sweep.trace.json
+//   ./sweep_cli --scenario=examples/scenarios/rain_front.scn --seeds=4
 //
 // The merged table is bit-identical for any --jobs value: cells derive their
 // seeds from (cell id, replication id) alone and results are folded in cell
 // order, never completion order (see src/runner/sweep.hpp).
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "measure/campaign.hpp"
 #include "obs/recorder.hpp"
+#include "scenario/scenario.hpp"
 #include "runner/pool.hpp"
 #include "runner/sweep.hpp"
 #include "stats/table.hpp"
@@ -28,7 +31,7 @@ namespace {
 
 using namespace slp;
 
-struct Scenario {
+struct GridCell {
   std::string name;          // grid label: leo | geo | wired
   measure::AccessKind kind;
 };
@@ -54,37 +57,52 @@ int main(int argc, char** argv) {
   const auto loads = flags.get_double_list("loads", {1, 4, 8});
   const std::string metrics_path = flags.get("metrics", "");
   const std::string trace_path = flags.get("trace", "");
-  const double sample_interval = flags.get_double("sample-interval", 0.0);
+  const Duration sample_interval = flags.get_duration("sample-interval", Duration::zero());
+  const std::string scenario_path = flags.get("scenario", "");
+  const Duration scenario_offset = flags.get_duration("scenario-offset", Duration::zero());
   Logger::instance().set_level(
       parse_log_level(flags.get("log-level", "warn"), LogLevel::kWarn));
   obs::Options obs_opts;
   obs_opts.metrics = !metrics_path.empty();
   obs_opts.trace = !trace_path.empty();
-  if (sample_interval > 0) obs_opts.sample_interval = Duration::from_seconds(sample_interval);
+  if (sample_interval > Duration::zero()) obs_opts.sample_interval = sample_interval;
+  std::shared_ptr<const scenario::Scenario> timeline;
+  if (!scenario_path.empty()) {
+    try {
+      auto scn = scenario::Scenario::load(scenario_path);
+      if (scenario_offset != Duration::zero()) scn.shift(scenario_offset);
+      timeline = std::make_shared<const scenario::Scenario>(std::move(scn));
+      std::printf("scenario: %s (%zu events)\n", timeline->name.c_str(),
+                  timeline->events.size());
+    } catch (const scenario::ScenarioError& e) {
+      std::fprintf(stderr, "error: --scenario=%s: %s\n", scenario_path.c_str(), e.what());
+      return 2;
+    }
+  }
   for (const auto& key : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
   }
 
-  std::vector<Scenario> scenarios;
+  std::vector<GridCell> grid_cells;
   for (const std::string& label : grid_labels) {
-    Scenario scenario{label, measure::AccessKind::kStarlink};
-    if (!parse_access(label, scenario.kind)) {
+    GridCell cell{label, measure::AccessKind::kStarlink};
+    if (!parse_access(label, cell.kind)) {
       std::fprintf(stderr, "unknown access '%s' (want leo|geo|wired)\n", label.c_str());
       return 1;
     }
-    scenarios.push_back(std::move(scenario));
+    grid_cells.push_back(std::move(cell));
   }
 
   std::printf("sweep: %zu access x %zu load levels, %d seeds/cell, %s direction\n",
-              scenarios.size(), loads.size(), seeds, download ? "download" : "upload");
+              grid_cells.size(), loads.size(), seeds, download ? "download" : "upload");
 
-  // One task per (scenario, load, seed) cell, all on one pool. Each task
+  // One task per (access, load, seed) cell, all on one pool. Each task
   // fills its own pre-assigned slot; the merge below walks slots in order.
-  const std::size_t grid = scenarios.size() * loads.size();
+  const std::size_t grid = grid_cells.size() * loads.size();
   std::vector<measure::SpeedtestCampaign::Result> cells(grid * static_cast<std::size_t>(seeds));
   runner::Pool pool{jobs};
   for (std::size_t g = 0; g < grid; ++g) {
-    const Scenario& scenario = scenarios[g / loads.size()];
+    const GridCell& cell = grid_cells[g / loads.size()];
     const int connections = static_cast<int>(loads[g % loads.size()]);
     for (int s = 0; s < seeds; ++s) {
       const std::size_t slot = g * static_cast<std::size_t>(seeds) + static_cast<std::size_t>(s);
@@ -92,8 +110,8 @@ int main(int argc, char** argv) {
       // replication index forks within it. g+1 so grid cell 0 is mixed too.
       const std::uint64_t seed = runner::cell_seed(runner::cell_seed(base_seed, g + 1),
                                                    static_cast<std::uint64_t>(s));
-      pool.submit([&cells, slot, seed, kind = scenario.kind, connections, tests, download,
-                   obs_opts] {
+      pool.submit([&cells, slot, seed, kind = cell.kind, connections, tests, download,
+                   obs_opts, timeline] {
         measure::SpeedtestCampaign::Config config;
         config.seed = seed;
         config.access = kind;
@@ -101,6 +119,7 @@ int main(int argc, char** argv) {
         config.tests = tests;
         config.download = download;
         config.obs = obs_opts;
+        config.scenario = timeline;
         cells[slot] = measure::SpeedtestCampaign::run(config);
       });
     }
@@ -117,7 +136,7 @@ int main(int argc, char** argv) {
     }
     obs::merge(all_obs, merged.obs);
     using stats::TextTable;
-    table.add_row({scenarios[g / loads.size()].name,
+    table.add_row({grid_cells[g / loads.size()].name,
                    TextTable::num(loads[g % loads.size()], 0),
                    std::to_string(merged.mbps.size()),
                    TextTable::num(merged.mbps.percentile(25), 1),

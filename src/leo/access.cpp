@@ -1,6 +1,7 @@
 #include "leo/access.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 namespace slp::leo {
@@ -47,10 +48,12 @@ StarlinkAccess::StarlinkAccess(sim::Network& net, Config config)
   // window by forking the *same* label so both processes draw identically.
   outage_down_ = std::make_unique<phy::OutageProcess>(
       config_.outage, net.sim().fork_rng(config_.rng_label + "/outage"));
+  // Scenario gates last: they draw no randomness, so their presence (open or
+  // closed) leaves the stochastic children's streams untouched.
   composite_up_ = std::make_unique<phy::CompositeLossModel>(
-      std::vector<sim::LossModel*>{loss_up_.get(), outage_up_.get()});
+      std::vector<sim::LossModel*>{loss_up_.get(), outage_up_.get(), &gate_up_});
   composite_down_ = std::make_unique<phy::CompositeLossModel>(
-      std::vector<sim::LossModel*>{loss_down_.get(), outage_down_.get()});
+      std::vector<sim::LossModel*>{loss_down_.get(), outage_down_.get(), &gate_down_});
   loaded_up_ = std::make_unique<phy::UtilizationLoss>(
       config_.loaded_loss, net.sim().fork_rng(config_.rng_label + "/loaded-up"));
   loaded_down_ = std::make_unique<phy::UtilizationLoss>(
@@ -126,18 +129,60 @@ StarlinkAccess::~StarlinkAccess() {
 sim::Ipv4Addr StarlinkAccess::public_addr() const { return kCgnExternal; }
 
 DataRate StarlinkAccess::downlink_capacity(TimePoint t) {
-  double fraction = down_load_->available_fraction(t);
+  double fraction = down_load_->available_fraction(t) * rain_factor_;
   if (config_.epoch_capacity_factor) fraction *= config_.epoch_capacity_factor(t);
   const DataRate r = config_.cell_downlink * fraction;
   return std::max(r, DataRate::mbps(1));
 }
 
 DataRate StarlinkAccess::uplink_capacity(TimePoint t) {
-  double fraction = up_load_->available_fraction(t);
+  double fraction = up_load_->available_fraction(t) * rain_factor_;
   if (config_.epoch_capacity_factor) fraction *= config_.epoch_capacity_factor(t);
   const DataRate r = config_.cell_uplink * fraction;
   return std::max(r, DataRate::mbps(1));
 }
+
+void StarlinkAccess::set_rain_attenuation_db(double db) {
+  rain_db_ = std::max(0.0, db);
+  // Relative spectral efficiency log2(1+SNR) at the faded SNR, against a
+  // ~10 dB clear-sky link margin: 3 dB of rain costs ~25% capacity, 10 dB
+  // about 70% — the collapse WetLinks correlates with heavy rain.
+  constexpr double kClearSkySnrDb = 10.0;
+  const double clear = std::log2(1.0 + std::pow(10.0, kClearSkySnrDb / 10.0));
+  const double faded = std::log2(1.0 + std::pow(10.0, (kClearSkySnrDb - rain_db_) / 10.0));
+  rain_factor_ = std::clamp(faded / clear, 0.05, 1.0);
+  // The wet medium is also burstier: Bad states arrive more often in
+  // proportion to the lost margin.
+  loss_up_->set_good_scale(sim_->now(), rain_factor_);
+  loss_down_->set_good_scale(sim_->now(), rain_factor_);
+}
+
+void StarlinkAccess::set_hard_outage(bool active) {
+  gate_up_.set_open(!active);
+  gate_down_.set_open(!active);
+}
+
+void StarlinkAccess::set_satellite_health(SatIndex sat, bool healthy) {
+  scheduler_->set_satellite_health(sat, healthy);
+}
+
+void StarlinkAccess::set_plane_health(int plane, bool healthy) {
+  scheduler_->set_plane_health(plane, healthy);
+}
+
+void StarlinkAccess::set_gateway_health(int gateway, bool healthy) {
+  scheduler_->set_gateway_health(gateway, healthy);
+}
+
+void StarlinkAccess::set_load_override(int direction, double utilization) {
+  (direction == 0 ? up_load_ : down_load_)->set_utilization_override(utilization);
+}
+
+void StarlinkAccess::clear_load_override(int direction) {
+  (direction == 0 ? up_load_ : down_load_)->clear_override();
+}
+
+void StarlinkAccess::force_reconfiguration() { scheduler_->invalidate(); }
 
 Duration StarlinkAccess::propagation_one_way(TimePoint t) {
   const HandoverScheduler::Path& path = scheduler_->path_at(t);

@@ -139,6 +139,39 @@ class StarlinkAccess {
   /// One-way delay components, exclusive of jitter (for tests).
   [[nodiscard]] Duration propagation_one_way(TimePoint t);
 
+  // --- scenario hooks (src/scenario/) --------------------------------
+  // Typed entry points the scenario Injector drives. None of them draws
+  // randomness, so applying a scenario never perturbs the seeded streams —
+  // the same timeline composes deterministically with any --seeds cell.
+
+  /// Rain fade: attenuates the RF link by `db`. Capacity scales with the
+  /// relative spectral efficiency at the faded SNR, and the Gilbert-Elliott
+  /// Good-state mean shrinks by the same factor (a wet medium both slows
+  /// and roughens the link — WetLinks' observation). 0 restores clear sky.
+  void set_rain_attenuation_db(double db);
+  [[nodiscard]] double rain_attenuation_db() const { return rain_db_; }
+
+  /// Hard outage window (PoP failure, maintenance blip): closes a loss gate
+  /// on both directions of the satellite link; every packet in the window is
+  /// destroyed while the stochastic loss chains keep advancing through it.
+  void set_hard_outage(bool active);
+  [[nodiscard]] bool in_hard_outage() const { return !gate_up_.is_open(); }
+
+  /// Satellite / plane / ground-station failures: delegate to the handover
+  /// scheduler's health masks and force a reroute at the next path query.
+  void set_satellite_health(SatIndex sat, bool healthy);
+  void set_plane_health(int plane, bool healthy);
+  void set_gateway_health(int gateway, bool healthy);
+
+  /// Cell load surge: pins the shared-cell utilization of a direction
+  /// (0 = up, 1 = down) until cleared.
+  void set_load_override(int direction, double utilization);
+  void clear_load_override(int direction);
+
+  /// Maintenance reconfiguration: drops the cached handover slot so the
+  /// terminal re-acquires a (possibly different) satellite immediately.
+  void force_reconfiguration();
+
  private:
   [[nodiscard]] Duration access_delay(TimePoint t, bool up);
 
@@ -155,6 +188,10 @@ class StarlinkAccess {
   std::unique_ptr<phy::CompositeLossModel> composite_down_;
   std::unique_ptr<phy::UtilizationLoss> loaded_up_;
   std::unique_ptr<phy::UtilizationLoss> loaded_down_;
+  phy::GateLoss gate_up_;    ///< scenario hard-outage gates (normally open)
+  phy::GateLoss gate_down_;
+  double rain_db_ = 0.0;
+  double rain_factor_ = 1.0;  ///< capacity multiplier derived from rain_db_
   Rng jitter_rng_;
 
   sim::Simulator* sim_ = nullptr;

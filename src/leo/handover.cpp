@@ -27,6 +27,36 @@ void HandoverScheduler::set_obs(obs::Recorder* rec) {
   trace_ = rec->trace().enabled() ? &rec->trace() : nullptr;
 }
 
+void HandoverScheduler::set_satellite_health(SatIndex sat, bool healthy) {
+  if (!sat.valid()) return;
+  if (healthy) failed_sats_.erase({sat.plane, sat.slot});
+  else failed_sats_.insert({sat.plane, sat.slot});
+  invalidate();
+}
+
+void HandoverScheduler::set_plane_health(int plane, bool healthy) {
+  if (healthy) failed_planes_.erase(plane);
+  else failed_planes_.insert(plane);
+  invalidate();
+}
+
+void HandoverScheduler::set_gateway_health(int gateway, bool healthy) {
+  if (gateway < 0 || gateway >= static_cast<int>(config_.gateways.size())) return;
+  if (healthy) failed_gateways_.erase(gateway);
+  else failed_gateways_.insert(gateway);
+  invalidate();
+}
+
+bool HandoverScheduler::satellite_healthy(SatIndex sat) const {
+  return !failed_planes_.contains(sat.plane) && !failed_sats_.contains({sat.plane, sat.slot});
+}
+
+bool HandoverScheduler::gateway_healthy(int gateway) const {
+  return !failed_gateways_.contains(gateway);
+}
+
+void HandoverScheduler::invalidate() { cached_slot_ = -1; }
+
 const HandoverScheduler::Path& HandoverScheduler::path_at(TimePoint t) {
   const std::int64_t slot = t.ns() / config_.slot.ns();
   if (slot != cached_slot_) {
@@ -81,10 +111,12 @@ HandoverScheduler::Path HandoverScheduler::compute_path(TimePoint slot_start) {
   // (bent-pipe requirement: same satellite must see UT and gateway).
   std::vector<std::pair<Constellation::VisibleSat, int>> usable;  // sat, gateway idx
   for (const auto& cand : candidates) {
+    if (!satellite_healthy(cand.sat)) continue;
     const Vec3 sat_pos = constellation_->position_ecef(cand.sat, slot_start);
     int best_gw = -1;
     double best_slant = std::numeric_limits<double>::max();
     for (std::size_t g = 0; g < config_.gateways.size(); ++g) {
+      if (failed_gateways_.contains(static_cast<int>(g))) continue;
       const GeoPoint& gw = config_.gateways[g].location;
       if (elevation_deg(gw, sat_pos) < config_.gateway_min_elevation_deg) continue;
       const double slant = slant_range_m(gw, sat_pos);

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <utility>
 
 #include "leo/constellation.hpp"
 #include "obs/recorder.hpp"
@@ -51,6 +53,22 @@ class HandoverScheduler {
   /// The serving path during the slot containing t. Cached per slot.
   [[nodiscard]] const Path& path_at(TimePoint t);
 
+  // --- scenario fault hooks (src/scenario/) --------------------------
+  // Failed satellites/planes/gateways are excluded from candidate sets; a
+  // health change also invalidates the cached slot, so the terminal reroutes
+  // at the *next* path query instead of waiting out the 15 s slot — the
+  // observable behaviour of an in-service failure. Selection stays
+  // deterministic: the per-slot RNG is forked from the slot index, so a
+  // recomputed slot draws reproducibly from the filtered candidate set.
+  void set_satellite_health(SatIndex sat, bool healthy);
+  void set_plane_health(int plane, bool healthy);
+  /// `gateway` indexes config().gateways; out-of-range indices are ignored.
+  void set_gateway_health(int gateway, bool healthy);
+  [[nodiscard]] bool satellite_healthy(SatIndex sat) const;
+  [[nodiscard]] bool gateway_healthy(int gateway) const;
+  /// Forces the next path_at() to recompute (maintenance reconfiguration).
+  void invalidate();
+
   [[nodiscard]] const Config& config() const { return config_; }
 
   struct Stats {
@@ -70,6 +88,9 @@ class HandoverScheduler {
   const Constellation* constellation_;
   Config config_;
   Rng rng_;
+  std::set<std::pair<int, int>> failed_sats_;  ///< (plane, slot)
+  std::set<int> failed_planes_;
+  std::set<int> failed_gateways_;
   std::int64_t cached_slot_ = -1;
   Path cached_path_;
   SatIndex last_sat_;

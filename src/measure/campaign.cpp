@@ -42,6 +42,7 @@ PingCampaign::Result PingCampaign::run(const Config& config) {
   tb_config.seed = config.seed;
   tb_config.with_satcom = false;  // the paper pings over Starlink only
   tb_config.obs = config.obs;
+  tb_config.scenario = config.scenario;
   if (config.epochs) apply_paper_epochs(tb_config.starlink);
   Testbed bed{tb_config};
 
@@ -113,6 +114,7 @@ H3Campaign::Result H3Campaign::run(const Config& config) {
   tb_config.seed = config.seed;
   tb_config.with_satcom = false;
   tb_config.obs = config.obs;
+  tb_config.scenario = config.scenario;
   if (config.epochs) apply_paper_epochs(tb_config.starlink);
   Testbed bed{tb_config};
 
@@ -196,6 +198,7 @@ MessageCampaign::Result MessageCampaign::run(const Config& config) {
   tb_config.seed = config.seed;
   tb_config.with_satcom = false;
   tb_config.obs = config.obs;
+  tb_config.scenario = config.scenario;
   Testbed bed{tb_config};
 
   Result result;
@@ -274,6 +277,7 @@ SpeedtestCampaign::Result SpeedtestCampaign::run(const Config& config) {
   tb_config.with_satcom = config.access == AccessKind::kSatCom;
   tb_config.geo.pep.enabled = config.satcom_pep;
   tb_config.obs = config.obs;
+  tb_config.scenario = config.scenario;
   Testbed bed{tb_config};
 
   Result result;
@@ -311,6 +315,7 @@ WebCampaign::Result WebCampaign::run(const Config& config) {
   tb_config.with_satcom = config.access == AccessKind::kSatCom;
   tb_config.geo.pep.enabled = config.satcom_pep;
   tb_config.obs = config.obs;
+  tb_config.scenario = config.scenario;
   Testbed bed{tb_config};
 
   Result result;
@@ -442,6 +447,7 @@ MiddleboxAudit::Result MiddleboxAudit::run(const Config& config) {
   tb_config.seed = config.seed;
   tb_config.with_satcom = config.access == AccessKind::kSatCom;
   tb_config.obs = config.obs;
+  tb_config.scenario = config.scenario;
   Testbed bed{tb_config};
 
   Result result;

@@ -49,6 +49,8 @@ struct PingCampaign {
     int pings_per_round = 3;
     bool epochs = true;
     obs::Options obs;  ///< per-cell observability (testbed-wide)
+    /// Optional environment/fault timeline (seed-independent; see scenario.hpp).
+    std::shared_ptr<const scenario::Scenario> scenario;
   };
 
   struct AnchorResult {
@@ -83,6 +85,7 @@ struct H3Campaign {
     bool epochs = true;      ///< second-session capacity applies
     Duration transfer_timeout = Duration::minutes(5);
     obs::Options obs;
+    std::shared_ptr<const scenario::Scenario> scenario;
   };
 
   struct Result {
@@ -107,6 +110,7 @@ struct MessageCampaign {
     Duration gap = Duration::seconds(10);
     bool pacing = false;
     obs::Options obs;
+    std::shared_ptr<const scenario::Scenario> scenario;
   };
 
   struct Result {
@@ -133,6 +137,7 @@ struct SpeedtestCampaign {
     Duration gap = Duration::minutes(2);
     bool satcom_pep = true;  ///< PEP ablation switch (SatCom access only)
     obs::Options obs;
+    std::shared_ptr<const scenario::Scenario> scenario;
   };
 
   struct Result {
@@ -158,6 +163,7 @@ struct WebCampaign {
     /// cold cache) — part of every real onLoad.
     bool dns = true;
     obs::Options obs;
+    std::shared_ptr<const scenario::Scenario> scenario;
   };
 
   struct Result {
@@ -195,6 +201,7 @@ struct MiddleboxAudit {
     AccessKind access = AccessKind::kStarlink;
     int wehe_repetitions = 10;  ///< the paper ran the suite ten times
     obs::Options obs;
+    std::shared_ptr<const scenario::Scenario> scenario;
   };
 
   struct Result {

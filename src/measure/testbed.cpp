@@ -82,6 +82,10 @@ void Testbed::build_core() {
     starlink_->pop().routes().add_default(pop_if);
     core_->routes().add_route(make_addr(149, 6, 50, 0), 24, core_if);
   }
+  if (config_.scenario != nullptr && !config_.scenario->empty()) {
+    injector_ = std::make_unique<scenario::Injector>(
+        sim_, config_.scenario, scenario::Injector::Hooks{starlink_.get()});
+  }
 
   // --- SatCom access ---------------------------------------------------
   if (config_.with_satcom) {

@@ -21,6 +21,7 @@
 #include "geo/geo_access.hpp"
 #include "leo/access.hpp"
 #include "obs/recorder.hpp"
+#include "scenario/injector.hpp"
 #include "sim/network.hpp"
 #include "web/dns.hpp"
 #include "tcp/tcp.hpp"
@@ -42,6 +43,10 @@ struct TestbedConfig {
   /// Observability: enabled on the Simulator *before* the topology is built
   /// so every component binds its handles/probes at construction.
   obs::Options obs;
+  /// Environment/fault timeline replayed onto the Starlink access (null =
+  /// clear sky). Shared across sweep cells: scenarios are seed-independent,
+  /// so every cell schedules the identical timeline.
+  std::shared_ptr<const scenario::Scenario> scenario;
 };
 
 class Testbed {
@@ -59,6 +64,8 @@ class Testbed {
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] sim::Network& net() { return net_; }
   [[nodiscard]] leo::StarlinkAccess& starlink() { return *starlink_; }
+  /// Null unless the config carried a non-empty scenario.
+  [[nodiscard]] const scenario::Injector* injector() const { return injector_.get(); }
   [[nodiscard]] geo::GeoAccess& satcom() { return *geo_; }
   [[nodiscard]] bool has_satcom() const { return geo_ != nullptr; }
 
@@ -92,6 +99,8 @@ class Testbed {
   sim::Simulator sim_;
   sim::Network net_;
   std::unique_ptr<leo::StarlinkAccess> starlink_;
+  /// Declared after starlink_: the injector's hooks point into the access.
+  std::unique_ptr<scenario::Injector> injector_;
   std::unique_ptr<geo::GeoAccess> geo_;
   sim::Router* core_ = nullptr;
   sim::Host* wired_client_ = nullptr;

@@ -1,5 +1,7 @@
 #include "phy/gilbert_elliott.hpp"
 
+#include <algorithm>
+
 namespace slp::phy {
 
 GilbertElliott::GilbertElliott(Config config, Rng rng) : config_{config}, rng_{rng} {
@@ -22,12 +24,21 @@ void GilbertElliott::set_obs(obs::Recorder* rec, std::string label) {
   trace_ = rec->trace().enabled() ? &rec->trace() : nullptr;
 }
 
+void GilbertElliott::set_good_scale(TimePoint now, double scale) {
+  scale = std::max(scale, 0.01);  // never freeze the chain solid
+  advance_to(now);
+  if (!bad_ && next_transition_ > now) {
+    next_transition_ = now + (next_transition_ - now) * (scale / good_scale_);
+  }
+  good_scale_ = scale;
+}
+
 void GilbertElliott::advance_to(TimePoint now) {
   while (next_transition_ <= now) {
     const TimePoint at = next_transition_;
     bad_ = !bad_;
     if (bad_) stats_.bad_periods++;
-    const Duration mean = bad_ ? config_.mean_bad : config_.mean_good;
+    const Duration mean = bad_ ? config_.mean_bad : config_.mean_good * good_scale_;
     Duration sojourn = Duration::from_seconds(rng_.exponential(mean.to_seconds()));
     // Guard against a zero draw stalling the chain at one instant.
     if (sojourn <= Duration::zero()) sojourn = Duration::nanos(1);

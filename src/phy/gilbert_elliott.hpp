@@ -34,6 +34,14 @@ class GilbertElliott final : public sim::LossModel {
 
   [[nodiscard]] bool in_bad_state() const { return bad_; }
 
+  /// Scales the mean Good sojourn (scenario rain fade: scale < 1 means Bad
+  /// states arrive proportionally more often). Deterministic: the remaining
+  /// time of an in-progress Good sojourn is rescaled in place — memoryless-
+  /// consistent for the exponential — and future Good draws use the scaled
+  /// mean. Bad sojourns and loss probabilities are untouched.
+  void set_good_scale(TimePoint now, double scale);
+  [[nodiscard]] double good_scale() const { return good_scale_; }
+
   struct Stats {
     std::uint64_t evaluated = 0;
     std::uint64_t dropped = 0;
@@ -51,6 +59,7 @@ class GilbertElliott final : public sim::LossModel {
   Config config_;
   Rng rng_;
   bool bad_ = false;
+  double good_scale_ = 1.0;
   TimePoint next_transition_;
   Stats stats_;
   std::string obs_label_;

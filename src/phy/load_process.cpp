@@ -7,6 +7,10 @@
 namespace slp::phy {
 
 double LoadProcess::utilization(TimePoint t) {
+  // Override short-circuits *reads*, never draws: the noise sequence is a
+  // pure function of the step index, so resuming after clear_override() is
+  // bit-identical to never having been overridden.
+  if (overridden_) return override_;
   const auto idx = static_cast<std::size_t>(std::max<std::int64_t>(0, t.ns() / config_.step.ns()));
   while (noise_.size() <= idx) {
     const double prev = noise_.empty() ? 0.0 : noise_.back();

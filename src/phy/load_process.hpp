@@ -8,6 +8,7 @@
 // benches flip it on to show what a loaded network would have looked like.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -38,12 +39,25 @@ class LoadProcess {
   /// Fraction of nominal capacity available to our user at time t.
   [[nodiscard]] double available_fraction(TimePoint t) { return 1.0 - utilization(t); }
 
+  /// Pins utilization to `target` (clamped to [floor, ceiling]) until
+  /// clear_override() — the scenario injector's cell-load-surge hook. The
+  /// underlying AR(1) noise keeps being generated per step index, so
+  /// clearing the override resumes the unperturbed trajectory.
+  void set_utilization_override(double target) {
+    override_ = std::clamp(target, config_.floor, config_.ceiling);
+    overridden_ = true;
+  }
+  void clear_override() { overridden_ = false; }
+  [[nodiscard]] bool overridden() const { return overridden_; }
+
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
   Config config_;
   Rng rng_;
   std::vector<double> noise_;  ///< AR(1) deviation per step, grown lazily
+  bool overridden_ = false;
+  double override_ = 0.0;
 };
 
 }  // namespace slp::phy

@@ -74,6 +74,30 @@ class CompositeLossModel final : public sim::LossModel {
   std::vector<sim::LossModel*> children_;
 };
 
+/// All-or-nothing loss gate: closed = every packet destroyed. Draws no
+/// randomness, so opening/closing it never perturbs sibling models' RNG
+/// streams. The scenario injector closes it for hard outage windows (PoP
+/// outages, maintenance blips); it composes as one more CompositeLossModel
+/// child, so the stochastic children keep advancing through the window.
+class GateLoss final : public sim::LossModel {
+ public:
+  [[nodiscard]] bool should_drop(TimePoint now, const sim::Packet& pkt) override {
+    (void)now;
+    (void)pkt;
+    if (open_) return false;
+    dropped_++;
+    return true;
+  }
+
+  void set_open(bool open) { open_ = open; }
+  [[nodiscard]] bool is_open() const { return open_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  bool open_ = true;
+  std::uint64_t dropped_ = 0;
+};
+
 /// Fixed-probability i.i.d. loss — the simplest possible model, used by the
 /// ERRANT profiles and as a test fixture.
 class BernoulliLoss final : public sim::LossModel {

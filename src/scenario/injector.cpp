@@ -1,0 +1,187 @@
+#include "scenario/injector.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace slp::scenario {
+
+namespace {
+
+/// Steps per rain ramp edge: fine enough that the transport sees a gradual
+/// capacity slope, coarse enough that a front costs ~32 events total.
+constexpr int kRainSteps = 16;
+
+std::string event_args_json(const Event& ev) {
+  using obs::json_number;
+  std::string args = "{";
+  switch (ev.kind) {
+    case EventKind::kRain:
+      args += "\"attenuation_db\":" + json_number(ev.attenuation_db) +
+              ",\"ramp_s\":" + json_number(ev.ramp.to_seconds());
+      break;
+    case EventKind::kSatelliteFail:
+      args += "\"plane\":" + std::to_string(ev.plane) + ",\"slot\":" + std::to_string(ev.slot);
+      break;
+    case EventKind::kPlaneFail:
+      args += "\"plane\":" + std::to_string(ev.plane);
+      break;
+    case EventKind::kGatewayOutage:
+      args += "\"gateway\":" + std::to_string(ev.gateway);
+      break;
+    case EventKind::kPopOutage:
+      break;
+    case EventKind::kLoadSurge:
+      args += "\"utilization\":" + json_number(ev.utilization) + ",\"direction\":\"" +
+              (ev.direction == 0 ? "up" : ev.direction == 1 ? "down" : "both") + "\"";
+      break;
+    case EventKind::kMaintenance:
+      args += "\"period_s\":" + json_number(ev.period.to_seconds()) +
+              ",\"blip_s\":" + json_number(ev.blip.to_seconds());
+      break;
+  }
+  args += "}";
+  return args;
+}
+
+}  // namespace
+
+Injector::Injector(sim::Simulator& sim, std::shared_ptr<const Scenario> scenario, Hooks hooks)
+    : sim_{&sim}, scenario_{std::move(scenario)}, hooks_{hooks} {
+  scenario_->validate();
+  if (auto* rec = sim_->obs()) {
+    if (rec->options().metrics) {
+      obs_applied_ = rec->registry().counter("scenario.events_applied");
+      obs_rain_steps_ = rec->registry().counter("scenario.rain.steps");
+      obs_blips_ = rec->registry().counter("scenario.maintenance.blips");
+    }
+    trace_ = rec->trace().enabled() ? &rec->trace() : nullptr;
+  }
+  if (hooks_.starlink == nullptr) return;
+  for (const Event& ev : scenario_->events) schedule_event(ev);
+}
+
+void Injector::note_started(const Event& ev) {
+  stats_.events_applied++;
+  obs_applied_.add();
+  if (trace_ != nullptr) {
+    trace_->span("scenario", std::string{to_string(ev.kind)}, ev.start, ev.end,
+                 event_args_json(ev));
+  }
+}
+
+void Injector::close_gate() {
+  if (++gate_depth_ == 1) hooks_.starlink->set_hard_outage(true);
+}
+
+void Injector::open_gate() {
+  if (--gate_depth_ == 0) hooks_.starlink->set_hard_outage(false);
+}
+
+void Injector::schedule_event(const Event& ev) {
+  if (ev.kind == EventKind::kRain) {
+    schedule_rain(ev);
+    return;
+  }
+  if (ev.kind == EventKind::kMaintenance) {
+    schedule_maintenance(ev);
+    return;
+  }
+  leo::StarlinkAccess* sl = hooks_.starlink;
+  sim_->schedule_at(ev.start, [this, ev, sl] {
+    note_started(ev);
+    switch (ev.kind) {
+      case EventKind::kSatelliteFail:
+        sl->set_satellite_health({ev.plane, ev.slot}, false);
+        break;
+      case EventKind::kPlaneFail:
+        sl->set_plane_health(ev.plane, false);
+        break;
+      case EventKind::kGatewayOutage:
+        sl->set_gateway_health(ev.gateway, false);
+        break;
+      case EventKind::kPopOutage:
+        close_gate();
+        break;
+      case EventKind::kLoadSurge:
+        if (ev.direction != 1) sl->set_load_override(0, ev.utilization);
+        if (ev.direction != 0) sl->set_load_override(1, ev.utilization);
+        break;
+      default:
+        break;
+    }
+  });
+  sim_->schedule_at(ev.end, [this, ev, sl] {
+    switch (ev.kind) {
+      case EventKind::kSatelliteFail:
+        sl->set_satellite_health({ev.plane, ev.slot}, true);
+        break;
+      case EventKind::kPlaneFail:
+        sl->set_plane_health(ev.plane, true);
+        break;
+      case EventKind::kGatewayOutage:
+        sl->set_gateway_health(ev.gateway, true);
+        break;
+      case EventKind::kPopOutage:
+        open_gate();
+        break;
+      case EventKind::kLoadSurge:
+        if (ev.direction != 1) sl->clear_load_override(0);
+        if (ev.direction != 0) sl->clear_load_override(1);
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+void Injector::schedule_rain(const Event& ev) {
+  leo::StarlinkAccess* sl = hooks_.starlink;
+  const Duration window = ev.end - ev.start;
+  // Trapezoid profile: ramp up, hold the peak, ramp down; a ramp longer than
+  // half the window degenerates to a triangle.
+  Duration ramp = ev.ramp;
+  if (ramp * 2.0 > window) ramp = window * 0.5;
+
+  sim_->schedule_at(ev.start, [this, ev] { note_started(ev); });
+  const auto apply = [this, sl](double db) {
+    sl->set_rain_attenuation_db(db);
+    stats_.rain_steps++;
+    obs_rain_steps_.add();
+  };
+  if (ramp <= Duration::zero()) {
+    sim_->schedule_at(ev.start, [apply, db = ev.attenuation_db] { apply(db); });
+  } else {
+    for (int i = 1; i <= kRainSteps; ++i) {
+      const double f = static_cast<double>(i) / kRainSteps;
+      sim_->schedule_at(ev.start + ramp * f, [apply, db = ev.attenuation_db * f] { apply(db); });
+      if (i < kRainSteps) {
+        sim_->schedule_at(ev.end - ramp + ramp * f,
+                          [apply, db = ev.attenuation_db * (1.0 - f)] { apply(db); });
+      }
+    }
+  }
+  // Exact clear-sky restore, whatever the profile rounded to.
+  sim_->schedule_at(ev.end, [apply] { apply(0.0); });
+}
+
+void Injector::schedule_maintenance(const Event& ev) {
+  sim_->schedule_at(ev.start, [this, ev] { note_started(ev); });
+  // One deterministic reconfiguration blip per period boundary: the gate
+  // closes for `blip`, and the handover slot cache is invalidated so the
+  // terminal re-acquires — a storm of forced handovers on the 15 s grid.
+  for (TimePoint at = ev.start; at < ev.end; at = at + ev.period) {
+    const TimePoint blip_end = std::min(at + ev.blip, ev.end);
+    sim_->schedule_at(at, [this] {
+      close_gate();
+      hooks_.starlink->force_reconfiguration();
+      stats_.maintenance_blips++;
+      obs_blips_.add();
+      if (trace_ != nullptr) trace_->instant("scenario", "maintenance.blip", sim_->now());
+    });
+    sim_->schedule_at(blip_end, [this] { open_gate(); });
+  }
+}
+
+}  // namespace slp::scenario

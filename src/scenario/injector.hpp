@@ -1,0 +1,75 @@
+// injector.hpp — replays a Scenario onto a live simulation.
+//
+// The Injector is constructed once per simulation cell, after the topology is
+// built; it schedules every scenario event on the simulator's event queue at
+// construction. All effects go through *typed hooks* on the topology
+// (leo::StarlinkAccess setters), never through the RNG: the timeline is a
+// pure function of the Scenario, so --seeds cells see identical scenario
+// schedules and --jobs merges stay byte-deterministic.
+//
+// Composition details handled here:
+//   * the hard-outage gate is depth-counted, so a maintenance blip inside a
+//     PoP-outage window cannot reopen the gate early;
+//   * rain fronts ramp in deterministic steps (kRainSteps per ramp edge) —
+//     capacity and Gilbert-Elliott burstiness follow the trapezoid profile;
+//   * events firing at the same instant apply in scenario order (the event
+//     queue is FIFO-stable for equal timestamps).
+//
+// Observability (when the cell records): counters scenario.events_applied /
+// scenario.rain.steps / scenario.maintenance.blips, plus one "scenario"
+// trace span per event window with its parameters as args.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "leo/access.hpp"
+#include "obs/recorder.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace slp::scenario {
+
+class Injector {
+ public:
+  /// Topology hooks the injector drives. Only the Starlink access reacts to
+  /// scenarios today (the paper's environment episodes are all LEO-side);
+  /// null hooks make the injector a validated no-op.
+  struct Hooks {
+    leo::StarlinkAccess* starlink = nullptr;
+  };
+
+  /// Validates `scenario` (throws ScenarioError) and schedules every event.
+  /// The injector must outlive the simulation run.
+  Injector(sim::Simulator& sim, std::shared_ptr<const Scenario> scenario, Hooks hooks);
+
+  [[nodiscard]] const Scenario& scenario() const { return *scenario_; }
+
+  struct Stats {
+    std::uint64_t events_applied = 0;   ///< windows whose start hook fired
+    std::uint64_t rain_steps = 0;       ///< attenuation updates applied
+    std::uint64_t maintenance_blips = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void schedule_event(const Event& ev);
+  void schedule_rain(const Event& ev);
+  void schedule_maintenance(const Event& ev);
+  /// Depth-counted gate: the link reopens only when every closer has ended.
+  void close_gate();
+  void open_gate();
+  void note_started(const Event& ev);
+
+  sim::Simulator* sim_;
+  std::shared_ptr<const Scenario> scenario_;
+  Hooks hooks_;
+  int gate_depth_ = 0;
+  Stats stats_;
+  obs::Counter obs_applied_;
+  obs::Counter obs_rain_steps_;
+  obs::Counter obs_blips_;
+  obs::TraceSink* trace_ = nullptr;
+};
+
+}  // namespace slp::scenario

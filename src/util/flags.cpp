@@ -1,5 +1,6 @@
 #include "util/flags.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -57,6 +58,19 @@ bool Flags::get_bool(std::string_view key, bool def) const {
   if (it == values_.end()) return def;
   used_[it->first] = true;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Duration Flags::get_duration(std::string_view key, Duration def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  Duration parsed;
+  if (!parse_duration(it->second, parsed)) {
+    std::fprintf(stderr, "warning: --%s=%s is not a duration (want e.g. 90s, 15m, 2h)\n",
+                 it->first.c_str(), it->second.c_str());
+    return def;
+  }
+  return parsed;
 }
 
 std::vector<std::string> Flags::get_list(std::string_view key,

@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace slp {
 
 class Flags {
@@ -25,6 +27,12 @@ class Flags {
   [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t def) const;
   [[nodiscard]] double get_double(std::string_view key, double def) const;
   [[nodiscard]] bool get_bool(std::string_view key, bool def) const;
+
+  /// Human duration value (`--ramp=90s`, `--window=15m`, `--span=2h`); a bare
+  /// number means seconds (parse_duration, units.hpp). A present-but-invalid
+  /// value warns on stderr and falls back to `def` rather than silently
+  /// misreading a typo as zero.
+  [[nodiscard]] Duration get_duration(std::string_view key, Duration def) const;
 
   /// Comma-separated list value (`--grid=leo,geo,wired`); `def` when absent.
   /// Empty elements are dropped, so `--grid=` means "empty list".

@@ -1,9 +1,32 @@
 #include "util/units.hpp"
 
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
 namespace slp {
+
+bool parse_duration(std::string_view text, Duration& out) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) text.remove_suffix(1);
+  if (text.empty()) return false;
+  const std::string buf{text};  // strtod needs NUL termination
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str()) return false;  // no number at all
+  const std::string_view unit{end};
+  double to_seconds = 1.0;
+  if (unit.empty() || unit == "s") to_seconds = 1.0;
+  else if (unit == "ns") to_seconds = 1e-9;
+  else if (unit == "us") to_seconds = 1e-6;
+  else if (unit == "ms") to_seconds = 1e-3;
+  else if (unit == "m" || unit == "min") to_seconds = 60.0;
+  else if (unit == "h") to_seconds = 3600.0;
+  else if (unit == "d") to_seconds = 86400.0;
+  else return false;
+  out = Duration::from_seconds(value * to_seconds);
+  return true;
+}
 
 std::string to_string(Duration d) {
   std::ostringstream os;

@@ -159,6 +159,13 @@ class DataRate {
 [[nodiscard]] std::string to_string(TimePoint t);
 [[nodiscard]] std::string to_string(DataRate r);
 
+/// Parses a human duration: a number with an optional unit suffix out of
+/// {ns, us, ms, s, m/min, h, d}. A bare number means seconds; fractions are
+/// fine ("1.5s", "0.25h"); surrounding whitespace is ignored. Returns false
+/// (leaving `out` untouched) on empty input, unknown suffix or trailing junk.
+/// Shared by Flags::get_duration and the scenario file parser.
+[[nodiscard]] bool parse_duration(std::string_view text, Duration& out);
+
 namespace literals {
 constexpr Duration operator""_ns(unsigned long long v) { return Duration::nanos(static_cast<std::int64_t>(v)); }
 constexpr Duration operator""_us(unsigned long long v) { return Duration::micros(static_cast<std::int64_t>(v)); }

@@ -197,6 +197,66 @@ TEST_F(HandoverTest, QueryOrderDoesNotChangeChoice) {
   EXPECT_EQ(a2, b2);
 }
 
+TEST_F(HandoverTest, FailedPlaneIsNeverServing) {
+  scheduler_->set_plane_health(7, false);
+  for (int slot = 0; slot < 60; ++slot) {
+    const auto& p = scheduler_->path_at(TimePoint::epoch() + 15_s * static_cast<double>(slot));
+    if (p.connected) {
+      EXPECT_NE(p.sat.plane, 7);
+    }
+  }
+}
+
+TEST_F(HandoverTest, FailedServingSatelliteReroutesWithinTheSlot) {
+  const TimePoint t = TimePoint::epoch() + 5_s;
+  const SatIndex serving = scheduler_->path_at(t).sat;
+  // The failure invalidates the cached slot: the very next query must avoid
+  // the failed satellite instead of waiting out the 15 s slot.
+  scheduler_->set_satellite_health(serving, false);
+  EXPECT_FALSE(scheduler_->satellite_healthy(serving));
+  const auto& rerouted = scheduler_->path_at(t);
+  if (rerouted.connected) {
+    EXPECT_NE(rerouted.sat, serving);
+  }
+}
+
+TEST_F(HandoverTest, FailedGatewayIsNeverUsed) {
+  scheduler_->set_gateway_health(0, false);
+  EXPECT_FALSE(scheduler_->gateway_healthy(0));
+  for (int slot = 0; slot < 60; ++slot) {
+    const auto& p = scheduler_->path_at(TimePoint::epoch() + 15_s * static_cast<double>(slot));
+    if (p.connected) {
+      EXPECT_NE(p.gateway, 0);
+    }
+  }
+  // Out-of-range indices are ignored, not UB.
+  scheduler_->set_gateway_health(99, false);
+  EXPECT_TRUE(scheduler_->gateway_healthy(99));
+}
+
+TEST_F(HandoverTest, FailRestoreCycleMatchesUntouchedScheduler) {
+  HandoverScheduler::Config cfg;
+  cfg.terminal = places::kLouvainLaNeuve;
+  cfg.gateways = default_european_gateways();
+  HandoverScheduler untouched{shell_, cfg, Rng{7}};
+  HandoverScheduler cycled{shell_, cfg, Rng{7}};
+  const TimePoint t = TimePoint::epoch() + 45_s;
+  // Fail and restore a plane before the query: the per-slot forked RNG makes
+  // the recomputed choice identical to never having failed anything.
+  cycled.set_plane_health(3, false);
+  (void)cycled.path_at(t);
+  cycled.set_plane_health(3, true);
+  EXPECT_EQ(cycled.path_at(t).sat, untouched.path_at(t).sat);
+  EXPECT_EQ(cycled.path_at(t).gateway, untouched.path_at(t).gateway);
+}
+
+TEST_F(HandoverTest, InvalidateRecomputesTheSameSlotDeterministically) {
+  const TimePoint t = TimePoint::epoch() + 90_s;
+  const SatIndex before = scheduler_->path_at(t).sat;
+  scheduler_->invalidate();
+  EXPECT_EQ(scheduler_->path_at(t).sat, before);
+}
+
 TEST_F(HandoverTest, PropagationDelayInPlausibleRange) {
   for (int slot = 0; slot < 50; ++slot) {
     const auto& p = scheduler_->path_at(TimePoint::epoch() + 15_s * static_cast<double>(slot));

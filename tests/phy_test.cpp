@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "phy/gilbert_elliott.hpp"
 #include "phy/load_process.hpp"
 #include "phy/outage.hpp"
@@ -144,6 +147,71 @@ TEST(CompositeLossModel, DropsWhenAnyChildDrops) {
   EXPECT_FALSE(none.should_drop(TimePoint::epoch(), p));
 }
 
+TEST(CompositeLossModel, AllChildrenAdvanceEvenWhenEarlierChildDrops) {
+  // The composite must consult *every* child for every packet — a dropping
+  // child earlier in the chain must not short-circuit the ones after it, or
+  // their clocks/stats would silently fall behind (scenario gates rely on
+  // this to keep the stochastic models advancing through an outage window).
+  class Counting final : public sim::LossModel {
+   public:
+    explicit Counting(bool drop) : drop_{drop} {}
+    bool should_drop(TimePoint, const Packet&) override {
+      calls++;
+      return drop_;
+    }
+    int calls = 0;
+
+   private:
+    bool drop_;
+  };
+  Counting first{true};   // always drops
+  Counting second{false};
+  Counting third{true};
+  CompositeLossModel chain{{&first, &second, &third}};
+  const Packet p = dummy_packet();
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(chain.should_drop(TimePoint::epoch() + Duration::millis(i), p));
+  }
+  EXPECT_EQ(first.calls, n);
+  EXPECT_EQ(second.calls, n);
+  EXPECT_EQ(third.calls, n);
+}
+
+TEST(CompositeLossModel, StochasticChildStatsUnaffectedByDroppingSibling) {
+  // A GE chain composed behind an always-dropping gate must see exactly the
+  // packets (and draw exactly the randomness) it would see standing alone.
+  GilbertElliott::Config cfg;
+  cfg.mean_good = Duration::millis(50);
+  cfg.mean_bad = Duration::millis(10);
+  cfg.loss_bad = 0.7;
+  GilbertElliott alone{cfg, Rng{11}};
+  GilbertElliott behind{cfg, Rng{11}};
+  GateLoss closed_gate;
+  closed_gate.set_open(false);
+  CompositeLossModel chain{{&closed_gate, &behind}};
+  const Packet p = dummy_packet();
+  for (int i = 0; i < 100'000; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::micros(250) * static_cast<double>(i);
+    (void)alone.should_drop(t, p);
+    EXPECT_TRUE(chain.should_drop(t, p));  // the gate drops everything
+  }
+  EXPECT_EQ(alone.stats().dropped, behind.stats().dropped);
+  EXPECT_EQ(closed_gate.dropped(), 100'000u);
+}
+
+TEST(GateLoss, OpenPassesClosedDrops) {
+  GateLoss gate;
+  const Packet p = dummy_packet();
+  EXPECT_TRUE(gate.is_open());
+  EXPECT_FALSE(gate.should_drop(TimePoint::epoch(), p));
+  gate.set_open(false);
+  EXPECT_TRUE(gate.should_drop(TimePoint::epoch(), p));
+  gate.set_open(true);
+  EXPECT_FALSE(gate.should_drop(TimePoint::epoch(), p));
+  EXPECT_EQ(gate.dropped(), 1u);
+}
+
 TEST(BernoulliLoss, MatchesProbability) {
   BernoulliLoss loss{0.2, Rng{7}};
   const Packet p = dummy_packet();
@@ -153,6 +221,68 @@ TEST(BernoulliLoss, MatchesProbability) {
     if (loss.should_drop(TimePoint::epoch(), p)) ++drops;
   }
   EXPECT_NEAR(static_cast<double>(drops) / n, 0.2, 0.01);
+}
+
+TEST(OutageProcess, DurationMedianMatchesLognormal) {
+  // Outage durations are lognormal(mu, sigma) seconds, so the *median*
+  // duration is exp(mu) exactly (the mean would be inflated by the tail).
+  OutageProcess::Config cfg;
+  cfg.mean_interarrival = Duration::seconds(20);
+  cfg.duration_mu = 0.0;  // median = exp(0) = 1 s
+  cfg.duration_sigma = 0.4;
+  OutageProcess outage{cfg, Rng{21}};
+  // Scan several hours on a 5ms grid and measure each contiguous run of
+  // in_outage time.
+  std::vector<double> durations_s;
+  int run = 0;
+  const int n = 4 * 3600 * 200;  // 4 hours at 5 ms
+  for (int i = 0; i < n; ++i) {
+    if (outage.in_outage(TimePoint::epoch() + Duration::millis(5) * static_cast<double>(i))) {
+      ++run;
+    } else if (run > 0) {
+      durations_s.push_back(run * 0.005);
+      run = 0;
+    }
+  }
+  ASSERT_GE(durations_s.size(), 100u);
+  std::sort(durations_s.begin(), durations_s.end());
+  const double median = durations_s[durations_s.size() / 2];
+  EXPECT_NEAR(median, 1.0, 0.25);
+}
+
+TEST(OutageProcess, InOutageAdvancesLazilyWithoutCountingDrops) {
+  OutageProcess::Config cfg;
+  cfg.mean_interarrival = Duration::seconds(10);
+  OutageProcess outage{cfg, Rng{22}};
+  EXPECT_EQ(outage.stats().outages_started, 0u);
+  // One distant query advances the window chain past every skipped outage —
+  // but querying is not dropping, so the drop counter must stay untouched.
+  (void)outage.in_outage(TimePoint::epoch() + Duration::hours(1));
+  EXPECT_GT(outage.stats().outages_started, 100u);
+  EXPECT_EQ(outage.stats().dropped, 0u);
+}
+
+TEST(OutageProcess, TraceEmitsExactlyOneSpanPerWindow) {
+  obs::Options opts;
+  opts.trace = true;
+  opts.metrics = true;
+  obs::Recorder rec{opts};
+  OutageProcess::Config cfg;
+  cfg.mean_interarrival = Duration::seconds(15);
+  OutageProcess outage{cfg, Rng{23}};
+  outage.set_obs(&rec);
+  const Packet p = dummy_packet();
+  for (int i = 0; i < 60 * 100; ++i) {
+    (void)outage.should_drop(TimePoint::epoch() + Duration::millis(10) * static_cast<double>(i),
+                             p);
+  }
+  std::uint64_t spans = 0;
+  for (const auto& ev : rec.trace().events()) {
+    if (ev.category == "phy.outage" && ev.phase == 'X') ++spans;
+  }
+  // One span per drawn window: the constructor's first window (emitted by
+  // set_obs) plus one per advance_to() replacement.
+  EXPECT_EQ(spans, outage.stats().outages_started + 1);
 }
 
 // ------------------------------------------------------------ LoadProcess
@@ -208,6 +338,39 @@ TEST(LoadProcess, AvailableFractionComplementsUtilization) {
   LoadProcess load{LoadProcess::Config{}, Rng{12}};
   const TimePoint t = TimePoint::epoch() + Duration::minutes(5);
   EXPECT_DOUBLE_EQ(load.utilization(t) + load.available_fraction(t), 1.0);
+}
+
+TEST(LoadProcess, OverridePinsUtilizationAndResumesBitIdentically) {
+  LoadProcess::Config cfg;
+  LoadProcess plain{cfg, Rng{13}};
+  LoadProcess surged{cfg, Rng{13}};
+  // Surge for an hour, then clear. During the surge the value is pinned;
+  // afterwards the trajectory must be *exactly* the unperturbed one, because
+  // the AR(1) noise stays a pure function of the step index.
+  surged.set_utilization_override(0.9);
+  EXPECT_TRUE(surged.overridden());
+  for (int i = 0; i < 360; ++i) {
+    EXPECT_DOUBLE_EQ(
+        surged.utilization(TimePoint::epoch() + Duration::seconds(10) * static_cast<double>(i)),
+        0.9);
+  }
+  surged.clear_override();
+  for (int i = 0; i < 2000; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::hours(1) +
+                        Duration::seconds(10) * static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(surged.utilization(t), plain.utilization(t));
+  }
+}
+
+TEST(LoadProcess, OverrideClampsToConfiguredBounds) {
+  LoadProcess::Config cfg;
+  cfg.floor = 0.1;
+  cfg.ceiling = 0.8;
+  LoadProcess load{cfg, Rng{14}};
+  load.set_utilization_override(1.5);
+  EXPECT_DOUBLE_EQ(load.utilization(TimePoint::epoch()), 0.8);
+  load.set_utilization_override(0.0);
+  EXPECT_DOUBLE_EQ(load.utilization(TimePoint::epoch()), 0.1);
 }
 
 }  // namespace

@@ -219,6 +219,63 @@ TEST(Flags, TracksUnusedKeys) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+// ------------------------------------------------------------ parse_duration
+
+TEST(ParseDuration, AcceptsEveryUnitSuffix) {
+  Duration d;
+  ASSERT_TRUE(parse_duration("90s", d));
+  EXPECT_EQ(d, Duration::seconds(90));
+  ASSERT_TRUE(parse_duration("15m", d));
+  EXPECT_EQ(d, Duration::minutes(15));
+  ASSERT_TRUE(parse_duration("15min", d));
+  EXPECT_EQ(d, Duration::minutes(15));
+  ASSERT_TRUE(parse_duration("2h", d));
+  EXPECT_EQ(d, Duration::hours(2));
+  ASSERT_TRUE(parse_duration("3d", d));
+  EXPECT_EQ(d, Duration::days(3));
+  ASSERT_TRUE(parse_duration("250ms", d));
+  EXPECT_EQ(d, Duration::millis(250));
+  ASSERT_TRUE(parse_duration("7us", d));
+  EXPECT_EQ(d, Duration::micros(7));
+  ASSERT_TRUE(parse_duration("42ns", d));
+  EXPECT_EQ(d, Duration::nanos(42));
+}
+
+TEST(ParseDuration, BareNumberMeansSecondsAndFractionsWork) {
+  Duration d;
+  ASSERT_TRUE(parse_duration("42", d));
+  EXPECT_EQ(d, Duration::seconds(42));
+  ASSERT_TRUE(parse_duration("1.5s", d));
+  EXPECT_EQ(d, Duration::millis(1500));
+  ASSERT_TRUE(parse_duration("0.25h", d));
+  EXPECT_EQ(d, Duration::minutes(15));
+  ASSERT_TRUE(parse_duration("  2m ", d));  // surrounding whitespace
+  EXPECT_EQ(d, Duration::minutes(2));
+}
+
+TEST(ParseDuration, RejectsJunkWithoutTouchingOut) {
+  Duration d = Duration::seconds(99);
+  EXPECT_FALSE(parse_duration("", d));
+  EXPECT_FALSE(parse_duration("fast", d));
+  EXPECT_FALSE(parse_duration("10 parsecs", d));
+  EXPECT_FALSE(parse_duration("5x", d));
+  EXPECT_FALSE(parse_duration("1.5s tail", d));
+  EXPECT_EQ(d, Duration::seconds(99));
+}
+
+TEST(Flags, GetDurationParsesSuffixesAndFallsBack) {
+  const char* argv[] = {"prog", "--window=15m", "--ramp=90s", "--bad=soon", "--bare=3"};
+  const Flags f = Flags::parse(5, argv);
+  EXPECT_EQ(f.get_duration("window", Duration::zero()), Duration::minutes(15));
+  EXPECT_EQ(f.get_duration("ramp", Duration::zero()), Duration::seconds(90));
+  EXPECT_EQ(f.get_duration("bare", Duration::zero()), Duration::seconds(3));
+  // Invalid values warn and fall back to the default instead of misparsing.
+  EXPECT_EQ(f.get_duration("bad", Duration::seconds(5)), Duration::seconds(5));
+  EXPECT_EQ(f.get_duration("absent", Duration::hours(1)), Duration::hours(1));
+  // get_duration marks its keys used, including the malformed one.
+  EXPECT_TRUE(f.unused().empty());
+}
+
 TEST(Fnv1a, StableKnownValue) {
   // FNV-1a 64-bit of empty string is the offset basis.
   EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ull);
