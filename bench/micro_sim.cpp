@@ -4,9 +4,12 @@
 // performance envelope that makes the compressed campaigns tractable.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "leo/constellation.hpp"
 #include "leo/places.hpp"
 #include "quic/quic.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "tcp/congestion.hpp"
 
@@ -112,6 +115,49 @@ void BM_ConstellationVisibility(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ConstellationVisibility);
+
+void BM_ConstellationVisibilityReuse(benchmark::State& state) {
+  // The handover scheduler's steady-state shape: one warmed buffer reused
+  // every 15 s tick, so the query allocates nothing.
+  leo::Constellation shell{leo::Constellation::Config{}};
+  std::vector<leo::Constellation::VisibleSat> buf;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 15;
+    shell.visible_from(leo::places::kLouvainLaNeuve,
+                       TimePoint::epoch() + Duration::seconds(t), 25.0, 0, buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConstellationVisibilityReuse);
+
+void BM_ConstellationBestVisible(benchmark::State& state) {
+  leo::Constellation shell{leo::Constellation::Config{}};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 15;
+    const auto best = shell.best_visible(leo::places::kLouvainLaNeuve,
+                                         TimePoint::epoch() + Duration::seconds(t), 25.0);
+    benchmark::DoNotOptimize(best.has_value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConstellationBestVisible);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // Schedule + cancel without draining: exercises O(1) cancel, slot reuse and
+  // the compaction bound (RTO-rearm churn is this pattern at transport scale).
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    const sim::EventId id = q.schedule(TimePoint::epoch() + Duration::micros(t), [] {});
+    q.cancel(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelChurn);
 
 }  // namespace
 

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Perf-regression harness: micro + macro timings -> BENCH_micro.json.
+
+Runs the google-benchmark micro suite (``micro_sim``) plus one macro
+measurement (wall time of the fig5 throughput campaign at smoke scale) and
+writes a stable-schema JSON report::
+
+    { "<bench>": { "ns_per_op": <float>, "items_per_s": <float> }, ... }
+
+Modes
+-----
+* ``--out PATH``        write a fresh report (the committed baseline is the
+                        repo-root ``BENCH_micro.json``).
+* ``--check BASELINE``  additionally compare the fresh numbers against a
+                        committed baseline: fail (exit 1) if any benchmark got
+                        slower than ``tolerance`` x baseline ns_per_op, or if a
+                        baseline benchmark disappeared. The default tolerance
+                        is deliberately loose (2x) because CI runners are noisy
+                        shared machines; the harness is meant to catch
+                        order-of-magnitude regressions (an accidental
+                        allocation re-introduced per event), not 10% drift.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+MACRO_NAME = "MACRO_Fig5ThroughputWall"
+MACRO_ARGS = ["--scale=0.1", "--seeds=2", "--jobs=2"]
+
+
+def run_micro(micro_sim: Path) -> dict:
+    """Runs the google-benchmark suite, returns {name: {ns_per_op, items_per_s}}."""
+    proc = subprocess.run(
+        # Bare-double min_time: the "0.05s" spelling needs google-benchmark
+        # >= 1.8, plain 0.05 works on every version either side.
+        [str(micro_sim), "--benchmark_format=json", "--benchmark_min_time=0.05"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    doc = json.loads(proc.stdout)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") != "iteration":
+            continue  # skip aggregate rows if repetitions are ever enabled
+        name = bench["name"]
+        # google-benchmark reports real_time in time_unit; normalise to ns.
+        unit = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[bench.get("time_unit", "ns")]
+        ns_per_op = bench["real_time"] * unit
+        items = bench.get("items_per_second", 1e9 / ns_per_op if ns_per_op else 0.0)
+        out[name] = {"ns_per_op": round(ns_per_op, 3), "items_per_s": round(items, 3)}
+    if not out:
+        raise SystemExit("perf_report: micro_sim produced no benchmark rows")
+    return out
+
+
+def run_macro(fig5: Path) -> dict:
+    """Times one end-to-end fig5 campaign (smoke scale) as a macro benchmark."""
+    start = time.monotonic_ns()
+    subprocess.run([str(fig5), *MACRO_ARGS], check=True, capture_output=True)
+    elapsed_ns = time.monotonic_ns() - start
+    return {
+        MACRO_NAME: {
+            "ns_per_op": float(elapsed_ns),
+            "items_per_s": round(1e9 / elapsed_ns, 6),
+        }
+    }
+
+
+def check(fresh: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    print(f"{'benchmark':<40} {'baseline ns':>14} {'current ns':>14} {'ratio':>7}")
+    for name in sorted(baseline):
+        base_ns = baseline[name]["ns_per_op"]
+        if name not in fresh:
+            failures.append(f"{name}: present in baseline but not produced")
+            print(f"{name:<40} {base_ns:>14.1f} {'MISSING':>14}")
+            continue
+        cur_ns = fresh[name]["ns_per_op"]
+        ratio = cur_ns / base_ns if base_ns else float("inf")
+        flag = ""
+        if ratio > tolerance:
+            failures.append(f"{name}: {cur_ns:.1f} ns vs baseline {base_ns:.1f} ns "
+                            f"({ratio:.2f}x > {tolerance:.2f}x tolerance)")
+            flag = "  <-- REGRESSION"
+        print(f"{name:<40} {base_ns:>14.1f} {cur_ns:>14.1f} {ratio:>6.2f}x{flag}")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<40} {'(new)':>14} {fresh[name]['ns_per_op']:>14.1f}")
+    if failures:
+        print("\nperf_report: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf_report: OK (all benchmarks within tolerance)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", type=Path, required=True,
+                        help="directory holding the built micro_sim and fig5_throughput")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the fresh report JSON here")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline BENCH_micro.json to compare against")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="max allowed current/baseline ns_per_op ratio (default 2.0)")
+    args = parser.parse_args()
+
+    fresh = run_micro(args.bench_dir / "micro_sim")
+    fresh.update(run_macro(args.bench_dir / "fig5_throughput"))
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        print(f"perf_report: wrote {args.out} ({len(fresh)} benchmarks)")
+
+    if args.check is not None:
+        return check(fresh, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,10 +105,8 @@ StarlinkAccess::StarlinkAccess(sim::Network& net, Config config)
       visible_probe_id_ = rec->sampler()->add_probe("leo.visible_sats", [this](TimePoint t) {
         const int active =
             config_.active_planes_fn ? config_.active_planes_fn(t) : 0;
-        return static_cast<double>(
-            constellation_
-                ->visible_from(config_.terminal, t, config_.terminal_min_elevation_deg, active)
-                .size());
+        return static_cast<double>(constellation_->count_visible(
+            config_.terminal, t, config_.terminal_min_elevation_deg, active));
       });
     }
   }

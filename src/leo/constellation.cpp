@@ -9,6 +9,48 @@ Constellation::Constellation(Config config) : config_{config} {
   assert(config_.num_planes > 0 && config_.sats_per_plane > 0);
   semi_major_m_ = kEarthRadiusM + config_.altitude_m;
   mean_motion_rad_s_ = std::sqrt(kMuEarth / (semi_major_m_ * semi_major_m_ * semi_major_m_));
+
+  // Precompute every time-invariant term of the ephemeris. The expressions
+  // below are verbatim from the previous per-call code (same literals, same
+  // association), so each precomputed constant — and therefore every
+  // position — is bit-identical to what the old path produced.
+  const double incl = deg_to_rad(config_.inclination_deg);
+  cos_incl_ = std::cos(incl);
+  sin_incl_ = std::sin(incl);
+
+  // Earth rotation moves the ECEF-frame node westward, and J2 nodal
+  // regression precesses the planes (~-4.5 deg/day at 550 km / 53 deg).
+  // Without precession the geometry repeats every sidereal day and
+  // manufactures a spurious hour-of-day RTT pattern that the paper's Mood's
+  // test (correctly) does not see.
+  const double j2_rate = -1.5 * 1.08263e-3 *
+                         (kEarthRadiusM / semi_major_m_) * (kEarthRadiusM / semi_major_m_) *
+                         mean_motion_rad_s_ * cos_incl_;
+  node_drift_rad_s_ = j2_rate - kEarthRotationRadS;
+
+  plane_node0_rad_.resize(static_cast<std::size_t>(config_.num_planes));
+  for (int plane = 0; plane < config_.num_planes; ++plane) {
+    // Ascending node at t=0: planes spread over 360 deg.
+    plane_node0_rad_[static_cast<std::size_t>(plane)] =
+        deg_to_rad(config_.raan0_deg) +
+        2.0 * std::numbers::pi * static_cast<double>(plane) / config_.num_planes;
+  }
+
+  theta0_rad_.resize(static_cast<std::size_t>(config_.num_planes) *
+                     static_cast<std::size_t>(config_.sats_per_plane));
+  for (int plane = 0; plane < config_.num_planes; ++plane) {
+    for (int slot = 0; slot < config_.sats_per_plane; ++slot) {
+      // In-plane true anomaly at t=0: slot spacing + Walker inter-plane
+      // phasing (motion adds mean_motion * t at query time).
+      const double slot_angle =
+          2.0 * std::numbers::pi * static_cast<double>(slot) / config_.sats_per_plane;
+      const double phase_angle = 2.0 * std::numbers::pi * config_.phase_factor *
+                                 static_cast<double>(plane) /
+                                 (config_.num_planes * config_.sats_per_plane);
+      theta0_rad_[static_cast<std::size_t>(plane) * config_.sats_per_plane + slot] =
+          slot_angle + phase_angle;
+    }
+  }
 }
 
 Duration Constellation::orbital_period() const {
@@ -20,67 +62,119 @@ Vec3 Constellation::position_ecef(SatIndex sat, TimePoint t) const {
   assert(sat.slot >= 0 && sat.slot < config_.sats_per_plane);
   const double ts = t.to_seconds();
 
-  // In-plane true anomaly: slot spacing + Walker inter-plane phasing + motion.
-  const double slot_angle =
-      2.0 * std::numbers::pi * static_cast<double>(sat.slot) / config_.sats_per_plane;
-  const double phase_angle = 2.0 * std::numbers::pi * config_.phase_factor *
-                             static_cast<double>(sat.plane) /
-                             (config_.num_planes * config_.sats_per_plane);
-  const double theta = slot_angle + phase_angle + mean_motion_rad_s_ * ts;
-
-  // Ascending node: planes spread over 360 deg; Earth rotation moves the
-  // ECEF-frame node westward, and J2 nodal regression precesses the planes
-  // (~-4.5 deg/day at 550 km / 53 deg). Without precession the geometry
-  // repeats every sidereal day and manufactures a spurious hour-of-day RTT
-  // pattern that the paper's Mood's test (correctly) does not see.
-  const double cos_i = std::cos(deg_to_rad(config_.inclination_deg));
-  const double j2_rate = -1.5 * 1.08263e-3 *
-                         (kEarthRadiusM / semi_major_m_) * (kEarthRadiusM / semi_major_m_) *
-                         mean_motion_rad_s_ * cos_i;
-  const double raan = deg_to_rad(config_.raan0_deg) +
-                      2.0 * std::numbers::pi * static_cast<double>(sat.plane) /
-                          config_.num_planes +
-                      (j2_rate - kEarthRotationRadS) * ts;
-  const double incl = deg_to_rad(config_.inclination_deg);
+  const double theta =
+      theta0_rad_[static_cast<std::size_t>(sat.plane) * config_.sats_per_plane + sat.slot] +
+      mean_motion_rad_s_ * ts;
+  const double raan = plane_node0_rad_[static_cast<std::size_t>(sat.plane)] +
+                      node_drift_rad_s_ * ts;
 
   // Position in the orbital plane, then rotate by inclination and RAAN.
   const double xp = semi_major_m_ * std::cos(theta);
   const double yp = semi_major_m_ * std::sin(theta);
-  const Vec3 in_plane{xp, yp * std::cos(incl), yp * std::sin(incl)};
-  return Vec3{in_plane.x * std::cos(raan) - in_plane.y * std::sin(raan),
-              in_plane.x * std::sin(raan) + in_plane.y * std::cos(raan), in_plane.z};
+  const Vec3 in_plane{xp, yp * cos_incl_, yp * sin_incl_};
+  const double cr = std::cos(raan);
+  const double sr = std::sin(raan);
+  return Vec3{in_plane.x * cr - in_plane.y * sr,
+              in_plane.x * sr + in_plane.y * cr, in_plane.z};
+}
+
+template <typename F>
+void Constellation::for_each_visible(const GeoPoint& ground, TimePoint t,
+                                     double min_elevation_deg, int active_planes,
+                                     F&& f) const {
+  const int planes = clamp_planes(active_planes);
+  const int sats_per_plane = config_.sats_per_plane;
+  const double ts = t.to_seconds();
+  const double motion = mean_motion_rad_s_ * ts;
+  const double drift = node_drift_rad_s_ * ts;
+
+  const Vec3 g = to_ecef(ground);
+  const double r_g = g.norm();
+
+  // Plane-level culling. A satellite at orbit radius a is above elevation e
+  // from a ground point at radius r only within central angle
+  // λmax = acos((r/a)·cos e) − e of that point (spherical Earth, exact). The
+  // minimum central angle from the ground direction u to a plane's orbital
+  // ring is arcsin|u·w| (w = ring normal), so |u·w| > sin λmax proves the
+  // whole plane invisible without touching its satellites. The margin keeps
+  // the bound conservative against FP rounding, so culling can never change
+  // a result — surviving planes are evaluated exactly as before.
+  bool cull = false;
+  double sin_lam_max = 1.0;
+  Vec3 u{};
+  if (r_g > 0.0 && r_g < semi_major_m_) {
+    const double e_rad = deg_to_rad(min_elevation_deg);
+    const double arg = (r_g / semi_major_m_) * std::cos(e_rad);
+    if (arg > -1.0 && arg < 1.0) {
+      constexpr double kMarginRad = 1e-4;
+      const double lam_max = std::acos(arg) - e_rad + kMarginRad;
+      if (lam_max > 0.0 && lam_max < std::numbers::pi / 2.0) {
+        cull = true;
+        sin_lam_max = std::sin(lam_max);
+        u = g * (1.0 / r_g);
+      }
+    }
+  }
+
+  for (int plane = 0; plane < planes; ++plane) {
+    const double raan = plane_node0_rad_[static_cast<std::size_t>(plane)] + drift;
+    const double cr = std::cos(raan);
+    const double sr = std::sin(raan);
+    if (cull) {
+      const double dot = u.x * (sr * sin_incl_) - u.y * (cr * sin_incl_) + u.z * cos_incl_;
+      if (std::abs(dot) > sin_lam_max) continue;
+    }
+    const double* theta0 =
+        &theta0_rad_[static_cast<std::size_t>(plane) * sats_per_plane];
+    for (int slot = 0; slot < sats_per_plane; ++slot) {
+      const double theta = theta0[slot] + motion;
+      const double xp = semi_major_m_ * std::cos(theta);
+      const double yp = semi_major_m_ * std::sin(theta);
+      const Vec3 in_plane{xp, yp * cos_incl_, yp * sin_incl_};
+      const Vec3 pos{in_plane.x * cr - in_plane.y * sr,
+                     in_plane.x * sr + in_plane.y * cr, in_plane.z};
+      const double el = elevation_deg(g, pos);
+      if (el >= min_elevation_deg) f(SatIndex{plane, slot}, el, slant_range_m(g, pos));
+    }
+  }
 }
 
 std::vector<Constellation::VisibleSat> Constellation::visible_from(const GeoPoint& ground,
                                                                    TimePoint t,
                                                                    double min_elevation_deg,
                                                                    int active_planes) const {
-  const int planes = (active_planes <= 0 || active_planes > config_.num_planes)
-                         ? config_.num_planes
-                         : active_planes;
   std::vector<VisibleSat> out;
-  for (int plane = 0; plane < planes; ++plane) {
-    for (int slot = 0; slot < config_.sats_per_plane; ++slot) {
-      const SatIndex idx{plane, slot};
-      const Vec3 pos = position_ecef(idx, t);
-      const double el = elevation_deg(ground, pos);
-      if (el >= min_elevation_deg) {
-        out.push_back(VisibleSat{idx, el, slant_range_m(ground, pos)});
-      }
-    }
-  }
+  visible_from(ground, t, min_elevation_deg, active_planes, out);
   return out;
+}
+
+void Constellation::visible_from(const GeoPoint& ground, TimePoint t,
+                                 double min_elevation_deg, int active_planes,
+                                 std::vector<VisibleSat>& out) const {
+  out.clear();
+  for_each_visible(ground, t, min_elevation_deg, active_planes,
+                   [&out](SatIndex sat, double el, double slant) {
+                     out.push_back(VisibleSat{sat, el, slant});
+                   });
+}
+
+int Constellation::count_visible(const GeoPoint& ground, TimePoint t,
+                                 double min_elevation_deg, int active_planes) const {
+  int count = 0;
+  for_each_visible(ground, t, min_elevation_deg, active_planes,
+                   [&count](SatIndex, double, double) { ++count; });
+  return count;
 }
 
 std::optional<Constellation::VisibleSat> Constellation::best_visible(const GeoPoint& ground,
                                                                      TimePoint t,
                                                                      double min_elevation_deg,
                                                                      int active_planes) const {
-  const auto all = visible_from(ground, t, min_elevation_deg, active_planes);
   std::optional<VisibleSat> best;
-  for (const auto& v : all) {
-    if (!best || v.elevation_deg > best->elevation_deg) best = v;
-  }
+  for_each_visible(ground, t, min_elevation_deg, active_planes,
+                   [&best](SatIndex sat, double el, double slant) {
+                     if (!best || el > best->elevation_deg) best = VisibleSat{sat, el, slant};
+                   });
   return best;
 }
 

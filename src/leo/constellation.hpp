@@ -59,15 +59,49 @@ class Constellation {
                                                      double min_elevation_deg,
                                                      int active_planes = 0) const;
 
+  /// Buffer-reusing overload for periodic callers (the 15 s handover tick):
+  /// clears `out` and fills it with the same result as the returning
+  /// overload, without allocating once `out` has warmed up.
+  void visible_from(const GeoPoint& ground, TimePoint t, double min_elevation_deg,
+                    int active_planes, std::vector<VisibleSat>& out) const;
+
+  /// Number of satellites visible_from would return, without materializing
+  /// them (observability probes only need the count).
+  [[nodiscard]] int count_visible(const GeoPoint& ground, TimePoint t,
+                                  double min_elevation_deg, int active_planes = 0) const;
+
   /// The visible satellite with the highest elevation, if any.
   [[nodiscard]] std::optional<VisibleSat> best_visible(const GeoPoint& ground, TimePoint t,
                                                        double min_elevation_deg,
                                                        int active_planes = 0) const;
 
  private:
+  /// Calls f(SatIndex, elevation_deg, ecef_position) for every satellite in
+  /// the first `planes` planes above `min_elevation_deg`, in (plane, slot)
+  /// order. Whole planes whose orbital band cannot clear the elevation mask
+  /// from `ground` are skipped without touching their satellites.
+  template <typename F>
+  void for_each_visible(const GeoPoint& ground, TimePoint t, double min_elevation_deg,
+                        int active_planes, F&& f) const;
+
+  [[nodiscard]] int clamp_planes(int active_planes) const {
+    return (active_planes <= 0 || active_planes > config_.num_planes) ? config_.num_planes
+                                                                      : active_planes;
+  }
+
   Config config_;
   double mean_motion_rad_s_;  ///< orbital angular velocity
   double semi_major_m_;
+
+  // Time-invariant ephemeris constants, precomputed at construction so the
+  // per-query work is one sincos of each time-dependent angle. All values
+  // are produced by the exact expressions the original per-call code used,
+  // keeping every position bit-identical.
+  double cos_incl_ = 1.0;
+  double sin_incl_ = 0.0;
+  double node_drift_rad_s_ = 0.0;        ///< d(RAAN)/dt: J2 regression − Earth rotation
+  std::vector<double> plane_node0_rad_;  ///< RAAN of each plane at t=0
+  std::vector<double> theta0_rad_;       ///< [plane*S+slot]: slot + Walker phase angle
 };
 
 /// The paper's ground segment: gateways the Belgian beta service used, with

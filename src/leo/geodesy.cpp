@@ -27,8 +27,16 @@ double slant_range_m(const GeoPoint& ground, const Vec3& sat_ecef) {
   return (sat_ecef - to_ecef(ground)).norm();
 }
 
+double slant_range_m(const Vec3& ground_ecef, const Vec3& sat_ecef) {
+  return (sat_ecef - ground_ecef).norm();
+}
+
 double elevation_deg(const GeoPoint& ground, const Vec3& sat_ecef) {
-  const Vec3 g = to_ecef(ground);
+  return elevation_deg(to_ecef(ground), sat_ecef);
+}
+
+double elevation_deg(const Vec3& ground_ecef, const Vec3& sat_ecef) {
+  const Vec3& g = ground_ecef;
   const Vec3 to_sat = sat_ecef - g;
   const double range = to_sat.norm();
   if (range == 0.0) return 90.0;

@@ -49,9 +49,17 @@ struct GeoPoint {
 /// Straight-line distance between a ground point and a position in ECEF.
 [[nodiscard]] double slant_range_m(const GeoPoint& ground, const Vec3& sat_ecef);
 
+/// Same, with the ground point already converted (hot visibility loops call
+/// this thousands of times per tick against one fixed ground point; the
+/// result is bit-identical to the GeoPoint overload).
+[[nodiscard]] double slant_range_m(const Vec3& ground_ecef, const Vec3& sat_ecef);
+
 /// Elevation angle (degrees above horizon) of `sat_ecef` seen from `ground`.
 /// Negative if below the horizon.
 [[nodiscard]] double elevation_deg(const GeoPoint& ground, const Vec3& sat_ecef);
+
+/// Same, with the ground point already converted (bit-identical result).
+[[nodiscard]] double elevation_deg(const Vec3& ground_ecef, const Vec3& sat_ecef);
 
 /// One-way propagation delay over a straight-line RF path.
 [[nodiscard]] Duration rf_propagation_delay(double distance_m);

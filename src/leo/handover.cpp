@@ -9,6 +9,8 @@ namespace slp::leo {
 HandoverScheduler::HandoverScheduler(const Constellation& constellation, Config config, Rng rng)
     : constellation_{&constellation}, config_{std::move(config)}, rng_{rng} {
   assert(!config_.gateways.empty());
+  gateway_ecef_.reserve(config_.gateways.size());
+  for (const Gateway& gw : config_.gateways) gateway_ecef_.push_back(to_ecef(gw.location));
 }
 
 void HandoverScheduler::set_obs(obs::Recorder* rec) {
@@ -100,8 +102,9 @@ const HandoverScheduler::Path& HandoverScheduler::path_at(TimePoint t) {
 HandoverScheduler::Path HandoverScheduler::compute_path(TimePoint slot_start) {
   const int active_planes =
       config_.active_planes_fn ? config_.active_planes_fn(slot_start) : 0;
-  const auto candidates = constellation_->visible_from(
-      config_.terminal, slot_start, config_.terminal_min_elevation_deg, active_planes);
+  constellation_->visible_from(config_.terminal, slot_start,
+                               config_.terminal_min_elevation_deg, active_planes,
+                               candidates_buf_);
 
   // Deterministic per-slot choice, independent of query order: derive the
   // randomness from the slot index, not from a shared advancing stream.
@@ -109,36 +112,36 @@ HandoverScheduler::Path HandoverScheduler::compute_path(TimePoint slot_start) {
 
   // Random serving satellite among candidates that can also reach a gateway
   // (bent-pipe requirement: same satellite must see UT and gateway).
-  std::vector<std::pair<Constellation::VisibleSat, int>> usable;  // sat, gateway idx
-  for (const auto& cand : candidates) {
+  usable_buf_.clear();
+  for (const auto& cand : candidates_buf_) {
     if (!satellite_healthy(cand.sat)) continue;
     const Vec3 sat_pos = constellation_->position_ecef(cand.sat, slot_start);
     int best_gw = -1;
     double best_slant = std::numeric_limits<double>::max();
     for (std::size_t g = 0; g < config_.gateways.size(); ++g) {
       if (failed_gateways_.contains(static_cast<int>(g))) continue;
-      const GeoPoint& gw = config_.gateways[g].location;
-      if (elevation_deg(gw, sat_pos) < config_.gateway_min_elevation_deg) continue;
-      const double slant = slant_range_m(gw, sat_pos);
+      if (elevation_deg(gateway_ecef_[g], sat_pos) < config_.gateway_min_elevation_deg) continue;
+      const double slant = slant_range_m(gateway_ecef_[g], sat_pos);
       if (slant < best_slant) {
         best_slant = slant;
         best_gw = static_cast<int>(g);
       }
     }
-    if (best_gw >= 0) usable.emplace_back(cand, best_gw);
+    if (best_gw >= 0) usable_buf_.emplace_back(cand, best_gw);
   }
 
   Path path;
-  if (usable.empty()) return path;  // not connected this slot
+  if (usable_buf_.empty()) return path;  // not connected this slot
 
-  const auto& [sat, gw] = usable[slot_rng.index(usable.size())];
+  const auto& [sat, gw] = usable_buf_[slot_rng.index(usable_buf_.size())];
   path.connected = true;
   path.sat = sat.sat;
   path.gateway = gw;
   path.terminal_slant_m = sat.slant_range_m;
   path.terminal_elevation_deg = sat.elevation_deg;
   path.gateway_slant_m =
-      slant_range_m(config_.gateways[gw].location, constellation_->position_ecef(sat.sat, slot_start));
+      slant_range_m(gateway_ecef_[static_cast<std::size_t>(gw)],
+                    constellation_->position_ecef(sat.sat, slot_start));
   return path;
 }
 

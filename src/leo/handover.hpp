@@ -88,6 +88,10 @@ class HandoverScheduler {
   const Constellation* constellation_;
   Config config_;
   Rng rng_;
+  std::vector<Vec3> gateway_ecef_;  ///< precomputed config_.gateways locations
+  // Scratch buffers reused across slots so the 15 s tick stops allocating.
+  std::vector<Constellation::VisibleSat> candidates_buf_;
+  std::vector<std::pair<Constellation::VisibleSat, int>> usable_buf_;  ///< sat, gateway idx
   std::set<std::pair<int, int>> failed_sats_;  ///< (plane, slot)
   std::set<int> failed_planes_;
   std::set<int> failed_gateways_;

@@ -4,40 +4,122 @@
 
 namespace slp::sim {
 
-EventId EventQueue::schedule(TimePoint at, std::function<void()> fn) {
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id,
-                   std::make_shared<std::function<void()>>(std::move(fn))});
-  live_.insert(id);
+EventId EventQueue::schedule(TimePoint at, util::InlineFunction fn) {
+  std::uint32_t slot;
+  if (free_head_ != kNilIndex) {
+    slot = free_head_;
+    Node& n = node(slot);
+    free_head_ = n.next_free;
+    n.next_free = kNilIndex;
+    n.fn = std::move(fn);
+  } else {
+    if (slab_size_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+    }
+    slot = static_cast<std::uint32_t>(slab_size_++);
+    node(slot).fn = std::move(fn);
+  }
+  const std::uint32_t generation = node(slot).generation;
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, generation});
+  sift_up(heap_.size() - 1);
   ++live_count_;
-  return EventId{id};
+  return EventId{(static_cast<std::uint64_t>(slot) + 1) << 32 | generation};
 }
 
 void EventQueue::cancel(EventId id) {
   if (!id.valid()) return;
+  const auto slot = static_cast<std::uint32_t>(id.value >> 32) - 1;
+  const auto generation = static_cast<std::uint32_t>(id.value);
   // Cancelling an event that already fired (or was already cancelled) is a
-  // harmless no-op — timers routinely race their own expiry.
-  if (live_.erase(id.value) == 1) --live_count_;
+  // harmless no-op — timers routinely race their own expiry. The generation
+  // check also protects against the slot having been recycled since.
+  if (slot >= slab_size_ || node(slot).generation != generation) return;
+  release_slot(slot);
+  --live_count_;
+  ++stale_count_;
+  maybe_compact();
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && !live_.contains(heap_.top().id)) heap_.pop();
+void EventQueue::release_slot(std::uint32_t slot) {
+  Node& n = node(slot);
+  n.fn.reset();
+  ++n.generation;
+  n.next_free = free_head_;
+  free_head_ = slot;
 }
 
 TimePoint EventQueue::next_time() {
-  drop_cancelled();
+  drop_stale_front();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_[0].at;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
+  drop_stale_front();
   assert(!heap_.empty());
-  Entry top = heap_.top();
-  heap_.pop();
-  live_.erase(top.id);
+  const HeapEntry front = heap_[0];
+  Fired fired{front.at, std::move(node(front.slot).fn)};
+  release_slot(front.slot);
   --live_count_;
-  return Fired{top.at, std::move(*top.fn)};
+  heap_remove_front();
+  return fired;
+}
+
+void EventQueue::drop_stale_front() {
+  while (!heap_.empty() && stale(heap_[0])) {
+    heap_remove_front();
+    --stale_count_;
+  }
+}
+
+void EventQueue::heap_remove_front() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::maybe_compact() {
+  if (heap_.size() < kCompactMinEntries || stale_count_ * 2 <= heap_.size()) return;
+  std::size_t kept = 0;
+  for (const HeapEntry& e : heap_) {
+    if (!stale(e)) heap_[kept++] = e;
+  }
+  heap_.resize(kept);
+  stale_count_ = 0;
+  // Bottom-up heapify; (at, seq) is a strict total order, so the resulting
+  // pop sequence — and therefore the simulation — is unchanged.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) sift_down(i);
+  }
 }
 
 }  // namespace slp::sim

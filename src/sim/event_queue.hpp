@@ -2,17 +2,19 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inline_function.hpp"
 #include "util/units.hpp"
 
 namespace slp::sim {
 
 /// Opaque handle for cancellation. Id 0 is "invalid".
+///
+/// Encodes (slab slot + 1) in the high 32 bits and the slot's generation in
+/// the low 32: a handle survives slot reuse because the generation bumps on
+/// every release, so a stale cancel can never hit a recycled event.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
@@ -23,12 +25,19 @@ struct EventId {
 /// (determinism requirement: two events scheduled for the same instant fire
 /// in scheduling order, independent of heap internals).
 ///
-/// Cancellation is lazy: cancelled ids are remembered and skipped on pop,
-/// which keeps cancel() O(1) — important because every TCP/QUIC timer re-arm
-/// is a cancel.
+/// Layout: event callbacks live in a free-listed, chunk-allocated slab (no
+/// per-event allocation — the callback itself is a small-buffer
+/// util::InlineFunction, and chunks mean nodes never move, so growth copies
+/// nothing), while the heap orders 24-byte {time, seq, slot, generation}
+/// entries in a flat 4-ary array (shallower than binary, and four children
+/// share a cache line). cancel() is O(1): it checks the generation, destroys
+/// the callback, and recycles the slot eagerly; the heap entry goes stale and
+/// is skipped on pop. When stale entries outnumber live ones the heap is
+/// compacted in one O(n) pass, so pathological timer-rearm churn (every
+/// TCP/QUIC RTO re-arm is a cancel) cannot grow the heap unboundedly.
 class EventQueue {
  public:
-  EventId schedule(TimePoint at, std::function<void()> fn);
+  EventId schedule(TimePoint at, util::InlineFunction fn);
   void cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
@@ -40,32 +49,70 @@ class EventQueue {
   /// Pops and returns the next live event. Requires !empty().
   struct Fired {
     TimePoint at;
-    std::function<void()> fn;
+    util::InlineFunction fn;
   };
   [[nodiscard]] Fired pop();
 
+  /// Introspection for capacity-regression tests: slots allocated in the
+  /// callback slab, and entries (live + stale) in the heap array. Both must
+  /// stay O(live events), not O(schedules ever made).
+  [[nodiscard]] std::size_t slab_slots() const { return slab_size_; }
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNilIndex = 0xFFFF'FFFF;
+  static constexpr std::size_t kArity = 4;
+  /// Below this heap size compaction isn't worth the pass.
+  static constexpr std::size_t kCompactMinEntries = 64;
+  /// Nodes per slab chunk (16 KiB at 64 B/node).
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  struct Node {
+    util::InlineFunction fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNilIndex;
+  };
+  struct HeapEntry {
     TimePoint at;
     std::uint64_t seq;
-    std::uint64_t id;
-    // Stored out-of-line so heap moves stay cheap.
-    std::shared_ptr<std::function<void()>> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
 
-  void drop_cancelled();
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+  [[nodiscard]] Node& node(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Node& node(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  [[nodiscard]] bool stale(const HeapEntry& e) const {
+    return node(e.slot).generation != e.generation;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> live_;
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes heap_[0], restoring heap order.
+  void heap_remove_front();
+  /// Pops stale front entries so heap_[0] (if any) is live.
+  void drop_stale_front();
+  /// Recycles a slot: destroys the callback, bumps the generation (which
+  /// invalidates outstanding EventIds and heap entries) and free-lists it.
+  void release_slot(std::uint32_t slot);
+  /// One O(n) rebuild when stale entries outnumber live ones.
+  void maybe_compact();
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::size_t slab_size_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t free_head_ = kNilIndex;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::size_t live_count_ = 0;
+  std::size_t stale_count_ = 0;
 };
 
 }  // namespace slp::sim

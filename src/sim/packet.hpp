@@ -10,9 +10,9 @@
 #include <optional>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "sim/address.hpp"
+#include "util/small_vector.hpp"
 #include "util/units.hpp"
 
 namespace slp::sim {
@@ -57,8 +57,10 @@ struct TcpHeader {
   /// derives this from the IP length; keeping it explicit avoids ambiguity
   /// with option-bearing pure ACKs.
   std::uint32_t payload_bytes = 0;
-  /// SACK blocks (left edge inclusive, right edge exclusive).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+  /// SACK blocks (left edge inclusive, right edge exclusive). Almost always
+  /// ≤ 4 blocks, and every pure-ACK copy duplicates them — inline storage
+  /// keeps that copy off the heap.
+  util::SmallVector<std::pair<std::uint64_t, std::uint64_t>, 4> sack;
 };
 
 struct Packet {

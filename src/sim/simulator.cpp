@@ -18,7 +18,7 @@ Simulator::Simulator(std::uint64_t seed) : rng_{seed} {
 
 Simulator::~Simulator() { Logger::clear_time_source(this); }
 
-EventId Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+EventId Simulator::schedule_at(TimePoint at, util::InlineFunction fn) {
   assert(at >= now_ && "cannot schedule into the past");
   return queue_.schedule(at, std::move(fn));
 }
@@ -78,24 +78,30 @@ void Simulator::run_until(TimePoint deadline) {
   }
 }
 
-void Timer::arm(Duration delay, std::function<void()> fn) {
+void Timer::arm(Duration delay, util::InlineFunction fn) {
   arm_at(sim_->now() + delay, std::move(fn));
 }
 
-void Timer::arm_at(TimePoint at, std::function<void()> fn) {
+void Timer::arm_at(TimePoint at, util::InlineFunction fn) {
   cancel();
   armed_ = true;
   expiry_ = at;
-  id_ = sim_->schedule_at(at, [this, fn = std::move(fn)] {
-    armed_ = false;
-    fn();
-  });
+  fn_ = std::move(fn);
+  id_ = sim_->schedule_at(at, [this] { fire(); });
+}
+
+void Timer::fire() {
+  armed_ = false;
+  // Move out first so the callback may freely re-arm this timer.
+  util::InlineFunction fn = std::move(fn_);
+  fn();
 }
 
 void Timer::cancel() {
   if (armed_) {
     sim_->cancel(id_);
     armed_ = false;
+    fn_.reset();
   }
 }
 

@@ -2,13 +2,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "obs/profile.hpp"
 #include "obs/recorder.hpp"
 #include "sim/event_queue.hpp"
+#include "util/inline_function.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -32,8 +32,8 @@ class Simulator {
   /// Deterministic per-component stream, independent of draw order elsewhere.
   [[nodiscard]] Rng fork_rng(std::string_view label) const { return rng_.fork(label); }
 
-  EventId schedule_at(TimePoint at, std::function<void()> fn);
-  EventId schedule_in(Duration delay, std::function<void()> fn) {
+  EventId schedule_at(TimePoint at, util::InlineFunction fn);
+  EventId schedule_in(Duration delay, util::InlineFunction fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
   void cancel(EventId id) { queue_.cancel(id); }
@@ -49,6 +49,8 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Read-only queue access (capacity introspection in regression tests).
+  [[nodiscard]] const EventQueue& event_queue() const { return queue_; }
 
   /// Turns on observability for this simulation. Call before building the
   /// topology so components can bind handles / register probes at
@@ -84,6 +86,10 @@ class Simulator {
 
 /// A re-armable one-shot timer bound to a simulator; cancels itself on
 /// destruction so callbacks can never outlive their owner (RAII for events).
+///
+/// The callback is kept in the timer itself and the queue only holds a
+/// `[this]` thunk, so re-arming never allocates no matter how large the
+/// capture — the hot RTO/delayed-ACK path is pure pointer shuffling.
 class Timer {
  public:
   explicit Timer(Simulator& sim) : sim_{&sim} {}
@@ -93,15 +99,18 @@ class Timer {
   Timer& operator=(const Timer&) = delete;
 
   /// (Re)arms the timer; a pending expiry is cancelled first.
-  void arm(Duration delay, std::function<void()> fn);
-  void arm_at(TimePoint at, std::function<void()> fn);
+  void arm(Duration delay, util::InlineFunction fn);
+  void arm_at(TimePoint at, util::InlineFunction fn);
   void cancel();
 
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] TimePoint expiry() const { return expiry_; }
 
  private:
+  void fire();
+
   Simulator* sim_;
+  util::InlineFunction fn_;
   EventId id_{};
   bool armed_ = false;
   TimePoint expiry_;

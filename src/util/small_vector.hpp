@@ -1,0 +1,142 @@
+// small_vector.hpp — a vector with inline storage for the first N elements.
+//
+// Built for headers that are copied on every packet: TcpHeader's SACK list is
+// almost always ≤ 4 blocks, so keeping them inline makes a pure-ACK copy a
+// memcpy instead of a heap allocation. Deliberately minimal — only the
+// operations the packet path uses.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace slp::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be non-zero");
+  static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                "over-aligned element types are not supported");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { append_copy(other); }
+
+  SmallVector(SmallVector&& other) noexcept { take(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      append_copy(other);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      release_heap();
+      take(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() {
+    clear();
+    release_heap();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// True while elements live in the inline buffer (diagnostics/tests).
+  [[nodiscard]] bool is_inline() const { return data_ == inline_ptr(); }
+
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+
+  void clear() {
+    std::destroy(begin(), end());
+    size_ = 0;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* p = ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  [[nodiscard]] T* inline_ptr() { return reinterpret_cast<T*>(inline_buf_); }
+  [[nodiscard]] const T* inline_ptr() const { return reinterpret_cast<const T*>(inline_buf_); }
+
+  void append_copy(const SmallVector& other) {
+    reserve(other.size_);
+    std::uninitialized_copy(other.begin(), other.end(), data_);
+    size_ = other.size_;
+  }
+
+  void take(SmallVector&& other) noexcept {
+    if (!other.is_inline()) {
+      // Steal the heap block outright.
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_ptr();
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      std::uninitialized_move(other.begin(), other.end(), inline_ptr());
+      size_ = other.size_;
+      other.clear();
+    }
+  }
+
+  void grow(std::size_t min_cap) {
+    const std::size_t cap = std::max(min_cap, capacity_ * 2);
+    T* mem = static_cast<T*>(::operator new(cap * sizeof(T)));
+    std::uninitialized_move(begin(), end(), mem);
+    std::destroy(begin(), end());
+    release_heap();
+    data_ = mem;
+    capacity_ = cap;
+  }
+
+  void release_heap() {
+    if (!is_inline()) {
+      ::operator delete(static_cast<void*>(data_));
+      data_ = inline_ptr();
+      capacity_ = N;
+    }
+  }
+
+  alignas(T) std::byte inline_buf_[N * sizeof(T)];
+  T* data_ = inline_ptr();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace slp::util

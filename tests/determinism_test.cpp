@@ -4,6 +4,8 @@
 
 #include "measure/campaign.hpp"
 #include "measure/testbed.hpp"
+#include "obs/recorder.hpp"
+#include "runner/sweep.hpp"
 
 namespace slp::measure {
 namespace {
@@ -109,6 +111,32 @@ TEST(Determinism, H3CampaignIsBitIdenticalPerSeed) {
   EXPECT_EQ(a.goodput_mbps.values(), b.goodput_mbps.values());
   EXPECT_EQ(a.rtt_ms.values(), b.rtt_ms.values());
   EXPECT_EQ(a.loss.packets_lost, b.loss.packets_lost);
+}
+
+TEST(Determinism, MetricsAndTraceExportsAreByteIdentical) {
+  // The promise CI enforces at fig2/fig5 scale, at unit-test scale: the
+  // rendered --metrics/--trace documents (not just the parsed numbers) are
+  // byte-identical for the same seeds, for any worker count. This is what
+  // the event queue and ephemeris fast paths must preserve.
+  PingCampaign::Config config;
+  config.duration = Duration::minutes(30);
+  config.cadence = Duration::minutes(5);
+  config.epochs = false;
+  config.seed = 7;
+  config.obs.metrics = true;
+  config.obs.trace = true;
+
+  const auto serial = runner::run_merged<PingCampaign>({2, 1}, config);
+  const auto parallel = runner::run_merged<PingCampaign>({2, 4}, config);
+  const auto again = runner::run_merged<PingCampaign>({2, 4}, config);
+  const std::string metrics = obs::metrics_json(serial.obs);
+  EXPECT_EQ(metrics, obs::metrics_json(parallel.obs));
+  EXPECT_EQ(metrics, obs::metrics_json(again.obs));
+  EXPECT_FALSE(metrics.empty());
+  const std::string trace = obs::trace_json(serial.obs.events);
+  EXPECT_EQ(trace, obs::trace_json(parallel.obs.events));
+  EXPECT_EQ(trace, obs::trace_json(again.obs.events));
+  EXPECT_FALSE(serial.obs.events.empty());
 }
 
 TEST(Determinism, TestbedTopologyIsStable) {

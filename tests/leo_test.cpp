@@ -145,6 +145,75 @@ TEST_F(Shell1Test, ActivePlanesRestrictsVisibility) {
   for (const auto& v : few) EXPECT_LT(v.sat.plane, 10);
 }
 
+TEST_F(Shell1Test, VisibilityFastPathMatchesPerSatelliteReference) {
+  // The fast path culls whole planes geometrically and hoists per-plane trig;
+  // both must be *exactly* equivalent (EXPECT_EQ, not NEAR) to the naive
+  // per-satellite loop over position_ecef + elevation_deg, or determinism
+  // breaks between code paths.
+  for (int minute : {0, 13, 47, 95, 143}) {
+    const TimePoint t = TimePoint::epoch() + Duration::minutes(minute);
+    const Vec3 g = to_ecef(places::kLouvainLaNeuve);
+    std::vector<Constellation::VisibleSat> reference;
+    for (int plane = 0; plane < shell_.config().num_planes; ++plane) {
+      for (int slot = 0; slot < shell_.config().sats_per_plane; ++slot) {
+        const SatIndex sat{plane, slot};
+        const Vec3 pos = shell_.position_ecef(sat, t);
+        const double el = elevation_deg(g, pos);
+        if (el >= 25.0) reference.push_back({sat, el, slant_range_m(g, pos)});
+      }
+    }
+    const auto fast = shell_.visible_from(places::kLouvainLaNeuve, t, 25.0);
+    ASSERT_EQ(fast.size(), reference.size()) << "minute " << minute;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].sat.plane, reference[i].sat.plane);
+      EXPECT_EQ(fast[i].sat.slot, reference[i].sat.slot);
+      EXPECT_EQ(fast[i].elevation_deg, reference[i].elevation_deg);
+      EXPECT_EQ(fast[i].slant_range_m, reference[i].slant_range_m);
+    }
+  }
+}
+
+TEST_F(Shell1Test, BufferOverloadMatchesReturningOverload) {
+  std::vector<Constellation::VisibleSat> buf;
+  for (int minute : {0, 31, 62}) {
+    const TimePoint t = TimePoint::epoch() + Duration::minutes(minute);
+    const auto returned = shell_.visible_from(places::kLouvainLaNeuve, t, 25.0);
+    shell_.visible_from(places::kLouvainLaNeuve, t, 25.0, 0, buf);  // reused buffer
+    ASSERT_EQ(buf.size(), returned.size());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      EXPECT_EQ(buf[i].sat.plane, returned[i].sat.plane);
+      EXPECT_EQ(buf[i].sat.slot, returned[i].sat.slot);
+      EXPECT_EQ(buf[i].elevation_deg, returned[i].elevation_deg);
+      EXPECT_EQ(buf[i].slant_range_m, returned[i].slant_range_m);
+    }
+    EXPECT_EQ(shell_.count_visible(places::kLouvainLaNeuve, t, 25.0),
+              static_cast<int>(returned.size()));
+  }
+}
+
+TEST_F(Shell1Test, BestVisibleMatchesScanOfVisibleFrom) {
+  // best_visible must pick the same satellite a first-wins max scan over
+  // visible_from picks (ties broken by scan order), without materializing.
+  for (int minute : {0, 7, 19, 53, 111}) {
+    const TimePoint t = TimePoint::epoch() + Duration::minutes(minute);
+    const auto all = shell_.visible_from(places::kLouvainLaNeuve, t, 25.0);
+    const auto best = shell_.best_visible(places::kLouvainLaNeuve, t, 25.0);
+    if (all.empty()) {
+      EXPECT_FALSE(best.has_value());
+      continue;
+    }
+    ASSERT_TRUE(best.has_value());
+    const auto* expect = &all[0];
+    for (const auto& v : all) {
+      if (v.elevation_deg > expect->elevation_deg) expect = &v;
+    }
+    EXPECT_EQ(best->sat.plane, expect->sat.plane);
+    EXPECT_EQ(best->sat.slot, expect->sat.slot);
+    EXPECT_EQ(best->elevation_deg, expect->elevation_deg);
+    EXPECT_EQ(best->slant_range_m, expect->slant_range_m);
+  }
+}
+
 // ------------------------------------------------------------ Handover
 
 class HandoverTest : public ::testing::Test {

@@ -70,6 +70,59 @@ TEST(EventQueue, CancelInvalidIdIsNoop) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, EqualTimestampsFireInScheduleOrder) {
+  // Determinism requirement: events at the same instant pop in scheduling
+  // order, even with cancels interleaved (stale heap entries and slot reuse
+  // must not perturb the FIFO sequence).
+  EventQueue q;
+  const TimePoint t = TimePoint::epoch() + 1_ms;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(q.schedule(t, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 32; i += 3) q.cancel(ids[static_cast<std::size_t>(i)]);
+  for (int i = 32; i < 48; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  std::vector<int> expected;
+  for (int i = 0; i < 48; ++i) {
+    if (i < 32 && i % 3 == 0) continue;
+    expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  // After an event fires (or is cancelled) its slab slot is recycled for the
+  // next schedule. The old EventId must not be able to cancel the new
+  // occupant: the generation counter makes the stale handle a no-op.
+  EventQueue q;
+  const EventId old_id = q.schedule(TimePoint::epoch(), [] {});
+  q.pop().fn();  // slot released, generation bumped
+  bool fired = false;
+  q.schedule(TimePoint::epoch() + 1_ms, [&] { fired = true; });
+  q.cancel(old_id);  // stale generation: must not touch the new event
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, RepeatedCancelBoundsHeapGrowth) {
+  // Schedule/cancel churn without ever draining: compaction must keep the
+  // heap O(live events), not O(cancels ever made).
+  EventQueue q;
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = q.schedule(TimePoint::epoch() + Duration::millis(i), [] {});
+    q.cancel(id);
+  }
+  q.schedule(TimePoint::epoch() + 1_ms, [] {});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LT(q.heap_entries(), 1'000u);
+  EXPECT_LT(q.slab_slots(), 1'000u);
+}
+
 // ------------------------------------------------------------ Simulator
 
 TEST(Simulator, ClockAdvancesWithEvents) {
@@ -137,6 +190,26 @@ TEST(Timer, CancelPreventsFire) {
   timer.cancel();
   sim.run();
   EXPECT_FALSE(fired);
+}
+
+TEST(Timer, RepeatedRearmKeepsQueueBounded) {
+  // A TCP/QUIC RTO timer re-arms on every ACK — millions of times per
+  // simulated transfer, mostly without the simulator running in between.
+  // Each re-arm cancels the pending event; the slab must recycle the slot
+  // eagerly and compaction must keep the heap bounded, or the queue grows by
+  // one entry per re-arm.
+  Simulator sim;
+  Timer timer{sim};
+  int fired = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    timer.arm(Duration::millis(1 + (i % 7)), [&] { ++fired; });
+  }
+  const EventQueue& q = sim.event_queue();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LT(q.heap_entries(), 1'000u);
+  EXPECT_LT(q.slab_slots(), 1'000u);
+  sim.run();
+  EXPECT_EQ(fired, 1);  // only the last arm survives
 }
 
 TEST(Timer, DestructionCancels) {

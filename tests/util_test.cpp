@@ -2,12 +2,16 @@
 
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/flags.hpp"
+#include "util/inline_function.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/small_vector.hpp"
 #include "util/units.hpp"
 
 namespace slp {
@@ -274,6 +278,129 @@ TEST(Flags, GetDurationParsesSuffixesAndFallsBack) {
   EXPECT_EQ(f.get_duration("absent", Duration::hours(1)), Duration::hours(1));
   // get_duration marks its keys used, including the malformed one.
   EXPECT_TRUE(f.unused().empty());
+}
+
+// ---------------------------------------------------------- InlineFunction
+
+/// Counts live copies via a shared counter — catches double-destroy and
+/// missed-destroy bugs in the small-buffer move machinery.
+struct DtorCounter {
+  int* live;
+  explicit DtorCounter(int* l) : live{l} { ++*live; }
+  DtorCounter(const DtorCounter& o) : live{o.live} { ++*live; }
+  DtorCounter(DtorCounter&& o) noexcept : live{o.live} { ++*live; }
+  ~DtorCounter() { --*live; }
+  void operator()() const {}
+};
+
+TEST(InlineFunction, SmallCallableStaysInline) {
+  int hits = 0;
+  util::InlineFunction f{[&hits] { ++hits; }};
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, MoveTransfersOwnershipExactlyOnce) {
+  int live = 0;
+  {
+    util::InlineFunction a{DtorCounter{&live}};
+    EXPECT_EQ(live, 1);
+    util::InlineFunction b{std::move(a)};
+    EXPECT_EQ(live, 1);  // moved, not duplicated
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    util::InlineFunction c;
+    c = std::move(b);
+    EXPECT_EQ(live, 1);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();  // still invocable after two moves
+  }
+  EXPECT_EQ(live, 0);  // destroyed exactly once
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  int live_a = 0;
+  int live_b = 0;
+  util::InlineFunction f{DtorCounter{&live_a}};
+  f = util::InlineFunction{DtorCounter{&live_b}};
+  EXPECT_EQ(live_a, 0);  // old callable destroyed by the assignment
+  EXPECT_EQ(live_b, 1);
+  f.reset();
+  EXPECT_EQ(live_b, 0);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, OversizedCaptureSpillsToHeapAndStillDestroys) {
+  int live = 0;
+  struct Big {
+    DtorCounter c;
+    std::byte pad[util::InlineFunction::kInlineBytes]{};  // force > kInlineBytes
+    explicit Big(int* l) : c{l} {}
+    void operator()() const {}
+  };
+  {
+    util::InlineFunction f{Big{&live}};
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(live, 1);
+    util::InlineFunction g{std::move(f)};  // heap move = pointer steal
+    EXPECT_EQ(live, 1);
+    g();
+  }
+  EXPECT_EQ(live, 0);
+}
+
+// -------------------------------------------------------------- SmallVector
+
+TEST(SmallVector, StaysInlineUpToNThenSpills) {
+  util::SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, CopyAndCompare) {
+  util::SmallVector<std::pair<std::uint64_t, std::uint64_t>, 4> a;
+  a.emplace_back(1, 2);
+  a.emplace_back(3, 4);
+  auto b = a;  // packet-header copy path
+  EXPECT_EQ(a, b);
+  b.emplace_back(5, 6);
+  EXPECT_FALSE(a == b);
+  a = b;
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallVector, MoveStealsHeapAndMovesInline) {
+  util::SmallVector<std::string, 2> inl;
+  inl.push_back("x");
+  util::SmallVector<std::string, 2> m1{std::move(inl)};
+  ASSERT_EQ(m1.size(), 1u);
+  EXPECT_EQ(m1[0], "x");
+
+  util::SmallVector<std::string, 2> heap;
+  for (int i = 0; i < 5; ++i) heap.push_back(std::to_string(i));
+  EXPECT_FALSE(heap.is_inline());
+  util::SmallVector<std::string, 2> m2{std::move(heap)};
+  ASSERT_EQ(m2.size(), 5u);
+  EXPECT_EQ(m2[4], "4");
+  EXPECT_TRUE(heap.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(SmallVector, ClearKeepsCapacityAndReuses) {
+  util::SmallVector<int, 4> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(42);
+  EXPECT_EQ(v.back(), 42);
 }
 
 TEST(Fnv1a, StableKnownValue) {
