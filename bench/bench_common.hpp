@@ -73,6 +73,14 @@ inline std::vector<std::string> boxplot_row(const std::string& name,
           paper_median};
 }
 
+/// Typo guard: call after every flag has been read (Flags tracks used keys
+/// lazily, so benches with extra flags read them first, then warn once).
+inline void warn_unused(const Flags& flags) {
+  for (const auto& key : flags.unused()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+  }
+}
+
 struct CommonArgs {
   std::uint64_t seed = 1;
   double scale = 1.0;
@@ -86,6 +94,14 @@ struct CommonArgs {
 
   static CommonArgs parse(int argc, char** argv) {
     const Flags flags = Flags::parse(argc, argv);
+    CommonArgs args = parse(flags);
+    warn_unused(flags);
+    return args;
+  }
+
+  /// Same, from an existing Flags set — for benches with extra flags, which
+  /// read theirs afterwards and then call warn_unused themselves.
+  static CommonArgs parse(const Flags& flags) {
     CommonArgs args;
     args.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     args.scale = flags.get_double("scale", 1.0);
@@ -111,9 +127,6 @@ struct CommonArgs {
     }
     Logger::instance().set_level(
         parse_log_level(flags.get("log-level", "warn"), LogLevel::kWarn));
-    for (const auto& key : flags.unused()) {
-      std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
-    }
     return args;
   }
 

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "fleet/cell_arbiter.hpp"
 #include "leo/constellation.hpp"
 #include "leo/places.hpp"
 #include "quic/quic.hpp"
@@ -144,6 +145,43 @@ void BM_ConstellationBestVisible(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ConstellationBestVisible);
+
+void BM_FleetAttachDetach(benchmark::State& state) {
+  // Membership churn on one cell: attach/detach keep the id-ordered member
+  // vector sorted; the fleet's epoch loop does this for every demand-session
+  // boundary, so it must stay cheap at realistic per-cell populations.
+  fleet::CellArbiter arb{fleet::CellArbiter::Config{}, Rng{3}.fork("d"), Rng{3}.fork("u")};
+  for (fleet::TerminalId id = 0; id < 128; ++id) arb.attach(id, 1.0, false);
+  fleet::TerminalId next = 128;
+  for (auto _ : state) {
+    arb.attach(next, 1.0, false);
+    arb.detach(next - 128);
+    ++next;
+  }
+  benchmark::DoNotOptimize(arb.members());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetAttachDetach);
+
+void BM_CellArbiterReallocate(benchmark::State& state) {
+  // One full water-filling epoch over a busy cell (every member active, all
+  // demands perturbed each round so the epoch is never a clean no-op).
+  fleet::CellArbiter arb{fleet::CellArbiter::Config{}, Rng{4}.fork("d"), Rng{4}.fork("u")};
+  arb.attach(0xFFFFFFFFu, 1.0, true);
+  for (fleet::TerminalId id = 0; id < 128; ++id) arb.attach(id, 1.0, false);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 2;
+    for (fleet::TerminalId id = 0; id < 128; ++id) {
+      const double mbps = 1.0 + static_cast<double>((id + t) % 40);
+      arb.set_demand(id, DataRate::mbps(mbps), DataRate::mbps(mbps / 8.0));
+    }
+    arb.reallocate(TimePoint::epoch() + Duration::seconds(t));
+    benchmark::DoNotOptimize(arb.background_allocated(fleet::CellArbiter::kDown));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellArbiterReallocate);
 
 void BM_EventQueueCancelChurn(benchmark::State& state) {
   // Schedule + cancel without draining: exercises O(1) cancel, slot reuse and

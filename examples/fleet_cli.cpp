@@ -1,0 +1,206 @@
+// fleet_cli — throughput vs. neighbourhood size across access technologies.
+//
+// Sweeps {fleet sizes} x {demand mixes} for the Starlink access — each cell
+// runs the Ookla-style speedtest with N simulated neighbour terminals
+// contending for the same ground cells (src/fleet/) — next to the geo and
+// wired baselines, which have no shared-cell contention and ignore the
+// fleet. Each Starlink cell also runs the pure fleet campaign to report the
+// per-cell utilization distribution, and the final cell's per-cell and
+// per-terminal ECDFs are rendered in full.
+//
+//   ./fleet_cli --sizes=1,1000,5000 --mixes=balanced,web-heavy --seeds=4
+//   ./fleet_cli --grid=leo,wired --tests=2 --jobs=8 --metrics=fleet.json
+//
+// Deterministic: seeds derive from (row, replication) alone and results are
+// folded in cell order, so any --jobs value prints the same bytes.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/campaign.hpp"
+#include "measure/campaign.hpp"
+#include "obs/recorder.hpp"
+#include "runner/sweep.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/table.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace slp;
+
+bool parse_access(const std::string& label, measure::AccessKind& out) {
+  if (label == "leo" || label == "starlink") out = measure::AccessKind::kStarlink;
+  else if (label == "geo" || label == "satcom") out = measure::AccessKind::kSatCom;
+  else if (label == "wired") out = measure::AccessKind::kWired;
+  else return false;
+  return true;
+}
+
+/// Named demand mixes: fractions over {bulk, speedtest, web, idle}.
+bool apply_mix(const std::string& name, fleet::DemandModel::Config& demand) {
+  if (name == "balanced") return true;  // the DemandModel defaults
+  if (name == "web-heavy") {
+    demand.bulk.fraction = 0.05;
+    demand.speedtest.fraction = 0.03;
+    demand.web.fraction = 0.70;
+    demand.idle.fraction = 0.22;
+    return true;
+  }
+  if (name == "bulk-heavy") {
+    demand.bulk.fraction = 0.30;
+    demand.speedtest.fraction = 0.05;
+    demand.web.fraction = 0.30;
+    demand.idle.fraction = 0.35;
+    return true;
+  }
+  if (name == "idle") {
+    demand.bulk.fraction = 0.02;
+    demand.speedtest.fraction = 0.01;
+    demand.web.fraction = 0.17;
+    demand.idle.fraction = 0.80;
+    return true;
+  }
+  return false;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int seeds = std::max<int>(1, static_cast<int>(flags.get_int("seeds", 1)));
+  const int jobs = std::max<int>(0, static_cast<int>(flags.get_int("jobs", 1)));
+  const int tests = std::max<int>(1, static_cast<int>(flags.get_int("tests", 3)));
+  const bool download = flags.get_bool("download", true);
+  const auto grid_labels = flags.get_list("grid", {"leo", "geo", "wired"});
+  const auto size_list = flags.get_double_list("sizes", {1, 1000, 5000});
+  const auto mix_labels = flags.get_list("mixes", {"balanced"});
+  const Duration fleet_duration = flags.get_duration("duration", Duration::minutes(10));
+  const std::string metrics_path = flags.get("metrics", "");
+  const std::string trace_path = flags.get("trace", "");
+  Logger::instance().set_level(
+      parse_log_level(flags.get("log-level", "warn"), LogLevel::kWarn));
+  for (const auto& key : flags.unused()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+  }
+
+  obs::Options obs_opts;
+  obs_opts.metrics = !metrics_path.empty();
+  obs_opts.trace = !trace_path.empty();
+
+  std::vector<measure::AccessKind> accesses;
+  for (const std::string& label : grid_labels) {
+    measure::AccessKind kind{};
+    if (!parse_access(label, kind)) {
+      std::fprintf(stderr, "unknown access '%s' (want leo|geo|wired)\n", label.c_str());
+      return 1;
+    }
+    accesses.push_back(kind);
+  }
+  for (const std::string& mix : mix_labels) {
+    fleet::DemandModel::Config probe;
+    if (!apply_mix(mix, probe)) {
+      std::fprintf(stderr, "unknown mix '%s' (want balanced|web-heavy|bulk-heavy|idle)\n",
+                   mix.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("fleet sweep: %zu access x %zu sizes x %zu mixes, %d seeds/row, %d tests\n\n",
+              accesses.size(), size_list.size(), mix_labels.size(), seeds, tests);
+
+  const runner::SweepConfig sweep{seeds, jobs};
+  stats::TextTable table{{"access", "fleet", "mix", "speedtest p50", "p95", "cell util p50",
+                          "p95", "handovers"}};
+  obs::Snapshot all_obs;
+  fleet::FleetCampaign::Result last_leo;  // richest cell, rendered as ECDFs below
+  bool have_leo = false;
+  std::uint64_t row = 0;
+
+  for (const measure::AccessKind kind : accesses) {
+    const bool leo = kind == measure::AccessKind::kStarlink;
+    // geo/wired have no shared-cell contention: one baseline row each.
+    const std::size_t sizes = leo ? size_list.size() : 1;
+    const std::size_t mixes = leo ? mix_labels.size() : 1;
+    for (std::size_t si = 0; si < sizes; ++si) {
+      for (std::size_t mi = 0; mi < mixes; ++mi) {
+        ++row;
+        measure::SpeedtestCampaign::Config config;
+        config.seed = runner::cell_seed(base_seed, row);
+        config.access = kind;
+        config.tests = tests;
+        config.download = download;
+        config.obs = obs_opts;
+        if (leo) {
+          config.fleet.size = static_cast<int>(size_list[si]);
+          apply_mix(mix_labels[mi], config.fleet.demand);
+        }
+        const auto speed = runner::run_merged<measure::SpeedtestCampaign>(sweep, config);
+        obs::merge(all_obs, speed.obs);
+
+        std::string util_p50 = "-";
+        std::string util_p95 = "-";
+        std::string handovers = "-";
+        if (leo && config.fleet.size > 1) {
+          fleet::FleetCampaign::Config fc;
+          fc.seed = config.seed;
+          fc.fleet = config.fleet;
+          fc.duration = fleet_duration;
+          fc.obs = obs_opts;
+          const auto contention = runner::run_merged<fleet::FleetCampaign>(sweep, fc);
+          obs::merge(all_obs, contention.obs);
+          util_p50 = stats::TextTable::num(contention.cell_util_down.pooled_quantile(0.50), 3);
+          util_p95 = stats::TextTable::num(contention.cell_util_down.pooled_quantile(0.95), 3);
+          handovers = std::to_string(contention.handovers);
+          last_leo = contention;
+          have_leo = true;
+        }
+        using stats::TextTable;
+        table.add_row({std::string{measure::to_string(kind)},
+                       leo ? std::to_string(config.fleet.size) : "-",
+                       leo ? mix_labels[mi] : "-",
+                       speed.mbps.empty() ? "-" : TextTable::num(speed.mbps.median(), 1),
+                       speed.mbps.empty() ? "-" : TextTable::num(speed.mbps.percentile(95), 1),
+                       util_p50, util_p95, handovers});
+      }
+    }
+  }
+  std::printf("%s", table.str().c_str());
+
+  if (have_leo) {
+    const double probs[] = {0.10, 0.25, 0.50, 0.75, 0.90, 0.99};
+    std::printf("\nper-cell mean downlink utilization ECDF (last Starlink row):\n%s",
+                stats::render_cdf_rows(stats::Ecdf{last_leo.cell_util_down.means()}, probs, "")
+                    .c_str());
+    std::printf("\nper-terminal mean downlink allocation ECDF (last Starlink row):\n%s",
+                stats::render_cdf_rows(stats::Ecdf{last_leo.terminal_down_mbps.means()}, probs,
+                                       " Mbit/s")
+                    .c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, obs::metrics_json(all_obs));
+    std::printf("\nmetrics -> %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    const bool jsonl =
+        trace_path.size() >= 6 && trace_path.compare(trace_path.size() - 6, 6, ".jsonl") == 0;
+    write_file(trace_path,
+               jsonl ? obs::trace_jsonl(all_obs.events) : obs::trace_json(all_obs.events));
+    std::printf("trace   -> %s\n", trace_path.c_str());
+  }
+  return 0;
+}

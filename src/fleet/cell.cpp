@@ -1,0 +1,60 @@
+#include "fleet/cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace slp::fleet {
+
+namespace {
+
+/// Kilometres per degree of latitude on the spherical Earth used throughout
+/// leo::geodesy (2 * pi * R / 360).
+const double kKmPerDegLat = 2.0 * std::numbers::pi * leo::kEarthRadiusM / 1000.0 / 360.0;
+
+}  // namespace
+
+CellGrid::CellGrid(double cell_km) : cell_km_{std::max(1.0, cell_km)} {
+  rings_ = std::max(1, static_cast<int>(std::ceil(180.0 * kKmPerDegLat / cell_km_)));
+}
+
+int CellGrid::bins_in_ring(int ring) const {
+  // Ring circumference shrinks with cos(latitude at the ring centre); keep
+  // the bin width close to cell_km on the ground.
+  const double lat_deg = -90.0 + (static_cast<double>(ring) + 0.5) * 180.0 / rings_;
+  const double circumference_km = 360.0 * kKmPerDegLat * std::cos(leo::deg_to_rad(lat_deg));
+  return std::max(1, static_cast<int>(std::round(circumference_km / cell_km_)));
+}
+
+CellId CellGrid::cell_of(const leo::GeoPoint& p) const {
+  const double lat = std::clamp(p.lat_deg, -90.0, 90.0);
+  // Normalize longitude into [0, 360).
+  double lon = std::fmod(p.lon_deg, 360.0);
+  if (lon < 0.0) lon += 360.0;
+  int ring = static_cast<int>((lat + 90.0) / 180.0 * rings_);
+  ring = std::clamp(ring, 0, rings_ - 1);
+  const int bins = bins_in_ring(ring);
+  int bin = static_cast<int>(lon / 360.0 * bins);
+  bin = std::clamp(bin, 0, bins - 1);
+  return (static_cast<CellId>(ring) << 32) | static_cast<CellId>(bin);
+}
+
+leo::GeoPoint CellGrid::center_of(CellId cell) const {
+  const int ring = static_cast<int>(cell >> 32);
+  const int bin = static_cast<int>(cell & 0xFFFFFFFFull);
+  const double lat = -90.0 + (static_cast<double>(ring) + 0.5) * 180.0 / rings_;
+  const int bins = bins_in_ring(std::clamp(ring, 0, rings_ - 1));
+  double lon = (static_cast<double>(bin) + 0.5) * 360.0 / bins;
+  if (lon >= 180.0) lon -= 360.0;  // back to the conventional [-180, 180)
+  return leo::GeoPoint{lat, lon, 0.0};
+}
+
+std::string CellGrid::to_string(CellId cell) {
+  std::string out = "r";
+  out += std::to_string(cell >> 32);
+  out += 'b';
+  out += std::to_string(cell & 0xFFFFFFFFull);
+  return out;
+}
+
+}  // namespace slp::fleet

@@ -1,0 +1,53 @@
+// cell.hpp — H3-style geographic cells for shared-capacity accounting.
+//
+// Starlink serves users in fixed ground cells a couple of dozen kilometres
+// across; every subscriber in a cell shares that cell's spectrum. We key the
+// fleet's contention domains off an equal-area-ish latitude/longitude grid:
+// rings of constant latitude height, each ring split into longitude bins
+// whose count shrinks with cos(latitude) so cells keep roughly constant
+// ground area toward the poles (the same trick H3/S2 resolutions play,
+// without importing either library). Cell ids are plain integers, stable
+// under merge ordering, and derived purely from leo::geodesy coordinates —
+// no RNG, no state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "leo/geodesy.hpp"
+
+namespace slp::fleet {
+
+/// Opaque cell key: (latitude ring << 32) | longitude bin. Orderable so
+/// per-cell merges fold in deterministic cell-id order.
+using CellId = std::uint64_t;
+
+/// Fixed-resolution cell grid. Two grids with the same cell_km map every
+/// point to the same id; resolution is a pure construction parameter.
+class CellGrid {
+ public:
+  /// `cell_km`: target cell edge in kilometres (Starlink ground cells are
+  /// on the order of 24 km across).
+  explicit CellGrid(double cell_km = 24.0);
+
+  [[nodiscard]] double cell_km() const { return cell_km_; }
+
+  /// Cell containing a ground point.
+  [[nodiscard]] CellId cell_of(const leo::GeoPoint& p) const;
+
+  /// Centre of a cell (the representative point used for the cell's
+  /// satellite-visibility geometry).
+  [[nodiscard]] leo::GeoPoint center_of(CellId cell) const;
+
+  /// "r<ring>b<bin>" — stable human-readable key for logs and metrics.
+  [[nodiscard]] static std::string to_string(CellId cell);
+
+ private:
+  [[nodiscard]] int rings() const { return rings_; }
+  [[nodiscard]] int bins_in_ring(int ring) const;
+
+  double cell_km_ = 24.0;
+  int rings_ = 0;  ///< latitude rings covering [-90, 90]
+};
+
+}  // namespace slp::fleet

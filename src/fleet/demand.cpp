@@ -1,0 +1,84 @@
+#include "fleet/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace slp::fleet {
+
+namespace {
+
+// Sub-stream labels keep the class draw, the activity draw and the rate
+// jitter independent of one another.
+constexpr std::uint64_t kClassStream = 0x11ull;
+constexpr std::uint64_t kActiveStream = 0x22ull;
+constexpr std::uint64_t kRateStream = 0x33ull;
+
+}  // namespace
+
+std::string_view to_string(DemandClass c) {
+  switch (c) {
+    case DemandClass::kBulk: return "bulk";
+    case DemandClass::kSpeedtest: return "speedtest";
+    case DemandClass::kWeb: return "web";
+    case DemandClass::kIdle: return "idle";
+  }
+  return "?";
+}
+
+const DemandModel::ClassProfile& DemandModel::profile(DemandClass c) const {
+  switch (c) {
+    case DemandClass::kBulk: return config_.bulk;
+    case DemandClass::kSpeedtest: return config_.speedtest;
+    case DemandClass::kWeb: return config_.web;
+    case DemandClass::kIdle: return config_.idle;
+  }
+  return config_.idle;
+}
+
+DemandClass DemandModel::class_of(std::uint64_t terminal_seed) const {
+  const double total = config_.bulk.fraction + config_.speedtest.fraction +
+                       config_.web.fraction + config_.idle.fraction;
+  double pick = mix_uniform(terminal_seed, kClassStream) * std::max(1e-12, total);
+  if ((pick -= config_.bulk.fraction) <= 0.0) return DemandClass::kBulk;
+  if ((pick -= config_.speedtest.fraction) <= 0.0) return DemandClass::kSpeedtest;
+  if ((pick -= config_.web.fraction) <= 0.0) return DemandClass::kWeb;
+  return DemandClass::kIdle;
+}
+
+DemandModel::Demand DemandModel::at(std::uint64_t terminal_seed, TimePoint t) const {
+  const ClassProfile& p = profile(class_of(terminal_seed));
+  const auto session =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, t.ns()) / p.session.ns());
+
+  double duty = p.duty;
+  if (config_.diurnal_amplitude > 0.0) {
+    const double phase =
+        2.0 * std::numbers::pi * t.to_seconds() / config_.diurnal_period.to_seconds();
+    duty *= std::clamp(1.0 + config_.diurnal_amplitude * std::sin(phase), 0.0, 2.0);
+  }
+  if (mix_uniform(terminal_seed ^ kActiveStream, session) >= duty) return {};
+
+  // Per-session rate jitter in [0.5, 1.5): sessions differ, but the rate is
+  // constant within a session so allocations move on session boundaries.
+  const double jitter = 0.5 + mix_uniform(terminal_seed ^ kRateStream, session);
+  return {p.down * (jitter * config_.scale_down), p.up * (jitter * config_.scale_up)};
+}
+
+DemandModel::Demand DemandModel::expected() const {
+  const ClassProfile* profiles[] = {&config_.bulk, &config_.speedtest, &config_.web,
+                                    &config_.idle};
+  double total = 0.0;
+  double down = 0.0;
+  double up = 0.0;
+  for (const ClassProfile* p : profiles) {
+    total += p->fraction;
+    down += p->fraction * p->duty * p->down.bits_per_second();
+    up += p->fraction * p->duty * p->up.bits_per_second();
+  }
+  if (total <= 0.0) return {};
+  return {DataRate::bps(down / total * config_.scale_down),
+          DataRate::bps(up / total * config_.scale_up)};
+}
+
+}  // namespace slp::fleet

@@ -1,0 +1,101 @@
+// demand.hpp — per-terminal traffic demand as a pure function of time.
+//
+// 10k terminals sampled every couple of seconds for simulated hours cannot
+// afford per-terminal cached sample vectors (the LoadProcess trick) — that
+// is O(terminals x steps) memory. Instead each terminal's demand is a
+// *stateless* counter-based function: activity and per-session rate are
+// derived by hashing (terminal seed, session index), so any (terminal, t)
+// query is O(1), random-access, and bit-identical regardless of query order,
+// thread count, or how often the fleet ticks.
+//
+// The model: every terminal belongs to one demand class (bulk / speedtest /
+// web / idle, drawn once from the placement stream). Time is split into
+// class-specific session windows; a session is active with the class's duty
+// probability (optionally modulated by a diurnal sine — the paper saw a flat
+// day/night profile, so the default amplitude is 0), and an active session
+// demands the class rate jittered by a per-session factor.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace slp::fleet {
+
+enum class DemandClass : std::uint8_t { kBulk = 0, kSpeedtest, kWeb, kIdle };
+
+[[nodiscard]] std::string_view to_string(DemandClass c);
+
+/// splitmix64-style stateless mix of two words -> uniform u64 (the same
+/// finalizer runner::cell_seed uses for cell decorrelation).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a ^ (0x9E3779B97F4A7C15ull * (b + 0x632BE59BD9B4E019ull));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from the same mix.
+[[nodiscard]] constexpr double mix_uniform(std::uint64_t a, std::uint64_t b) {
+  return static_cast<double>(mix64(a, b) >> 11) * 0x1.0p-53;
+}
+
+class DemandModel {
+ public:
+  struct ClassProfile {
+    double fraction = 0.25;     ///< share of the fleet in this class
+    DataRate down;              ///< active-session downlink demand
+    DataRate up;                ///< active-session uplink demand
+    Duration session;           ///< session window length
+    double duty = 0.5;          ///< probability a window is active
+  };
+
+  struct Config {
+    ClassProfile bulk{0.10, DataRate::mbps(40), DataRate::mbps(6),
+                      Duration::minutes(4), 0.35};
+    ClassProfile speedtest{0.05, DataRate::mbps(300), DataRate::mbps(40),
+                           Duration::seconds(30), 0.04};
+    ClassProfile web{0.45, DataRate::mbps(8), DataRate::mbps(1.5),
+                     Duration::seconds(40), 0.50};
+    ClassProfile idle{0.40, DataRate::mbps(0.8), DataRate::mbps(0.4),
+                      Duration::minutes(2), 0.30};
+    /// Global demand multipliers — the calibration knobs that put the mean
+    /// per-cell utilization on the paper's Figure 5 operating point for the
+    /// default placement density.
+    double scale_down = 1.0;
+    double scale_up = 1.0;
+    /// Diurnal duty modulation: duty *= 1 + amplitude * sin(2*pi*t/period).
+    /// 0 reproduces the paper's flat day/night observation.
+    double diurnal_amplitude = 0.0;
+    Duration diurnal_period = Duration::hours(24);
+  };
+
+  explicit DemandModel(Config config) : config_{config} {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Class of a terminal: a deterministic hash draw against the configured
+  /// class fractions (no placement state needed).
+  [[nodiscard]] DemandClass class_of(std::uint64_t terminal_seed) const;
+
+  struct Demand {
+    DataRate down;
+    DataRate up;
+    [[nodiscard]] bool active() const { return !down.is_zero() || !up.is_zero(); }
+  };
+
+  /// Demand of a terminal at time t. Pure: no state is read or written.
+  [[nodiscard]] Demand at(std::uint64_t terminal_seed, TimePoint t) const;
+
+  /// Expected long-run downlink/uplink demand of one average terminal (the
+  /// class-mix mean) — used to report the implied per-cell utilization.
+  [[nodiscard]] Demand expected() const;
+
+ private:
+  [[nodiscard]] const ClassProfile& profile(DemandClass c) const;
+
+  Config config_;
+};
+
+}  // namespace slp::fleet

@@ -1,0 +1,227 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace slp::fleet {
+
+namespace {
+
+Placement make_placement(const Fleet::Config& cfg, const sim::Simulator& sim) {
+  Placement::Config p = cfg.placement;
+  p.terminals = std::max(0, cfg.size - 1);
+  return Placement::generate(p, sim.fork_rng(cfg.rng_label + "/placement"));
+}
+
+std::vector<double> util_edges() {
+  std::vector<double> edges;
+  edges.reserve(20);
+  for (int i = 1; i <= 20; ++i) edges.push_back(static_cast<double>(i) * 0.05);
+  return edges;
+}
+
+std::vector<double> mbps_edges() {
+  std::vector<double> edges;
+  edges.reserve(13);
+  for (double x = 0.125; x <= 512.0; x *= 2.0) edges.push_back(x);
+  return edges;
+}
+
+}  // namespace
+
+Fleet::Fleet(sim::Simulator& sim, leo::StarlinkAccess& access, Config config)
+    : sim_{&sim},
+      access_{&access},
+      config_{std::move(config)},
+      placement_{make_placement(config_, sim)},
+      demand_{config_.demand},
+      demand_seed_{sim.fork_rng(config_.rng_label + "/demand").next()},
+      epoch_timer_{sim},
+      cell_util_down_{util_edges()},
+      cell_util_up_{util_edges()},
+      terminal_down_mbps_{mbps_edges()} {
+  const leo::StarlinkAccess::Config& ac = access.config();
+  const CellGrid& grid = placement_.grid();
+  foreground_cell_id_ = grid.cell_of(ac.terminal);
+
+  CellArbiter::Config arb;
+  arb.cell_downlink = ac.cell_downlink;
+  arb.cell_uplink = ac.cell_uplink;
+  arb.downlink_load = ac.downlink_load;
+  arb.uplink_load = ac.uplink_load;
+
+  const auto make_cell = [&](CellId id, const std::vector<TerminalId>* terms) {
+    Cell c;
+    c.id = id;
+    const bool foreground = id == foreground_cell_id_;
+    // The foreground cell's ambient fallback forks the access's own labels,
+    // honouring the fleet-of-one bit-identity contract (cell_arbiter.hpp).
+    const std::string base = foreground
+                                 ? ac.rng_label
+                                 : config_.rng_label + "/cell-" + CellGrid::to_string(id);
+    c.arbiter = std::make_unique<CellArbiter>(arb, sim.fork_rng(base + "/load-down"),
+                                              sim.fork_rng(base + "/load-up"));
+    if (terms != nullptr) c.terminals = *terms;
+    for (const TerminalId t : c.terminals) {
+      c.arbiter->attach(t, config_.terminal_weight, /*elastic=*/false);
+    }
+    if (foreground) {
+      c.arbiter->attach(kForegroundId, config_.foreground_weight, /*elastic=*/true);
+    }
+    // Handover tracking: the foreground cell reads the access's scheduler in
+    // tick(); populated neighbour cells watch the sky from their own centre.
+    if (config_.handovers && !foreground && !c.terminals.empty()) {
+      if (constellation_ == nullptr) {
+        constellation_ = std::make_unique<leo::Constellation>(ac.shell);
+      }
+      leo::HandoverScheduler::Config ho;
+      ho.terminal = grid.center_of(id);
+      ho.slot = ac.handover_slot;
+      ho.terminal_min_elevation_deg = ac.terminal_min_elevation_deg;
+      ho.gateways = leo::default_european_gateways();
+      ho.active_planes_fn = ac.active_planes_fn;
+      c.scheduler = std::make_unique<leo::HandoverScheduler>(
+          *constellation_, std::move(ho),
+          sim.fork_rng(config_.rng_label + "/ho-" + CellGrid::to_string(id)));
+    }
+    cells_.push_back(std::move(c));
+  };
+
+  bool fg_placed = false;
+  for (const auto& [id, terms] : placement_.cells()) {
+    if (!fg_placed && id > foreground_cell_id_) {
+      make_cell(foreground_cell_id_, nullptr);
+      fg_placed = true;
+    }
+    make_cell(id, &terms);
+    if (id == foreground_cell_id_) fg_placed = true;
+  }
+  if (!fg_placed) make_cell(foreground_cell_id_, nullptr);
+  foreground_cell_ = find_cell(foreground_cell_id_);
+
+  access.set_cell_share_model(this);
+
+  if (auto* rec = sim.obs()) {
+    obs::Registry& reg = rec->registry();
+    obs_epochs_ = reg.counter("fleet.epochs");
+    obs_attaches_ = reg.counter("fleet.attaches");
+    obs_detaches_ = reg.counter("fleet.detaches");
+    obs_handovers_ = reg.counter("fleet.handovers");
+    obs_reallocations_ = reg.counter("fleet.reallocations");
+    obs_util_down_ = reg.gauge("fleet.foreground_util_down");
+    obs_util_up_ = reg.gauge("fleet.foreground_util_up");
+    reg.gauge("fleet.terminals").set(static_cast<double>(placement_.terminals().size()));
+    reg.gauge("fleet.cells").set(static_cast<double>(cells_.size()));
+  }
+
+  // A fleet of one has no demands to evaluate and must stay event-silent so
+  // the fallback path is byte-identical to running without a fleet.
+  if (config_.size > 1) {
+    tick();
+    // The construction-time tick usually runs before the campaign has
+    // scheduled any workload, so the daemon check in tick() may have seen an
+    // empty queue; always give the first epoch a chance to observe the real
+    // workload before the daemon contract can retire the timer.
+    if (!epoch_timer_.armed()) {
+      epoch_timer_.arm(config_.epoch, [this] { tick(); });
+    }
+  }
+}
+
+Fleet::~Fleet() {
+  if (access_->cell_share_model() == this) access_->set_cell_share_model(nullptr);
+}
+
+Fleet::Cell* Fleet::find_cell(CellId id) {
+  const auto it = std::lower_bound(cells_.begin(), cells_.end(), id,
+                                   [](const Cell& c, CellId key) { return c.id < key; });
+  return (it != cells_.end() && it->id == id) ? &*it : nullptr;
+}
+
+CellArbiter* Fleet::arbiter(CellId cell) {
+  Cell* c = find_cell(cell);
+  return c == nullptr ? nullptr : c->arbiter.get();
+}
+
+CellArbiter::Stats Fleet::totals() const {
+  CellArbiter::Stats t;
+  for (const Cell& c : cells_) {
+    const CellArbiter::Stats& s = c.arbiter->stats();
+    t.attaches += s.attaches;
+    t.detaches += s.detaches;
+    t.handovers += s.handovers;
+    t.reallocations += s.reallocations;
+    t.epoch += s.epoch;
+  }
+  return t;
+}
+
+void Fleet::publish_stats() {
+  const CellArbiter::Stats t = totals();
+  obs_attaches_.add(t.attaches - published_.attaches);
+  obs_detaches_.add(t.detaches - published_.detaches);
+  obs_handovers_.add(t.handovers - published_.handovers);
+  obs_reallocations_.add(t.reallocations - published_.reallocations);
+  published_ = t;
+}
+
+void Fleet::tick() {
+  const TimePoint now = sim_->now();
+  for (Cell& c : cells_) {
+    if (config_.handovers) {
+      const leo::HandoverScheduler::Path& path = c.scheduler != nullptr
+                                                     ? c.scheduler->path_at(now)
+                                                     : access_->scheduler().path_at(now);
+      if (path.connected) {
+        if (c.had_sat && !(path.sat == c.last_sat)) c.arbiter->note_handover();
+        c.last_sat = path.sat;
+        c.had_sat = true;
+      }
+    }
+    for (const TerminalId id : c.terminals) {
+      const DemandModel::Demand d = demand_.at(terminal_seed(id), now);
+      c.arbiter->set_demand(id, d.down, d.up);
+    }
+    c.arbiter->reallocate(now);
+    cell_util_down_.add(c.id, c.arbiter->utilization(CellArbiter::kDown, now));
+    cell_util_up_.add(c.id, c.arbiter->utilization(CellArbiter::kUp, now));
+    for (const TerminalId id : c.terminals) {
+      if (demand_.at(terminal_seed(id), now).active()) {
+        terminal_down_mbps_.add(
+            id, c.arbiter->allocation(id, CellArbiter::kDown).bits_per_second() / 1e6);
+      }
+    }
+  }
+  foreground_down_mbps_.add(access_->downlink_capacity(now).bits_per_second() / 1e6);
+  foreground_up_mbps_.add(access_->uplink_capacity(now).bits_per_second() / 1e6);
+  ++epochs_;
+  obs_epochs_.add();
+  obs_util_down_.set(foreground_cell_->arbiter->utilization(CellArbiter::kDown, now));
+  obs_util_up_.set(foreground_cell_->arbiter->utilization(CellArbiter::kUp, now));
+  publish_stats();
+  // Daemon contract: the fleet must never be the only thing keeping
+  // `Simulator::run()` (queue-drain termination) alive. At this point our own
+  // timer event has already been popped, so an empty queue means no workload,
+  // scenario, or campaign event will ever fire again — stop re-arming and let
+  // the run terminate. FleetCampaign keeps a sentinel event pending through
+  // its whole duration so a fleet-only simulation still ticks to the end.
+  if (sim_->pending_events() > 0) {
+    epoch_timer_.arm(config_.epoch, [this] { tick(); });
+  }
+}
+
+double Fleet::available_fraction(int direction, TimePoint t) {
+  return foreground_cell_->arbiter->available_fraction(direction, t);
+}
+
+void Fleet::set_load_override(int direction, double utilization) {
+  // A scripted surge is regional: every cell's ambient floor rises, so both
+  // the foreground capacity and the neighbours' contention react.
+  for (Cell& c : cells_) c.arbiter->set_load_override(direction, utilization);
+}
+
+void Fleet::clear_load_override(int direction) {
+  for (Cell& c : cells_) c.arbiter->clear_load_override(direction);
+}
+
+}  // namespace slp::fleet

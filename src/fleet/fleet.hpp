@@ -1,0 +1,164 @@
+// fleet.hpp — N terminals sharing the constellation's ground cells.
+//
+// The paper measures ONE terminal and models everyone else as a synthetic
+// load process. The fleet makes the neighbourhood real: N lightweight
+// terminal stacks are placed around the vantage (fleet::Placement), each
+// with a demand profile (fleet::DemandModel), grouped into ground cells
+// whose capacity a weighted proportional-fair arbiter (fleet::CellArbiter)
+// splits among them. The foreground terminal — the full packet-level stack
+// behind leo::StarlinkAccess — joins its own cell as an *elastic* member,
+// and the fleet installs itself as the access's CellShareModel, so the
+// measured capacity is whatever the arbiter leaves after its simulated
+// neighbours are served.
+//
+// Background terminals are deliberately *not* packet-level: their demand is
+// a pure function of (terminal seed, time) and their effect on the
+// foreground is entirely through the arbiter's allocation. That is what
+// makes 10k terminals tractable — the per-epoch cost is O(terminals) hash
+// evaluations plus O(active) water-filling, with no extra events per
+// terminal.
+//
+// Determinism: placement draws from one forked label stream; demand is
+// counter-based (no state, no draw order); per-cell ambient processes and
+// handover schedulers fork label streams keyed by the cell id. A fleet of
+// size 1 (just the foreground) attaches no background members anywhere, so
+// every capacity query falls back to the ambient LoadProcess pair forked
+// with StarlinkAccess's own labels — bit-identical to running without a
+// fleet at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/cell_arbiter.hpp"
+#include "fleet/demand.hpp"
+#include "fleet/placement.hpp"
+#include "leo/access.hpp"
+#include "obs/registry.hpp"
+#include "sim/simulator.hpp"
+#include "stats/groupby.hpp"
+#include "stats/quantiles.hpp"
+
+namespace slp::fleet {
+
+class Fleet final : public leo::CellShareModel {
+ public:
+  /// Reserved id for the foreground (packet-level) terminal.
+  static constexpr TerminalId kForegroundId = 0xFFFFFFFFu;
+
+  struct Config {
+    /// Total terminals *including* the foreground stack; 0 disables the
+    /// fleet entirely, 1 attaches only the foreground (pure fallback mode).
+    int size = 0;
+    Placement::Config placement;  ///< .terminals is derived (= size - 1)
+    DemandModel::Config demand;
+    /// Demand/allocation re-evaluation cadence; matches LoadProcess's 2 s
+    /// step so contention moves at the same timescale as the synthetic load.
+    Duration epoch = Duration::seconds(2);
+    double terminal_weight = 1.0;    ///< background scheduling weight
+    double foreground_weight = 1.0;  ///< elastic foreground weight
+    /// Track per-cell serving-satellite changes (each one advances the
+    /// cell's allocation epoch).
+    bool handovers = true;
+    std::string rng_label = "fleet";
+
+    [[nodiscard]] bool enabled() const { return size > 0; }
+  };
+
+  /// Builds the fleet and installs it on `access` (uninstalled again in the
+  /// destructor). `access` and `sim` must outlive the fleet.
+  Fleet(sim::Simulator& sim, leo::StarlinkAccess& access, Config config);
+  ~Fleet() override;
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // --- CellShareModel (the access-facing seam) ------------------------
+  double available_fraction(int direction, TimePoint t) override;
+  void set_load_override(int direction, double utilization) override;
+  void clear_load_override(int direction) override;
+
+  // --- introspection --------------------------------------------------
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const Placement& placement() const { return placement_; }
+  [[nodiscard]] const DemandModel& demand_model() const { return demand_; }
+  [[nodiscard]] CellId foreground_cell() const { return foreground_cell_id_; }
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] std::size_t terminal_count() const { return placement_.terminals().size(); }
+  /// Stable per-terminal demand seed (hash stream base + id).
+  [[nodiscard]] std::uint64_t terminal_seed(TerminalId id) const {
+    return mix64(demand_seed_, id);
+  }
+  /// Null for unknown cells.
+  [[nodiscard]] CellArbiter* arbiter(CellId cell);
+
+  /// Aggregated arbiter counters across all cells.
+  [[nodiscard]] CellArbiter::Stats totals() const;
+  /// Fleet-wide epoch ticks executed so far.
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+
+  // --- per-epoch accumulated distributions ----------------------------
+  [[nodiscard]] const stats::KeyedSamples& cell_util(int direction) const {
+    return direction == CellArbiter::kUp ? cell_util_up_ : cell_util_down_;
+  }
+  [[nodiscard]] const stats::KeyedSamples& terminal_down_mbps() const {
+    return terminal_down_mbps_;
+  }
+  [[nodiscard]] const stats::Samples& foreground_down_mbps() const {
+    return foreground_down_mbps_;
+  }
+  [[nodiscard]] const stats::Samples& foreground_up_mbps() const {
+    return foreground_up_mbps_;
+  }
+
+ private:
+  struct Cell {
+    CellId id = 0;
+    std::unique_ptr<CellArbiter> arbiter;
+    std::vector<TerminalId> terminals;  ///< ascending; empty for the pure-foreground cell
+    /// Serving-satellite tracker. The foreground cell reads the access's own
+    /// scheduler (null here); other cells get one at their cell centre,
+    /// sharing the fleet's constellation.
+    std::unique_ptr<leo::HandoverScheduler> scheduler;
+    leo::SatIndex last_sat{};
+    bool had_sat = false;
+  };
+
+  void tick();
+  void publish_stats();
+  [[nodiscard]] Cell* find_cell(CellId id);
+
+  sim::Simulator* sim_;
+  leo::StarlinkAccess* access_;
+  Config config_;
+  Placement placement_;
+  DemandModel demand_;
+  std::uint64_t demand_seed_ = 0;
+  /// Shared orbital state for the per-cell handover schedulers (the access
+  /// owns its own instance; same shell config → same geometry).
+  std::unique_ptr<leo::Constellation> constellation_;
+  std::vector<Cell> cells_;  ///< cell-id ordered
+  CellId foreground_cell_id_ = 0;
+  Cell* foreground_cell_ = nullptr;
+  sim::Timer epoch_timer_;
+
+  stats::KeyedSamples cell_util_down_;
+  stats::KeyedSamples cell_util_up_;
+  stats::KeyedSamples terminal_down_mbps_;
+  stats::Samples foreground_down_mbps_;
+  stats::Samples foreground_up_mbps_;
+
+  CellArbiter::Stats published_{};
+  std::uint64_t epochs_ = 0;
+  obs::Counter obs_epochs_;
+  obs::Counter obs_attaches_;
+  obs::Counter obs_detaches_;
+  obs::Counter obs_handovers_;
+  obs::Counter obs_reallocations_;
+  obs::Gauge obs_util_down_;
+  obs::Gauge obs_util_up_;
+};
+
+}  // namespace slp::fleet

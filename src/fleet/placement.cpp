@@ -1,0 +1,72 @@
+#include "fleet/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "leo/places.hpp"
+
+namespace slp::fleet {
+
+std::vector<PopulationCenter> default_population_centers() {
+  namespace places = leo::places;
+  // Metro populations in millions, rounded; Louvain-la-Neuve is tiny but
+  // carries extra weight because it is the vantage whose cell the fleet is
+  // meant to contend in (the paper's "shared cell" is *this* cell).
+  return {
+      {"brussels", places::kBrussels, 1.2},
+      {"antwerp", places::kAntwerp, 0.53},
+      {"ghent", places::kGhent, 0.26},
+      {"liege", places::kLiege, 0.20},
+      {"louvain-la-neuve", places::kLouvainLaNeuve, 0.25},
+  };
+}
+
+Placement Placement::generate(const Config& config, Rng rng) {
+  Placement placement{config, CellGrid{config.cell_km}};
+  const std::vector<PopulationCenter> centers =
+      config.centers.empty() ? default_population_centers() : config.centers;
+  double total_weight = 0.0;
+  for (const auto& c : centers) total_weight += std::max(0.0, c.weight);
+
+  const double km_per_deg_lat =
+      2.0 * std::numbers::pi * leo::kEarthRadiusM / 1000.0 / 360.0;
+
+  placement.terminals_.reserve(static_cast<std::size_t>(std::max(0, config.terminals)));
+  for (int i = 0; i < config.terminals; ++i) {
+    leo::GeoPoint where;
+    const bool urban = total_weight > 0.0 && rng.chance(config.urban_fraction);
+    if (urban) {
+      // Weighted centre pick, then isotropic Gaussian scatter in km.
+      double pick = rng.uniform(0.0, total_weight);
+      const PopulationCenter* center = &centers.back();
+      for (const auto& c : centers) {
+        pick -= std::max(0.0, c.weight);
+        if (pick <= 0.0) {
+          center = &c;
+          break;
+        }
+      }
+      const double north_km = rng.normal(0.0, config.urban_sigma_km);
+      const double east_km = rng.normal(0.0, config.urban_sigma_km);
+      where.lat_deg = center->location.lat_deg + north_km / km_per_deg_lat;
+      const double km_per_deg_lon =
+          km_per_deg_lat * std::cos(leo::deg_to_rad(center->location.lat_deg));
+      where.lon_deg = center->location.lon_deg +
+                      (km_per_deg_lon > 1.0 ? east_km / km_per_deg_lon : 0.0);
+    } else {
+      where.lat_deg = rng.uniform(config.lat_min, config.lat_max);
+      where.lon_deg = rng.uniform(config.lon_min, config.lon_max);
+    }
+    where.lat_deg = std::clamp(where.lat_deg, -89.9, 89.9);
+
+    Terminal t;
+    t.id = static_cast<TerminalId>(i);
+    t.location = where;
+    t.cell = placement.grid_.cell_of(where);
+    placement.cells_[t.cell].push_back(t.id);
+    placement.terminals_.push_back(t);
+  }
+  return placement;
+}
+
+}  // namespace slp::fleet

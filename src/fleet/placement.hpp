@@ -1,0 +1,87 @@
+// placement.hpp — deterministic, seed-derived terminal placement.
+//
+// Where do N user terminals live? Real subscriber bases cluster around
+// population centres with a thin rural tail, and the follow-up measurement
+// studies ("A Multifaceted Look at Starlink Performance", "Democratizing LEO
+// Satellite Network Measurement") sample exactly that mixture. We reproduce
+// it with a two-component draw per terminal:
+//
+//   * with probability `urban_fraction`: a population-weighted city pick
+//     (leo::places anchors around the paper's vantage) plus a Gaussian
+//     scatter of `urban_sigma_km` around it;
+//   * otherwise: uniform over the configured rural bounding box.
+//
+// Every terminal is then keyed to its CellGrid cell. Placement draws from
+// one forked Rng stream in terminal-index order, so a given (seed, config)
+// produces the identical fleet on every run, thread count, and query order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/cell.hpp"
+#include "leo/geodesy.hpp"
+#include "util/rng.hpp"
+
+namespace slp::fleet {
+
+using TerminalId = std::uint32_t;
+
+/// One weighted population centre for the urban component.
+struct PopulationCenter {
+  std::string name;
+  leo::GeoPoint location;
+  double weight = 1.0;  ///< relative draw probability (~population)
+};
+
+/// The default centres: the paper's Belgian/Dutch anchor cities plus the
+/// Louvain-la-Neuve vantage itself, weighted by metro population.
+[[nodiscard]] std::vector<PopulationCenter> default_population_centers();
+
+class Placement {
+ public:
+  struct Config {
+    int terminals = 0;               ///< background terminals to place
+    double cell_km = 24.0;           ///< CellGrid resolution
+    double urban_fraction = 0.70;    ///< share drawn around population centres
+    double urban_sigma_km = 18.0;    ///< Gaussian scatter around a centre
+    /// Rural fill bounding box; defaults cover ~180 km around the vantage.
+    double lat_min = 49.8;
+    double lat_max = 51.6;
+    double lon_min = 3.0;
+    double lon_max = 6.2;
+    std::vector<PopulationCenter> centers;  ///< empty = default_population_centers()
+  };
+
+  struct Terminal {
+    TerminalId id = 0;
+    leo::GeoPoint location;
+    CellId cell = 0;
+  };
+
+  /// Places `config.terminals` terminals; `rng` should be a label-forked
+  /// stream (e.g. sim.fork_rng("fleet/placement")) so placement never
+  /// perturbs other components.
+  [[nodiscard]] static Placement generate(const Config& config, Rng rng);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const CellGrid& grid() const { return grid_; }
+  [[nodiscard]] const std::vector<Terminal>& terminals() const { return terminals_; }
+  /// Terminal ids per cell, cell-id ordered; ids ascend within a cell.
+  [[nodiscard]] const std::map<CellId, std::vector<TerminalId>>& cells() const {
+    return cells_;
+  }
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+
+ private:
+  Placement(Config config, CellGrid grid) : config_{std::move(config)}, grid_{grid} {}
+
+  Config config_;
+  CellGrid grid_;
+  std::vector<Terminal> terminals_;
+  std::map<CellId, std::vector<TerminalId>> cells_;
+};
+
+}  // namespace slp::fleet

@@ -127,14 +127,18 @@ StarlinkAccess::~StarlinkAccess() {
 sim::Ipv4Addr StarlinkAccess::public_addr() const { return kCgnExternal; }
 
 DataRate StarlinkAccess::downlink_capacity(TimePoint t) {
-  double fraction = down_load_->available_fraction(t) * rain_factor_;
+  double fraction = (cell_model_ != nullptr ? cell_model_->available_fraction(1, t)
+                                            : down_load_->available_fraction(t)) *
+                    rain_factor_;
   if (config_.epoch_capacity_factor) fraction *= config_.epoch_capacity_factor(t);
   const DataRate r = config_.cell_downlink * fraction;
   return std::max(r, DataRate::mbps(1));
 }
 
 DataRate StarlinkAccess::uplink_capacity(TimePoint t) {
-  double fraction = up_load_->available_fraction(t) * rain_factor_;
+  double fraction = (cell_model_ != nullptr ? cell_model_->available_fraction(0, t)
+                                            : up_load_->available_fraction(t)) *
+                    rain_factor_;
   if (config_.epoch_capacity_factor) fraction *= config_.epoch_capacity_factor(t);
   const DataRate r = config_.cell_uplink * fraction;
   return std::max(r, DataRate::mbps(1));
@@ -174,10 +178,12 @@ void StarlinkAccess::set_gateway_health(int gateway, bool healthy) {
 
 void StarlinkAccess::set_load_override(int direction, double utilization) {
   (direction == 0 ? up_load_ : down_load_)->set_utilization_override(utilization);
+  if (cell_model_ != nullptr) cell_model_->set_load_override(direction, utilization);
 }
 
 void StarlinkAccess::clear_load_override(int direction) {
   (direction == 0 ? up_load_ : down_load_)->clear_override();
+  if (cell_model_ != nullptr) cell_model_->clear_load_override(direction);
 }
 
 void StarlinkAccess::force_reconfiguration() { scheduler_->invalidate(); }

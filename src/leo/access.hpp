@@ -28,6 +28,21 @@
 
 namespace slp::leo {
 
+/// Pluggable source of the shared-cell available fraction. The default is
+/// the synthetic phy::LoadProcess pair owned by StarlinkAccess; fleet::Fleet
+/// installs an implementation backed by real per-cell contention among
+/// simulated terminals (src/fleet/cell_arbiter.hpp). Directions follow
+/// set_load_override: 0 = up, 1 = down.
+class CellShareModel {
+ public:
+  virtual ~CellShareModel() = default;
+  /// Fraction of the nominal cell capacity available to this terminal.
+  virtual double available_fraction(int direction, TimePoint t) = 0;
+  /// Scenario load-surge hooks (mirror LoadProcess's override semantics).
+  virtual void set_load_override(int direction, double utilization) = 0;
+  virtual void clear_load_override(int direction) = 0;
+};
+
 class StarlinkAccess {
  public:
   struct Config {
@@ -172,6 +187,13 @@ class StarlinkAccess {
   /// terminal re-acquires a (possibly different) satellite immediately.
   void force_reconfiguration();
 
+  /// Installs (or, with nullptr, removes) the shared-cell capacity source.
+  /// While installed, downlink_capacity()/uplink_capacity() read the model
+  /// instead of the built-in LoadProcess pair, and load-surge overrides are
+  /// forwarded to it. The model must outlive its installation.
+  void set_cell_share_model(CellShareModel* model) { cell_model_ = model; }
+  [[nodiscard]] CellShareModel* cell_share_model() const { return cell_model_; }
+
  private:
   [[nodiscard]] Duration access_delay(TimePoint t, bool up);
 
@@ -190,6 +212,7 @@ class StarlinkAccess {
   std::unique_ptr<phy::UtilizationLoss> loaded_down_;
   phy::GateLoss gate_up_;    ///< scenario hard-outage gates (normally open)
   phy::GateLoss gate_down_;
+  CellShareModel* cell_model_ = nullptr;  ///< non-owning; null = LoadProcess
   double rain_db_ = 0.0;
   double rain_factor_ = 1.0;  ///< capacity multiplier derived from rain_db_
   Rng jitter_rng_;

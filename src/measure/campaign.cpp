@@ -115,6 +115,7 @@ H3Campaign::Result H3Campaign::run(const Config& config) {
   tb_config.with_satcom = false;
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
+  tb_config.fleet = config.fleet;
   if (config.epochs) apply_paper_epochs(tb_config.starlink);
   Testbed bed{tb_config};
 
@@ -278,6 +279,7 @@ SpeedtestCampaign::Result SpeedtestCampaign::run(const Config& config) {
   tb_config.geo.pep.enabled = config.satcom_pep;
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
+  if (config.access == AccessKind::kStarlink) tb_config.fleet = config.fleet;
   Testbed bed{tb_config};
 
   Result result;

@@ -86,6 +86,9 @@ struct H3Campaign {
     Duration transfer_timeout = Duration::minutes(5);
     obs::Options obs;
     std::shared_ptr<const scenario::Scenario> scenario;
+    /// Optional simulated-neighbour fleet (src/fleet/); size 0 keeps the
+    /// synthetic cell load, size N > 1 puts real contention under Figure 3.
+    fleet::Fleet::Config fleet;
   };
 
   struct Result {
@@ -138,6 +141,8 @@ struct SpeedtestCampaign {
     bool satcom_pep = true;  ///< PEP ablation switch (SatCom access only)
     obs::Options obs;
     std::shared_ptr<const scenario::Scenario> scenario;
+    /// Optional simulated-neighbour fleet (Starlink access only).
+    fleet::Fleet::Config fleet;
   };
 
   struct Result {

@@ -86,6 +86,9 @@ void Testbed::build_core() {
     injector_ = std::make_unique<scenario::Injector>(
         sim_, config_.scenario, scenario::Injector::Hooks{starlink_.get()});
   }
+  if (config_.fleet.enabled()) {
+    fleet_ = std::make_unique<fleet::Fleet>(sim_, *starlink_, config_.fleet);
+  }
 
   // --- SatCom access ---------------------------------------------------
   if (config_.with_satcom) {

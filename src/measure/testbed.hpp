@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.hpp"
 #include "geo/geo_access.hpp"
 #include "leo/access.hpp"
 #include "obs/recorder.hpp"
@@ -47,6 +48,10 @@ struct TestbedConfig {
   /// clear sky). Shared across sweep cells: scenarios are seed-independent,
   /// so every cell schedules the identical timeline.
   std::shared_ptr<const scenario::Scenario> scenario;
+  /// Simulated neighbour terminals sharing the Starlink cells (src/fleet/).
+  /// size 0 keeps the synthetic LoadProcess; size 1 attaches only the
+  /// foreground terminal (bit-identical to size 0 by construction).
+  fleet::Fleet::Config fleet;
 };
 
 class Testbed {
@@ -66,6 +71,8 @@ class Testbed {
   [[nodiscard]] leo::StarlinkAccess& starlink() { return *starlink_; }
   /// Null unless the config carried a non-empty scenario.
   [[nodiscard]] const scenario::Injector* injector() const { return injector_.get(); }
+  /// Null unless the config asked for a fleet (fleet.size > 0).
+  [[nodiscard]] fleet::Fleet* fleet() { return fleet_.get(); }
   [[nodiscard]] geo::GeoAccess& satcom() { return *geo_; }
   [[nodiscard]] bool has_satcom() const { return geo_ != nullptr; }
 
@@ -101,6 +108,9 @@ class Testbed {
   std::unique_ptr<leo::StarlinkAccess> starlink_;
   /// Declared after starlink_: the injector's hooks point into the access.
   std::unique_ptr<scenario::Injector> injector_;
+  /// Declared after both: the fleet installs itself as the access's cell
+  /// share model and must uninstall before the access dies.
+  std::unique_ptr<fleet::Fleet> fleet_;
   std::unique_ptr<geo::GeoAccess> geo_;
   sim::Router* core_ = nullptr;
   sim::Host* wired_client_ = nullptr;
