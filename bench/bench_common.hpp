@@ -10,6 +10,9 @@
 // defaults documented in DESIGN.md, larger = closer to paper scale),
 // --seeds=N (independent seed replications per campaign, merged cell-id
 // ordered) and --jobs=M (worker threads; results are identical for any M).
+// --fast-forward=0 disables the analytic fast paths (link express
+// serialization, transport scan skipping) and runs the packet-level
+// reference; exports are identical either way.
 //
 // Observability flags (EXPERIMENTS.md "Metrics & tracing"):
 //   --metrics=PATH          write the merged metrics JSON document
@@ -91,6 +94,9 @@ struct CommonArgs {
   Duration sample_interval = Duration::zero();  ///< zero = sampling off
   /// --scenario=PATH, already loaded/validated/offset; null = clear sky.
   std::shared_ptr<const scenario::Scenario> scenario;
+  /// --fast-forward=0 runs the packet-level reference paths (same exports,
+  /// several times slower; see EXPERIMENTS.md "Performance baseline").
+  bool fast_forward = true;
 
   static CommonArgs parse(int argc, char** argv) {
     const Flags flags = Flags::parse(argc, argv);
@@ -111,6 +117,7 @@ struct CommonArgs {
     args.trace = flags.get("trace", "");
     args.sample_interval =
         std::max(Duration::zero(), flags.get_duration("sample-interval", Duration::zero()));
+    args.fast_forward = flags.get_bool("fast-forward", true);
     const std::string scenario_path = flags.get("scenario", "");
     const Duration scenario_offset = flags.get_duration("scenario-offset", Duration::zero());
     if (!scenario_path.empty()) {
@@ -186,6 +193,7 @@ template <typename Campaign>
                                                   typename Campaign::Config config) {
   config.obs = args.obs();
   config.scenario = args.scenario;
+  config.fast_forward = args.fast_forward;
   return runner::run_merged<Campaign>(args.sweep(), config);
 }
 

@@ -69,6 +69,24 @@ void BM_LinkPacketForwarding(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkPacketForwarding);
 
+void BM_PacketPoolAllocFree(benchmark::State& state) {
+  // The payload hot loop: acquire a slot, construct a QUIC-record-sized
+  // payload, copy the ref (the sent_ bookkeeping share), release both.
+  // Steady state must touch only the pool free list — zero malloc.
+  sim::PacketPool pool;
+  struct Record {
+    std::uint64_t pn;
+    std::byte body[200];
+  };
+  for (auto _ : state) {
+    sim::PayloadRef ref = pool.make<Record>();
+    sim::PayloadRef share = ref;
+    benchmark::DoNotOptimize(share.as<Record>());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolAllocFree);
+
 void BM_CubicOnAck(benchmark::State& state) {
   cc::Cubic cubic{cc::CcConfig{}};
   TimePoint now;

@@ -10,6 +10,7 @@ namespace slp::fleet {
 
 FleetCampaign::Result FleetCampaign::run(const Config& config) {
   sim::Simulator sim{config.seed};
+  sim.set_fast_forward(config.fast_forward);
   if (config.obs.any()) sim.enable_obs(config.obs);
   sim::Network net{sim};
   leo::StarlinkAccess access{net, config.starlink};

@@ -27,6 +27,7 @@ struct FleetCampaign {
     Duration duration = Duration::hours(1);
     obs::Options obs;
     std::shared_ptr<const scenario::Scenario> scenario;
+    bool fast_forward = true;  ///< see Simulator::set_fast_forward
   };
 
   struct Result {

@@ -43,6 +43,7 @@ PingCampaign::Result PingCampaign::run(const Config& config) {
   tb_config.with_satcom = false;  // the paper pings over Starlink only
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
+  tb_config.fast_forward = config.fast_forward;
   if (config.epochs) apply_paper_epochs(tb_config.starlink);
   Testbed bed{tb_config};
 
@@ -115,6 +116,7 @@ H3Campaign::Result H3Campaign::run(const Config& config) {
   tb_config.with_satcom = false;
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
+  tb_config.fast_forward = config.fast_forward;
   tb_config.fleet = config.fleet;
   if (config.epochs) apply_paper_epochs(tb_config.starlink);
   Testbed bed{tb_config};
@@ -200,6 +202,7 @@ MessageCampaign::Result MessageCampaign::run(const Config& config) {
   tb_config.with_satcom = false;
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
+  tb_config.fast_forward = config.fast_forward;
   Testbed bed{tb_config};
 
   Result result;
@@ -279,6 +282,7 @@ SpeedtestCampaign::Result SpeedtestCampaign::run(const Config& config) {
   tb_config.geo.pep.enabled = config.satcom_pep;
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
+  tb_config.fast_forward = config.fast_forward;
   if (config.access == AccessKind::kStarlink) tb_config.fleet = config.fleet;
   Testbed bed{tb_config};
 
@@ -318,6 +322,7 @@ WebCampaign::Result WebCampaign::run(const Config& config) {
   tb_config.geo.pep.enabled = config.satcom_pep;
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
+  tb_config.fast_forward = config.fast_forward;
   Testbed bed{tb_config};
 
   Result result;
@@ -450,6 +455,7 @@ MiddleboxAudit::Result MiddleboxAudit::run(const Config& config) {
   tb_config.with_satcom = config.access == AccessKind::kSatCom;
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
+  tb_config.fast_forward = config.fast_forward;
   Testbed bed{tb_config};
 
   Result result;

@@ -51,6 +51,9 @@ struct PingCampaign {
     obs::Options obs;  ///< per-cell observability (testbed-wide)
     /// Optional environment/fault timeline (seed-independent; see scenario.hpp).
     std::shared_ptr<const scenario::Scenario> scenario;
+    /// Analytic fast paths (see TestbedConfig::fast_forward). Same exports
+    /// either way; false runs the packet-level reference.
+    bool fast_forward = true;
   };
 
   struct AnchorResult {
@@ -89,6 +92,7 @@ struct H3Campaign {
     /// Optional simulated-neighbour fleet (src/fleet/); size 0 keeps the
     /// synthetic cell load, size N > 1 puts real contention under Figure 3.
     fleet::Fleet::Config fleet;
+    bool fast_forward = true;  ///< see TestbedConfig::fast_forward
   };
 
   struct Result {
@@ -114,6 +118,7 @@ struct MessageCampaign {
     bool pacing = false;
     obs::Options obs;
     std::shared_ptr<const scenario::Scenario> scenario;
+    bool fast_forward = true;  ///< see TestbedConfig::fast_forward
   };
 
   struct Result {
@@ -143,6 +148,7 @@ struct SpeedtestCampaign {
     std::shared_ptr<const scenario::Scenario> scenario;
     /// Optional simulated-neighbour fleet (Starlink access only).
     fleet::Fleet::Config fleet;
+    bool fast_forward = true;  ///< see TestbedConfig::fast_forward
   };
 
   struct Result {
@@ -169,6 +175,7 @@ struct WebCampaign {
     bool dns = true;
     obs::Options obs;
     std::shared_ptr<const scenario::Scenario> scenario;
+    bool fast_forward = true;  ///< see TestbedConfig::fast_forward
   };
 
   struct Result {
@@ -207,6 +214,7 @@ struct MiddleboxAudit {
     int wehe_repetitions = 10;  ///< the paper ran the suite ten times
     obs::Options obs;
     std::shared_ptr<const scenario::Scenario> scenario;
+    bool fast_forward = true;  ///< see TestbedConfig::fast_forward
   };
 
   struct Result {

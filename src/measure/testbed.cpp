@@ -28,6 +28,7 @@ std::string_view to_string(AccessKind kind) {
 
 Testbed::Testbed(TestbedConfig config)
     : config_{std::move(config)}, sim_{config_.seed}, net_{sim_} {
+  sim_.set_fast_forward(config_.fast_forward);
   if (config_.obs.any()) sim_.enable_obs(config_.obs);
   build_core();
 }

@@ -52,6 +52,10 @@ struct TestbedConfig {
   /// size 0 keeps the synthetic LoadProcess; size 1 attaches only the
   /// foreground terminal (bit-identical to size 0 by construction).
   fleet::Fleet::Config fleet;
+  /// Analytic fast paths (link express serialization, transport scan
+  /// skipping). Exports are identical either way; `false` runs the
+  /// packet-level reference the differential suite compares against.
+  bool fast_forward = true;
 };
 
 class Testbed {

@@ -98,6 +98,9 @@ QuicConnection::QuicConnection(QuicStack& stack, sim::Ipv4Addr remote_addr,
   cc_config.min_cwnd_bytes = 2ull * config_.max_payload;
   cc_config.hystart = config_.hystart;
   cc_ = cc::make_controller(config_.algorithm, cc_config);
+  // The simulator-wide knob turns the analytic fast paths off everywhere at
+  // once (differential reference runs) without per-app config plumbing.
+  config_.fast_forward = config_.fast_forward && stack.sim().fast_forward();
   flow_id_ = stack.sim().next_flow_id();
   if (auto* rec = stack.sim().obs(); rec != nullptr && rec->sampler() != nullptr) {
     cwnd_probe_id_ = rec->sampler()->add_probe(
@@ -130,8 +133,26 @@ sim::Simulator& QuicConnection::sim() const { return stack_->sim(); }
 
 void QuicConnection::start_connect() { send_handshake_packet(); }
 
+void QuicConnection::append_chunk(Payload& p, const MsgChunk& c) {
+  if (!p.extra) {
+    if (p.chunks.size() < 2) {
+      p.chunks.push_back(c);
+      return;
+    }
+    p.extra = sim::PacketPool::local().make<ChunkSeg>();
+  }
+  ChunkSeg* seg = p.extra.as_mutable<ChunkSeg>();
+  while (seg->next) seg = seg->next.as_mutable<ChunkSeg>();
+  if (seg->chunks.size() == 4) {
+    seg->next = sim::PacketPool::local().make<ChunkSeg>();
+    seg = seg->next.as_mutable<ChunkSeg>();
+  }
+  seg->chunks.push_back(c);
+}
+
 void QuicConnection::send_handshake_packet() {
-  auto payload = std::make_shared<Payload>();
+  sim::PayloadRef pref = sim::PacketPool::local().make<Payload>();
+  Payload* payload = pref.as_mutable<Payload>();
   payload->pn = next_pn_++;
   payload->handshake = true;
   payload->ack_eliciting = true;
@@ -157,7 +178,7 @@ void QuicConnection::send_handshake_packet() {
   pkt.proto = sim::Protocol::kUdp;
   pkt.size_bytes = kHandshakeBytes;
   pkt.flow_id = flow_id_;
-  pkt.payload = std::move(payload);
+  pkt.payload = std::move(pref);
   stack_->transmit(std::move(pkt));
   arm_loss_timer();
 }
@@ -218,7 +239,8 @@ void QuicConnection::maybe_send() {
 }
 
 void QuicConnection::send_one_packet(bool force_probe) {
-  auto payload = std::make_shared<Payload>();
+  sim::PayloadRef pref = sim::PacketPool::local().make<Payload>();
+  Payload* payload = pref.as_mutable<Payload>();
   payload->pn = next_pn_++;
 
   std::uint32_t budget = config_.max_payload;
@@ -239,7 +261,7 @@ void QuicConnection::send_one_packet(bool force_probe) {
     while (budget > 0 && !msg_queue_.empty()) {
       MsgChunk& front = msg_queue_.front();
       if (front.len <= budget) {
-        payload->chunks.push_back(front);
+        append_chunk(*payload, front);
         budget -= front.len;
         msg_queue_.pop_front();
       } else {
@@ -247,7 +269,7 @@ void QuicConnection::send_one_packet(bool force_probe) {
         MsgChunk part = front;
         part.len = budget;
         part.last = false;
-        payload->chunks.push_back(part);
+        append_chunk(*payload, part);
         front.offset += budget;
         front.len -= budget;
         budget = 0;
@@ -286,6 +308,7 @@ void QuicConnection::send_one_packet(bool force_probe) {
   sp.stream_offset = payload->stream_offset;
   sp.stream_len = payload->stream_len;
   sp.chunks = payload->chunks;
+  sp.extra = payload->extra;  // shares the pooled chain, no copy
   sp.max_data = payload->max_data;
   bytes_in_flight_ += sp.sent_bytes;
   sent_[payload->pn] = sp;
@@ -309,7 +332,7 @@ void QuicConnection::send_one_packet(bool force_probe) {
   pkt.proto = sim::Protocol::kUdp;
   pkt.size_bytes = sp.sent_bytes;
   pkt.flow_id = flow_id_;
-  pkt.payload = std::move(payload);
+  pkt.payload = std::move(pref);
   stack_->transmit(std::move(pkt));
   arm_loss_timer();
 }
@@ -329,7 +352,8 @@ QuicConnection::AckFrame QuicConnection::build_ack() const {
 
 void QuicConnection::send_ack_only() {
   if (!any_received_) return;
-  auto payload = std::make_shared<Payload>();
+  sim::PayloadRef pref = sim::PacketPool::local().make<Payload>();
+  Payload* payload = pref.as_mutable<Payload>();
   payload->pn = next_pn_++;
   payload->ack = build_ack();
   payload->ack_eliciting = false;
@@ -345,7 +369,7 @@ void QuicConnection::send_ack_only() {
   pkt.proto = sim::Protocol::kUdp;
   pkt.size_bytes = 30 + config_.overhead;
   pkt.flow_id = flow_id_;
-  pkt.payload = std::move(payload);
+  pkt.payload = std::move(pref);
   stack_->transmit(std::move(pkt));
 }
 
@@ -360,8 +384,8 @@ void QuicConnection::queue_ack_if_needed() {
 // ------------------------------------------------------------- receive path
 
 void QuicConnection::on_datagram(const sim::Packet& pkt) {
-  const auto payload = std::static_pointer_cast<const Payload>(pkt.payload);
-  if (!payload) return;
+  const Payload* payload = pkt.payload.as<Payload>();
+  if (payload == nullptr) return;
   const TimePoint now = stack_->sim().now();
   stats_.packets_received++;
   if (hooks.on_packet_received) hooks.on_packet_received(payload->pn, now);
@@ -423,7 +447,7 @@ void QuicConnection::on_datagram(const sim::Packet& pkt) {
     peer_max_data_ = std::max(peer_max_data_, payload->max_data);
   }
   if (payload->stream_len > 0) deliver_stream(payload->stream_offset, payload->stream_len);
-  if (!payload->chunks.empty()) deliver_chunks(payload->chunks);
+  if (has_chunks(*payload)) deliver_chunks(*payload);
   if (payload->ack) process_ack(*payload->ack, now);
 
   if (payload->ack_eliciting) {
@@ -492,10 +516,10 @@ std::uint64_t merge_range(std::map<std::uint64_t, std::uint64_t>& ranges, std::u
 
 }  // namespace
 
-void QuicConnection::deliver_chunks(const std::vector<MsgChunk>& chunks) {
-  for (const MsgChunk& chunk : chunks) {
+void QuicConnection::deliver_chunks(const Payload& payload) {
+  for_each_chunk(payload, [this](const MsgChunk& chunk) {
     MsgReassembly& r = reassembly_[chunk.msg_id];
-    if (r.done) continue;
+    if (r.done) return;
     r.total = chunk.total;
     r.queued_at = chunk.queued_at;
     // Spurious retransmissions deliver the same chunk twice; range-merge
@@ -509,7 +533,7 @@ void QuicConnection::deliver_chunks(const std::vector<MsgChunk>& chunks) {
       maybe_send_max_data();
       if (on_message) on_message(chunk.msg_id, r.total, r.queued_at);
     }
-  }
+  });
 }
 
 void QuicConnection::maybe_send_max_data() {
@@ -528,7 +552,8 @@ void QuicConnection::maybe_send_max_data() {
     // an ack-only-ish control packet carries it.
     if (bytes_in_flight_ == 0 && msg_queue_.empty() && stream_rtx_.empty() &&
         stream_next_offset_ >= stream_length_) {
-      auto payload = std::make_shared<Payload>();
+      sim::PayloadRef pref = sim::PacketPool::local().make<Payload>();
+      Payload* payload = pref.as_mutable<Payload>();
       payload->pn = next_pn_++;
       payload->max_data = local_max_data_;
       last_max_data_sent_ = local_max_data_;
@@ -543,7 +568,7 @@ void QuicConnection::maybe_send_max_data() {
       pkt.proto = sim::Protocol::kUdp;
       pkt.size_bytes = 34 + config_.overhead;
       pkt.flow_id = flow_id_;
-      pkt.payload = std::move(payload);
+      pkt.payload = std::move(pref);
       stack_->transmit(std::move(pkt));
     }
   }
@@ -625,8 +650,13 @@ void QuicConnection::on_packet_lost_internal(std::uint64_t pn, SentPacket& sp) {
   if (sp.stream_len > 0) {
     stream_rtx_.emplace_back(sp.stream_offset, sp.stream_offset + sp.stream_len);
   }
-  for (auto it = sp.chunks.rbegin(); it != sp.chunks.rend(); ++it) {
-    msg_queue_.push_front(*it);
+  if (has_chunks(sp)) {
+    util::SmallVector<MsgChunk, 8> all;
+    for_each_chunk(sp, [&all](const MsgChunk& c) { all.push_back(c); });
+    while (!all.empty()) {
+      msg_queue_.push_front(all.back());
+      all.pop_back();
+    }
   }
   if (sp.max_data > 0 && sp.max_data >= last_max_data_sent_) {
     // Ensure the window update is re-advertised.
@@ -697,6 +727,26 @@ void QuicConnection::arm_loss_timer() {
   }
   const Duration rtt = std::max(srtt_.is_zero() ? config_.initial_rtt : srtt_, latest_rtt_);
   const Duration threshold = std::max(rtt * config_.time_threshold, config_.granularity);
+
+  if (config_.fast_forward) {
+    // O(1) equivalent of the reference scans below. Two invariants make it
+    // exact: every `sent_` entry is ack-eliciting (ack-only and MAX_DATA
+    // control packets are never tracked), and `sent_at` is monotone in pn
+    // (retransmissions always get new, larger pns). So the earliest
+    // time-threshold candidate is the FIRST entry iff its pn is below the
+    // largest acked, and the PTO base is the LAST entry's send time.
+    const auto& first = *sent_.begin();
+    if (first.first < largest_acked_) {
+      loss_timer_.arm_at(std::max(first.second.sent_at + threshold, stack_->sim().now()),
+                         [this] { on_loss_timer(); });
+    } else {
+      loss_timer_.arm_at(
+          std::max(sent_.rbegin()->second.sent_at + pto_interval(), stack_->sim().now()),
+          [this] { on_loss_timer(); });
+    }
+    return;
+  }
+
   TimePoint earliest = TimePoint::infinite();
   for (const auto& [pn, sp] : sent_) {
     if (pn < largest_acked_) {
@@ -746,8 +796,13 @@ void QuicConnection::on_loss_timer() {
     if (sp.stream_len > 0) {
       stream_rtx_.emplace_front(sp.stream_offset, sp.stream_offset + sp.stream_len);
     }
-    for (auto cit = sp.chunks.rbegin(); cit != sp.chunks.rend(); ++cit) {
-      msg_queue_.push_front(*cit);
+    if (has_chunks(sp)) {
+      util::SmallVector<MsgChunk, 8> all;
+      for_each_chunk(sp, [&all](const MsgChunk& c) { all.push_back(c); });
+      while (!all.empty()) {
+        msg_queue_.push_front(all.back());
+        all.pop_back();
+      }
     }
     if (sp.handshake && !established_ && is_client_) {
       send_handshake_packet();

@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "sim/host.hpp"
+#include "sim/packet_pool.hpp"
 #include "tcp/congestion.hpp"
+#include "util/small_vector.hpp"
 #include "util/units.hpp"
 
 namespace slp::quic {
@@ -65,6 +67,12 @@ struct QuicConfig {
   /// for single-connection H3 downloads trailing the parallel-TCP Ookla
   /// tests ("reacting more strongly to losses", §3.3). false = quiche-era.
   bool once_per_round_reduction = false;
+
+  /// Algorithmic fast paths (O(1) loss-timer arming instead of full
+  /// `sent_` scans). Behaviour is provably identical either way — the knob
+  /// exists so the differential suite in tests/packet_path_test.cpp can pin
+  /// fast-forward output byte-for-byte against the reference scans.
+  bool fast_forward = true;
 };
 
 /// qlog-style event hooks, consumed by measure::LossAnalyzer & friends.
@@ -144,13 +152,22 @@ class QuicConnection {
     TimePoint queued_at;
     std::uint64_t total = 0;
   };
+  /// Overflow segment for packets carrying more message chunks than fit
+  /// inline in Payload: a pool-slot record chaining to the next segment.
+  /// SentPacket shares the chain by reference — recording a sent packet is a
+  /// refcount bump, not a chunk-vector copy.
+  struct ChunkSeg {
+    util::SmallVector<MsgChunk, 4> chunks;
+    sim::PayloadRef next;  ///< further ChunkSeg, empty at the tail
+  };
   struct AckFrame {
     std::uint64_t largest = 0;
     /// Host delay between receiving `largest` and sending this ACK; the
     /// sender subtracts it from the RTT sample (RFC 9002 §5.3).
     Duration ack_delay = Duration::zero();
-    /// Inclusive [start, end] ranges, descending.
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    /// Inclusive [start, end] ranges, descending. Contiguous receive (the
+    /// common case) is one range — inline storage keeps it off the heap.
+    util::SmallVector<std::pair<std::uint64_t, std::uint64_t>, 2> ranges;
   };
   struct Payload {
     std::uint64_t pn = 0;
@@ -159,8 +176,9 @@ class QuicConnection {
     // stream 0 frame
     std::uint64_t stream_offset = 0;
     std::uint32_t stream_len = 0;
-    // message frames
-    std::vector<MsgChunk> chunks;
+    // message frames: first chunks inline, overflow in a pooled chain
+    util::SmallVector<MsgChunk, 2> chunks;
+    sim::PayloadRef extra;  ///< ChunkSeg chain
     // control
     std::uint64_t max_data = 0;  ///< 0 = absent
     std::optional<AckFrame> ack;
@@ -174,9 +192,29 @@ class QuicConnection {
     bool handshake = false;
     std::uint64_t stream_offset = 0;
     std::uint32_t stream_len = 0;
-    std::vector<MsgChunk> chunks;
+    util::SmallVector<MsgChunk, 2> chunks;
+    sim::PayloadRef extra;  ///< shared ChunkSeg chain (zero-copy)
     std::uint64_t max_data = 0;
   };
+
+  /// Visits every message chunk of a Payload or SentPacket: the inline ones,
+  /// then the pooled overflow chain.
+  template <typename Rec, typename F>
+  static void for_each_chunk(const Rec& rec, F&& f) {
+    for (const MsgChunk& c : rec.chunks) f(c);
+    for (const sim::PayloadRef* seg = &rec.extra; *seg;) {
+      const ChunkSeg* s = seg->as<ChunkSeg>();
+      for (const MsgChunk& c : s->chunks) f(c);
+      seg = &s->next;
+    }
+  }
+  template <typename Rec>
+  [[nodiscard]] static bool has_chunks(const Rec& rec) {
+    return !rec.chunks.empty() || static_cast<bool>(rec.extra);
+  }
+  /// Appends a chunk, spilling into the pooled chain once the inline slots
+  /// are full. Only valid while the payload is still being built.
+  static void append_chunk(Payload& p, const MsgChunk& c);
 
   QuicConnection(QuicStack& stack, sim::Ipv4Addr remote_addr, std::uint16_t remote_port,
                  std::uint16_t local_port, QuicConfig config, bool is_client);
@@ -187,7 +225,7 @@ class QuicConnection {
   void detect_losses(TimePoint now);
   void on_packet_lost_internal(std::uint64_t pn, SentPacket& sp);
   void deliver_stream(std::uint64_t offset, std::uint32_t len);
-  void deliver_chunks(const std::vector<MsgChunk>& chunks);
+  void deliver_chunks(const Payload& payload);
   void maybe_send();
   void send_one_packet(bool force_probe);
   void send_handshake_packet();

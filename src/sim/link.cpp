@@ -1,5 +1,6 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -32,7 +33,10 @@ Link::Link(Simulator& sim, Interface& a, Interface& b, Config config) : sim_{&si
   dir_[1].to = &a;
   obs_name_ = config.name.empty() ? "other" : config.name;
   traced_ = !config.name.empty();
+  unbatched_ = config.unbatched;
   init_obs();
+  update_fast_eligibility(0);
+  update_fast_eligibility(1);
 }
 
 Link::~Link() {
@@ -74,19 +78,49 @@ void Link::trace_drop(int direction, const char* kind, const Packet& pkt) {
                            ",\"bytes\":" + std::to_string(pkt.size_bytes) + "}");
 }
 
-std::size_t Link::queued_bytes(int direction) const { return dir_[direction].queued_bytes; }
+std::size_t Link::queued_bytes(int direction) const {
+  const Direction& d = dir_[direction];
+  if (!d.fast) return d.queued_bytes;
+  // Fast mode prunes the virtual queue lazily; report the pruned view
+  // without mutating state.
+  std::size_t bytes = d.queued_bytes;
+  for (const auto& entry : d.pipe) {
+    if (entry.first > sim_->now()) break;
+    bytes -= entry.second;
+  }
+  return bytes;
+}
+
+void Link::update_fast_eligibility(int direction) {
+  Direction& d = dir_[direction];
+  d.fast_capable = sim_->fast_forward() && !unbatched_ && !traced_ && !d.config.rate_fn &&
+                   !d.config.delay_fn && d.config.loss == nullptr && !d.config.aqm;
+  if (d.fast_capable && !d.fast && !d.transmitting && d.queue.empty()) {
+    d.fast = true;
+    d.busy_until = sim_->now();
+    assert(d.pipe.empty());
+  }
+}
 
 void Link::set_rate(int direction, DataRate rate) {
+  materialize(direction);
   dir_[direction].config.rate = rate;
   dir_[direction].config.rate_fn = nullptr;
+  update_fast_eligibility(direction);
 }
 
 void Link::set_delay(int direction, Duration delay) {
+  materialize(direction);
   dir_[direction].config.delay = delay;
   dir_[direction].config.delay_fn = nullptr;
+  update_fast_eligibility(direction);
 }
 
-void Link::set_loss(int direction, LossModel* loss) { dir_[direction].config.loss = loss; }
+void Link::set_loss(int direction, LossModel* loss) {
+  materialize(direction);
+  dir_[direction].config.loss = loss;
+  update_fast_eligibility(direction);
+}
 
 void Link::set_delivery_tap(int direction, std::function<void(const Packet&)> tap) {
   dir_[direction].tap = std::move(tap);
@@ -106,6 +140,33 @@ void Link::enqueue(int direction, Packet pkt) {
       return;
     }
   }
+
+  if (d.fast) {
+    // Analytic serialization: commit the packet's whole timeline now.
+    const TimePoint now = sim_->now();
+    while (!d.pipe.empty() && d.pipe.front().first <= now) {
+      d.queued_bytes -= d.pipe.front().second;
+      d.pipe.pop_front();
+    }
+    const bool busy = d.busy_until > now;
+    if (busy && d.queued_bytes + pkt.size_bytes > d.config.queue_capacity_bytes) {
+      d.stats.dropped_overflow++;
+      d.obs.dropped_overflow.add();
+      trace_drop(direction, "overflow", pkt);
+      return;  // drop-tail
+    }
+    const TimePoint tx_start = busy ? d.busy_until : now;
+    const TimePoint tx_end = tx_start + d.config.rate.transmission_time(pkt.size_bytes);
+    d.busy_until = tx_end;
+    if (tx_start > now) {
+      d.queued_bytes += pkt.size_bytes;
+      d.stats.max_queue_bytes = std::max<std::uint64_t>(d.stats.max_queue_bytes, d.queued_bytes);
+      d.pipe.emplace_back(tx_start, pkt.size_bytes);
+    }
+    push_arrival(direction, Arrival{tx_end + d.config.delay, tx_start, tx_end, std::move(pkt)});
+    return;
+  }
+
   if (d.transmitting || !d.queue.empty()) {
     if (d.queued_bytes + pkt.size_bytes > d.config.queue_capacity_bytes) {
       d.stats.dropped_overflow++;
@@ -118,12 +179,25 @@ void Link::enqueue(int direction, Packet pkt) {
     d.queue.push_back(std::move(pkt));
     return;
   }
+  begin_transmission(direction, std::move(pkt));
+}
+
+void Link::begin_transmission(int direction, Packet pkt) {
+  Direction& d = dir_[direction];
   d.transmitting = true;
   const DataRate rate = d.config.rate_fn ? d.config.rate_fn(sim_->now()) : d.config.rate;
   const Duration tx_time = rate.transmission_time(pkt.size_bytes);
-  sim_->schedule_in(tx_time, [this, direction, pkt = std::move(pkt)]() mutable {
-    finish_transmission(direction, std::move(pkt));
-  });
+  if (unbatched_) {
+    sim_->schedule_in(tx_time, [this, direction, pkt = std::move(pkt)]() mutable {
+      finish_transmission(direction, std::move(pkt));
+    });
+    return;
+  }
+  d.tx_valid = true;
+  d.tx_started = sim_->now();
+  d.tx_ends = sim_->now() + tx_time;
+  d.tx_pkt = std::move(pkt);
+  sim_->schedule_at(d.tx_ends, [this, direction] { on_tx_done(direction); });
 }
 
 void Link::start_transmission(int direction) {
@@ -132,14 +206,12 @@ void Link::start_transmission(int direction) {
   Packet pkt = std::move(d.queue.front());
   d.queue.pop_front();
   d.queued_bytes -= pkt.size_bytes;
-  d.transmitting = true;
-  const DataRate rate = d.config.rate_fn ? d.config.rate_fn(sim_->now()) : d.config.rate;
-  const Duration tx_time = rate.transmission_time(pkt.size_bytes);
-  sim_->schedule_in(tx_time, [this, direction, pkt = std::move(pkt)]() mutable {
-    finish_transmission(direction, std::move(pkt));
-  });
+  begin_transmission(direction, std::move(pkt));
 }
 
+// Unbatched reference path: identical to the original implementation —
+// per-packet completion and delivery events that carry the packet in their
+// closures, with tx stats counted at serialization end.
 void Link::finish_transmission(int direction, Packet pkt) {
   Direction& d = dir_[direction];
   d.stats.tx_packets++;
@@ -171,6 +243,137 @@ void Link::finish_transmission(int direction, Packet pkt) {
     if (dd.tap) dd.tap(pkt);
     to->owner().handle_packet(std::move(pkt), *to);
   });
+}
+
+void Link::on_tx_done(int direction) {
+  Direction& d = dir_[direction];
+  assert(d.tx_valid);
+  Packet pkt = std::move(d.tx_pkt);
+  const TimePoint tx_start = d.tx_started;
+  const TimePoint tx_end = d.tx_ends;
+  d.tx_valid = false;
+
+  // Next queued packet starts serializing immediately; draw order (next
+  // packet's rate, then this packet's loss, then its delay) matches the
+  // reference path so seeded runs stay identical.
+  if (!d.queue.empty()) {
+    start_transmission(direction);
+  } else {
+    d.transmitting = false;
+    update_fast_eligibility(direction);  // drained: analytic mode may resume
+  }
+
+  if (d.config.loss != nullptr && d.config.loss->should_drop(sim_->now(), pkt)) {
+    // The sender paid the serialization time even though the frame died.
+    d.stats.tx_packets++;
+    d.stats.tx_bytes += pkt.size_bytes;
+    d.obs.tx_bytes.add(pkt.size_bytes);
+    d.stats.dropped_medium++;
+    d.obs.dropped_medium.add();
+    trace_drop(direction, "medium", pkt);
+    return;
+  }
+
+  const Duration delay = d.config.delay_fn ? d.config.delay_fn(sim_->now()) : d.config.delay;
+  push_arrival(direction, Arrival{sim_->now() + delay, tx_start, tx_end, std::move(pkt)});
+}
+
+void Link::push_arrival(int direction, Arrival arr) {
+  Direction& d = dir_[direction];
+  const TimePoint due = arr.due;
+  // Keep arrivals sorted by due time, stable for equal dues. Dynamic delays
+  // can reorder, but the common case appends at the back.
+  auto it = d.arrivals.end();
+  while (it != d.arrivals.begin() && std::prev(it)->due > due) --it;
+  d.arrivals.insert(it, std::move(arr));
+  if (due < d.delivery_due) arm_delivery(direction, due);
+}
+
+void Link::arm_delivery(int direction, TimePoint due) {
+  Direction& d = dir_[direction];
+  if (!d.delivery_due.is_infinite()) sim_->cancel(d.delivery_event);
+  d.delivery_due = due;
+  d.delivery_event = sim_->schedule_at(due, [this, direction] { deliver_due(direction); });
+}
+
+void Link::deliver_due(int direction) {
+  Direction& d = dir_[direction];
+  d.delivery_due = TimePoint::infinite();
+  // One firing drains every arrival that is due — back-to-back completions
+  // coalesce into a single event-queue entry.
+  while (!d.arrivals.empty() && d.arrivals.front().due <= sim_->now()) {
+    Arrival arr = std::move(d.arrivals.front());
+    d.arrivals.pop_front();
+    // tx accounting is deferred to delivery so the fast path (which never
+    // sees serialization end as an event) produces identical counters at
+    // any run cutoff.
+    d.stats.tx_packets++;
+    d.stats.tx_bytes += arr.pkt.size_bytes;
+    d.obs.tx_bytes.add(arr.pkt.size_bytes);
+    d.stats.delivered_packets++;
+    d.obs.delivered.add();
+    if (d.tap) d.tap(arr.pkt);
+    Interface* to = d.to;
+    to->owner().handle_packet(std::move(arr.pkt), *to);
+  }
+  if (d.arrivals.empty()) {
+    // A handler may have re-armed for an arrival this loop then delivered
+    // (zero-delay hairpin); drop the stale event.
+    if (!d.delivery_due.is_infinite()) {
+      sim_->cancel(d.delivery_event);
+      d.delivery_due = TimePoint::infinite();
+    }
+  } else if (d.delivery_due.is_infinite()) {
+    arm_delivery(direction, d.arrivals.front().due);
+  }
+  // else: an event armed re-entrantly during the loop is already pending;
+  // if it fires early for a since-delivered arrival, the drain loop is a
+  // no-op and re-arms correctly.
+}
+
+void Link::materialize(int direction) {
+  Direction& d = dir_[direction];
+  if (!d.fast) return;
+  const TimePoint now = sim_->now();
+  d.fast = false;
+
+  while (!d.pipe.empty() && d.pipe.front().first <= now) {
+    d.queued_bytes -= d.pipe.front().second;
+    d.pipe.pop_front();
+  }
+  d.pipe.clear();
+  d.busy_until = now;
+
+  // Arrivals are due-sorted and (constant delay) tx_end-sorted: the suffix
+  // still being serialized comes back; fully-serialized frames keep their
+  // committed delivery times (event mode would not re-touch them either).
+  std::deque<Arrival> pending;
+  while (!d.arrivals.empty() && d.arrivals.back().tx_end > now) {
+    pending.push_front(std::move(d.arrivals.back()));
+    d.arrivals.pop_back();
+  }
+  if (d.arrivals.empty() && !d.delivery_due.is_infinite()) {
+    sim_->cancel(d.delivery_event);
+    d.delivery_due = TimePoint::infinite();
+  }
+
+  if (pending.empty()) return;
+  // The busy period is contiguous, so the head is mid-serialization: it
+  // becomes the serializer slot and completes on its original schedule at
+  // the old rate; propagation is drawn at completion under the new config,
+  // exactly as event mode would.
+  Arrival& head = pending.front();
+  assert(head.tx_start <= now);
+  d.transmitting = true;
+  d.tx_valid = true;
+  d.tx_started = head.tx_start;
+  d.tx_ends = head.tx_end;
+  d.tx_pkt = std::move(head.pkt);
+  sim_->schedule_at(d.tx_ends, [this, direction] { on_tx_done(direction); });
+  pending.pop_front();
+  // The rest had not started serializing; their bytes are already counted
+  // in queued_bytes (they sat in the virtual pipe).
+  for (Arrival& a : pending) d.queue.push_back(std::move(a.pkt));
 }
 
 }  // namespace slp::sim

@@ -8,6 +8,35 @@
 // Rates and delays can be functions of time: the Starlink access link uses a
 // delay function driven by satellite geometry (slant ranges change every
 // handover slot) and a rate function driven by the shared-cell load process.
+//
+// Each direction runs in one of three modes, cheapest first:
+//
+//   * fast (analytic express): when the direction is static — fixed rate,
+//     fixed delay, no loss model, no AQM, not traced — and the simulator's
+//     fast-forward knob is on, serialization is computed analytically at
+//     enqueue (a virtual busy-until horizon plus a virtual queue) and the
+//     packet goes straight into the in-flight list with its delivery time.
+//     One event per packet, zero per-packet allocations. Any live
+//     reconfiguration (scenario epoch, shaper, handover retune) falls the
+//     direction back to event mode mid-flight with exact state handover.
+//   * batched events: dynamic directions serialize packet-by-packet, but the
+//     serializer slot lives in the Direction (the event is a 16-byte
+//     [this, direction] thunk, never a heap-spilled packet capture) and
+//     deliveries share ONE armed event per direction: completions that land
+//     due together coalesce into a single event-queue entry.
+//   * unbatched reference: the original two-events-per-packet scheduling,
+//     kept behind `Config::unbatched` as the behavioural reference for the
+//     property suite (tests/property_test.cpp).
+//
+// Equivalence note (pinned by tests/packet_path_test.cpp): fast mode treats
+// a serializer that frees at exactly t as idle for an enqueue at t, where
+// event mode's outcome depends on event ordering within the same
+// nanosecond. With fractional-nanosecond serialization times such ties do
+// not occur in practice; the differential suite runs both modes and
+// compares exports byte-for-byte. In fast/batched modes tx_packets/tx_bytes
+// are accounted when the packet is delivered (or destroyed by the medium),
+// not at serialization end, so both modes agree at any run cutoff; totals at
+// quiescence are identical to the unbatched reference.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +44,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "obs/registry.hpp"
 #include "sim/node.hpp"
@@ -57,6 +87,11 @@ class Link {
     /// metric counters; empty = pooled under "other". Named links also get
     /// queue-depth sampler probes and drop trace events.
     std::string name;
+    /// Reference mode: schedule every serialization completion and delivery
+    /// as its own packet-capturing event, exactly as the original
+    /// implementation did. Slow; exists so the property suite can compare
+    /// the batched/fast paths against it packet-for-packet.
+    bool unbatched = false;
   };
 
   struct DirStats {
@@ -84,6 +119,8 @@ class Link {
   [[nodiscard]] std::size_t queued_bytes(int direction) const;
 
   /// Live re-configuration hooks (used by shapers and scenario epochs).
+  /// On a fast-mode direction these first materialize the analytic state
+  /// back into event mode so the change applies with packet-level exactness.
   void set_rate(int direction, DataRate rate);
   void set_delay(int direction, Duration delay);
   void set_loss(int direction, LossModel* loss);
@@ -91,6 +128,10 @@ class Link {
   /// A tap sees every packet the moment it is delivered to the destination
   /// interface (after loss). Used by tests and packet captures.
   void set_delivery_tap(int direction, std::function<void(const Packet&)> tap);
+
+  /// True while the direction serializes analytically (introspection for
+  /// tests asserting fall-back/resume behaviour).
+  [[nodiscard]] bool fast_path_active(int direction) const { return dir_[direction].fast; }
 
  private:
   friend class Interface;
@@ -105,12 +146,43 @@ class Link {
     std::uint64_t probe_id = 0;  ///< queue-depth sampler probe (0 = none)
   };
 
+  /// A packet past the serializer, waiting out its propagation delay.
+  struct Arrival {
+    TimePoint due;       ///< delivery instant (tx_end + propagation)
+    TimePoint tx_start;  ///< when serialization began
+    TimePoint tx_end;    ///< when serialization completed/completes
+    Packet pkt;
+  };
+
   struct Direction {
     DirectionConfig config;
     Interface* to = nullptr;
-    std::deque<Packet> queue;
+    std::deque<Packet> queue;  ///< awaiting serialization (event modes)
     std::size_t queued_bytes = 0;
     bool transmitting = false;
+
+    // Batched event mode: the packet occupying the serializer. Keeping it
+    // here instead of in the event closure keeps the event a small thunk.
+    bool tx_valid = false;
+    TimePoint tx_started;
+    TimePoint tx_ends;
+    Packet tx_pkt;
+
+    /// In-flight packets ordered by due time; one delivery event is armed
+    /// for the front, and a single firing drains every arrival that is due.
+    std::deque<Arrival> arrivals;
+    EventId delivery_event{};
+    TimePoint delivery_due = TimePoint::infinite();
+
+    // Fast (analytic) serializer state.
+    bool fast_capable = false;
+    bool fast = false;
+    TimePoint busy_until;  ///< end of the current virtual busy period
+    /// Committed packets whose serialization has not started yet:
+    /// (tx_start, wire bytes). Pruned lazily against the clock; the pruned
+    /// byte sum is exactly event mode's queued_bytes at the same instant.
+    std::deque<std::pair<TimePoint, std::uint32_t>> pipe;
+
     DirStats stats;
     std::function<void(const Packet&)> tap;
     DirObs obs;
@@ -121,13 +193,26 @@ class Link {
 
   /// Called by Interface::send.
   void enqueue(int direction, Packet pkt);
+  void begin_transmission(int direction, Packet pkt);
   void start_transmission(int direction);
-  void finish_transmission(int direction, Packet pkt);
+  void finish_transmission(int direction, Packet pkt);  ///< unbatched reference
+  void on_tx_done(int direction);                       ///< batched mode
+  void push_arrival(int direction, Arrival arr);
+  void arm_delivery(int direction, TimePoint due);
+  void deliver_due(int direction);
+  /// Drops a fast direction back to event mode: packets not yet fully
+  /// serialized return to the serializer slot / waiting queue with their
+  /// exact event-mode state; fully-serialized ones keep their deliveries.
+  void materialize(int direction);
+  /// Recomputes fast eligibility after construction or reconfiguration and
+  /// re-enters fast mode if the direction is idle.
+  void update_fast_eligibility(int direction);
 
   Simulator* sim_;
   Direction dir_[2];
   std::string obs_name_;  ///< resolved metric name ("other" when unnamed)
   bool traced_ = false;   ///< emit per-drop trace events (named links only)
+  bool unbatched_ = false;
 };
 
 }  // namespace slp::sim

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "sim/address.hpp"
+#include "sim/packet_pool.hpp"
 #include "util/small_vector.hpp"
 #include "util/units.hpp"
 
@@ -81,7 +82,9 @@ struct Packet {
   std::optional<TcpHeader> tcp;
   /// Transport-defined payload (e.g. a QUIC packet record). Immutable and
   /// shared: middleboxes cannot inspect it, mirroring QUIC's encryption.
-  std::shared_ptr<const void> payload;
+  /// Pool-backed: copying a packet bumps a slab refcount instead of touching
+  /// the heap (see packet_pool.hpp).
+  PayloadRef payload;
   std::uint64_t flow_id = 0;          ///< grouping key for traces/statistics
   TimePoint first_sent;               ///< stamped by the origin host
 };

@@ -1,0 +1,78 @@
+#include "sim/packet_pool.hpp"
+
+namespace slp::sim {
+
+namespace detail {
+
+void release_slot(SlotHeader* hdr) {
+  PoolImpl* impl = hdr->impl;
+  hdr->destroy(reinterpret_cast<std::byte*>(hdr) + sizeof(SlotHeader));
+  hdr->generation++;
+  hdr->next_free = impl->free_head;
+  impl->free_head = hdr->slot;
+  impl->live--;
+  // Storage outlives the facade until the last straggling ref lets go.
+  if (!impl->owner_alive && impl->live == 0) delete impl;
+}
+
+}  // namespace detail
+
+PacketPool::~PacketPool() {
+  impl_->owner_alive = false;
+  if (impl_->live == 0) delete impl_;
+}
+
+PacketPool& PacketPool::local() {
+  static thread_local PacketPool pool;
+  return pool;
+}
+
+detail::SlotHeader* PacketPool::slot_header(std::uint32_t slot) const {
+  const std::uint32_t chunk = slot >> kChunkShift;
+  const std::uint32_t offset = slot & (kChunkSlots - 1);
+  return reinterpret_cast<detail::SlotHeader*>(impl_->chunks[chunk].get() +
+                                               std::size_t{offset} * kSlotBytes);
+}
+
+void PacketPool::grow() {
+  const auto base = static_cast<std::uint32_t>(impl_->chunks.size()) << kChunkShift;
+  impl_->chunks.push_back(std::make_unique<std::byte[]>(kChunkSlots * kSlotBytes));
+  // Thread the fresh chunk onto the free list back-to-front so slots hand out
+  // in ascending order, which keeps allocation patterns cache-friendly.
+  for (std::uint32_t i = kChunkSlots; i-- > 0;) {
+    detail::SlotHeader* hdr = slot_header(base + i);
+    hdr->impl = impl_;
+    hdr->refs = 0;
+    hdr->generation = 0;
+    hdr->slot = base + i;
+    hdr->next_free = impl_->free_head;
+    impl_->free_head = base + i;
+  }
+}
+
+detail::SlotHeader* PacketPool::acquire_slot() {
+  if (impl_->free_head == detail::kNilSlot) grow();
+  detail::SlotHeader* hdr = slot_header(impl_->free_head);
+  impl_->free_head = hdr->next_free;
+  hdr->refs = 1;
+  impl_->live++;
+  impl_->total_allocs++;
+  if (impl_->live > impl_->peak_live) impl_->peak_live = impl_->live;
+  return hdr;
+}
+
+PacketPool::Handle PacketPool::handle(const PayloadRef& ref) const {
+  if (ref.hdr_ == nullptr) return Handle{};
+  assert(ref.hdr_->impl == impl_ && "handle() on a ref from a different pool");
+  return Handle{ref.hdr_->slot, ref.hdr_->generation};
+}
+
+bool PacketPool::alive(Handle h) const {
+  if (h.slot == detail::kNilSlot) return false;
+  const std::uint32_t chunk = h.slot >> kChunkShift;
+  if (chunk >= impl_->chunks.size()) return false;
+  const detail::SlotHeader* hdr = slot_header(h.slot);
+  return hdr->refs > 0 && hdr->generation == h.generation;
+}
+
+}  // namespace slp::sim

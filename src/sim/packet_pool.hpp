@@ -1,0 +1,196 @@
+// packet_pool.hpp — slab allocator for packet payload records.
+//
+// Every QUIC datagram and DNS message used to carry its payload in a
+// `std::shared_ptr<const void>`: one heap allocation (control block + object)
+// per packet, an atomic refcount bumped on every Packet copy, and a free on
+// every drop. At fig5 rates that is hundreds of thousands of allocator
+// round-trips per simulated second — pure overhead in a single-threaded
+// simulator.
+//
+// PacketPool replaces that with the same chunk/slab + free-list + generation
+// idiom as EventQueue's node slab: fixed-size slots carved out of 256-slot
+// chunks, a LIFO free list for reuse, and a generation counter per slot so
+// tests can prove a stale handle never aliases a recycled record. Refcounts
+// are plain (non-atomic) integers: a pool and every PayloadRef into it belong
+// to one simulation thread, which is the same single-ownership rule the
+// Simulator itself imposes. Payload records may chain to further pool slots
+// (see quic's ChunkSeg) by holding PayloadRef members — sharing a chain is a
+// refcount bump, never a copy.
+//
+// Lifetime: the pool's storage is owned by an internal block that stays alive
+// until both the PacketPool object is gone *and* the last PayloadRef has been
+// released, so refs that outlive their pool (e.g. a PacketTrace record kept
+// past a Testbed) degrade to a leak-free late release instead of a dangling
+// read.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace slp::sim {
+
+class PacketPool;
+
+namespace detail {
+
+struct PoolImpl;
+
+/// Per-slot bookkeeping, placed at the front of each slot.
+struct SlotHeader {
+  PoolImpl* impl;             ///< owning pool storage (for release)
+  void (*destroy)(void*);     ///< typed destructor for the payload area
+  std::uint32_t refs;         ///< live reference count (non-atomic)
+  std::uint32_t generation;   ///< bumped on every release; stale-handle guard
+  std::uint32_t slot;         ///< own slot index (chunk << shift | offset)
+  std::uint32_t next_free;    ///< free-list link while the slot is free
+};
+
+inline constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+struct PoolImpl {
+  std::vector<std::unique_ptr<std::byte[]>> chunks;
+  std::uint32_t free_head = kNilSlot;
+  std::uint64_t live = 0;
+  std::uint64_t total_allocs = 0;
+  std::uint64_t peak_live = 0;
+  bool owner_alive = true;  ///< false once the PacketPool facade is destroyed
+};
+
+void release_slot(SlotHeader* hdr);
+
+}  // namespace detail
+
+/// Shared, immutable-once-sent reference to a pooled payload record.
+/// Copying bumps a plain refcount; the record is destroyed and its slot
+/// recycled when the last reference drops.
+class PayloadRef {
+ public:
+  constexpr PayloadRef() = default;
+
+  PayloadRef(const PayloadRef& other) : hdr_{other.hdr_} {
+    if (hdr_ != nullptr) hdr_->refs++;
+  }
+
+  PayloadRef(PayloadRef&& other) noexcept : hdr_{other.hdr_} { other.hdr_ = nullptr; }
+
+  PayloadRef& operator=(const PayloadRef& other) {
+    if (other.hdr_ != nullptr) other.hdr_->refs++;
+    reset();
+    hdr_ = other.hdr_;
+    return *this;
+  }
+
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      hdr_ = other.hdr_;
+      other.hdr_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~PayloadRef() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return hdr_ != nullptr; }
+
+  /// Typed view of the payload area. The pool is type-erased exactly like the
+  /// `shared_ptr<const void>` it replaces: the caller names the type it put
+  /// in, just as `static_pointer_cast` did before.
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return hdr_ == nullptr ? nullptr : reinterpret_cast<const T*>(payload_area());
+  }
+
+  /// Mutable view for filling a freshly made record before it is shared.
+  /// Mutating a record that other refs can already see is a logic error.
+  template <typename T>
+  [[nodiscard]] T* as_mutable() const {
+    return hdr_ == nullptr ? nullptr : reinterpret_cast<T*>(payload_area());
+  }
+
+  void reset() {
+    if (hdr_ != nullptr) {
+      detail::SlotHeader* hdr = hdr_;
+      hdr_ = nullptr;
+      if (--hdr->refs == 0) detail::release_slot(hdr);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t use_count() const { return hdr_ == nullptr ? 0 : hdr_->refs; }
+
+ private:
+  friend class PacketPool;
+  explicit PayloadRef(detail::SlotHeader* hdr) : hdr_{hdr} {}
+
+  [[nodiscard]] std::byte* payload_area() const {
+    return reinterpret_cast<std::byte*>(hdr_) + sizeof(detail::SlotHeader);
+  }
+
+  detail::SlotHeader* hdr_ = nullptr;
+};
+
+class PacketPool {
+ public:
+  /// Slot geometry. 288 payload bytes covers the largest pooled record
+  /// (quic's Payload, ~230 B) with headroom; anything bigger fails to compile
+  /// rather than silently spilling to the heap.
+  static constexpr std::size_t kSlotBytes = sizeof(detail::SlotHeader) + 288;
+  static constexpr std::size_t kPayloadCapacity = kSlotBytes - sizeof(detail::SlotHeader);
+  static constexpr std::uint32_t kChunkShift = 8;  ///< 256 slots per chunk
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+
+  PacketPool() : impl_{new detail::PoolImpl} {}
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+  ~PacketPool();
+
+  /// The calling thread's pool. Payloads made here must stay on this thread —
+  /// the same rule as the Simulator that sends them.
+  static PacketPool& local();
+
+  template <typename T, typename... Args>
+  [[nodiscard]] PayloadRef make(Args&&... args) {
+    static_assert(sizeof(T) <= kPayloadCapacity, "payload record exceeds pool slot size");
+    static_assert(alignof(T) <= alignof(std::max_align_t), "over-aligned payloads unsupported");
+    detail::SlotHeader* hdr = acquire_slot();
+    ::new (static_cast<void*>(reinterpret_cast<std::byte*>(hdr) + sizeof(detail::SlotHeader)))
+        T(std::forward<Args>(args)...);
+    hdr->destroy = [](void* p) { static_cast<T*>(p)->~T(); };
+    return PayloadRef{hdr};
+  }
+
+  // --- introspection for tests & benchmarks -------------------------------
+
+  /// Stable identity of a record: survives in value form after the ref dies,
+  /// so tests can prove recycled slots are detected via the generation.
+  struct Handle {
+    std::uint32_t slot = detail::kNilSlot;
+    std::uint32_t generation = 0;
+  };
+
+  [[nodiscard]] Handle handle(const PayloadRef& ref) const;
+  /// True while the record the handle was taken from is still the one living
+  /// in that slot (generation match). A freed or recycled slot reports false.
+  [[nodiscard]] bool alive(Handle h) const;
+
+  [[nodiscard]] std::uint64_t live() const { return impl_->live; }
+  [[nodiscard]] std::uint64_t total_allocs() const { return impl_->total_allocs; }
+  [[nodiscard]] std::uint64_t peak_live() const { return impl_->peak_live; }
+  /// Slots ever carved out (capacity), not current occupancy.
+  [[nodiscard]] std::size_t slots() const { return impl_->chunks.size() * kChunkSlots; }
+
+ private:
+  [[nodiscard]] detail::SlotHeader* acquire_slot();
+  [[nodiscard]] detail::SlotHeader* slot_header(std::uint32_t slot) const;
+  void grow();
+
+  detail::PoolImpl* impl_;
+};
+
+}  // namespace slp::sim

@@ -62,6 +62,14 @@ class Simulator {
   /// Non-null only when Options::profile was set.
   [[nodiscard]] const obs::WallProfile* wall_profile() const { return profile_.get(); }
 
+  /// Enables/disables analytic fast paths (link express serialization and
+  /// transport scan skipping read it at component construction). Both
+  /// settings produce identical exports — the knob exists so the
+  /// differential suite can run the packet-level reference. Set before
+  /// building the topology.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+  [[nodiscard]] bool fast_forward() const { return fast_forward_; }
+
   /// Fresh globally-unique packet uid.
   [[nodiscard]] std::uint64_t next_packet_uid() { return next_packet_uid_++; }
   /// Fresh globally-unique flow id.
@@ -76,6 +84,7 @@ class Simulator {
   TimePoint now_;
   Rng rng_;
   bool stopped_ = false;
+  bool fast_forward_ = true;
   std::uint64_t events_processed_ = 0;
   std::uint64_t next_packet_uid_ = 1;
   std::uint64_t next_flow_id_ = 1;

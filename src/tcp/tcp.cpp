@@ -153,6 +153,9 @@ TcpConnection::TcpConnection(TcpStack& stack, sim::Ipv4Addr remote_addr,
   cc_config.initial_window_segments = config_.initial_window_segments;
   cc_config.min_cwnd_bytes = 2ull * config_.mss;
   cc_ = cc::make_controller(config_.algorithm, cc_config);
+  // Simulator-wide knob: differential reference runs disable the analytic
+  // fast paths everywhere at once (see Simulator::set_fast_forward).
+  config_.fast_forward = config_.fast_forward && stack.sim().fast_forward();
   flow_id_ = stack.sim().next_flow_id();
 }
 
@@ -192,6 +195,8 @@ void TcpConnection::enter_dead_state() {
   delack_timer_.cancel();
   in_flight_.clear();
   bytes_in_flight_ = 0;
+  lost_unsacked_ = 0;
+  rack_scan_floor_ = TimePoint::infinite();
 }
 
 // ------------------------------------------------------------- transmit path
@@ -271,12 +276,15 @@ void TcpConnection::send_segment(std::uint64_t seq, std::uint64_t len, bool retr
   pkt.tcp = std::move(hdr);
 
   auto& seg = in_flight_[seq];
+  if (seg.lost && !seg.sacked) lost_unsacked_--;  // this send clears the mark
   seg.len = len;
   seg.sent_at = stack_->sim().now();
   seg.retransmitted = seg.retransmitted || retransmission;
   seg.lost = false;
   seg.cwnd_limited = cc_->cwnd_bytes() <= peer_rwnd_;
   bytes_in_flight_ += len;
+  // The segment is now a RACK candidate (!sacked && !lost) sent at `now`.
+  rack_scan_floor_ = std::min(rack_scan_floor_, seg.sent_at);
 
   stats_.segments_sent++;
   if (retransmission) stats_.retransmissions++;
@@ -301,14 +309,18 @@ void TcpConnection::maybe_send() {
   };
 
   // 1. Retransmit segments marked lost (pipe accounting already excludes
-  //    them from bytes_in_flight_).
-  for (auto& [seq, seg] : in_flight_) {
-    if (budget <= 0) break;
-    if (seg.lost && !seg.sacked) {
-      if (!may_send_bytes(seg.len)) break;
-      send_segment(seq, seg.len, /*retransmission=*/true);
-      charge(seg.len);
-      --budget;
+  //    them from bytes_in_flight_). `lost_unsacked_` counts exactly the
+  //    segments this scan is after, so fast-forward skips the whole walk on
+  //    the common all-clear ACK.
+  if (!config_.fast_forward || lost_unsacked_ > 0) {
+    for (auto& [seq, seg] : in_flight_) {
+      if (budget <= 0) break;
+      if (seg.lost && !seg.sacked) {
+        if (!may_send_bytes(seg.len)) break;
+        send_segment(seq, seg.len, /*retransmission=*/true);
+        charge(seg.len);
+        --budget;
+      }
     }
   }
 
@@ -464,6 +476,9 @@ void TcpConnection::handle_ack(const sim::Packet& pkt) {
         if (!seg.lost) {
           assert(bytes_in_flight_ >= seg.len);
           bytes_in_flight_ -= seg.len;
+        } else {
+          assert(lost_unsacked_ > 0);
+          lost_unsacked_--;  // no longer lost-and-unsacked
         }
         sack_advanced = true;
       }
@@ -488,6 +503,9 @@ void TcpConnection::handle_ack(const sim::Packet& pkt) {
       if (!seg.sacked && !seg.lost) {
         assert(bytes_in_flight_ >= seg.len);
         bytes_in_flight_ -= seg.len;
+      } else if (seg.lost && !seg.sacked) {
+        assert(lost_unsacked_ > 0);
+        lost_unsacked_--;
       }
       in_flight_.erase(it);
     }
@@ -574,14 +592,30 @@ void TcpConnection::detect_losses() {
   if (latest_acked_sent_time_ > TimePoint::epoch()) {
     const Duration reorder_window =
         std::max(srtt_ * 0.25, Duration::millis(1));
-    for (auto& [seq, seg] : in_flight_) {
-      if (!seg.sacked && !seg.lost &&
-          seg.sent_at + reorder_window < latest_acked_sent_time_) {
-        seg.lost = true;
-        assert(bytes_in_flight_ >= seg.len);
-        bytes_in_flight_ -= seg.len;
-        newly_lost = true;
+    // `rack_scan_floor_` is a lower bound on the send time of every
+    // candidate (!sacked && !lost) segment: if even the floor has not aged
+    // past the reordering window, no candidate can have either, and the scan
+    // provably finds nothing. Each scan that does run re-tightens the floor
+    // to the exact minimum, so the walk amortizes to roughly once per
+    // reordering window instead of once per ACK.
+    const bool scan = !config_.fast_forward ||
+                      (!rack_scan_floor_.is_infinite() &&
+                       rack_scan_floor_ + reorder_window < latest_acked_sent_time_);
+    if (scan) {
+      TimePoint new_floor = TimePoint::infinite();
+      for (auto& [seq, seg] : in_flight_) {
+        if (seg.sacked || seg.lost) continue;
+        if (seg.sent_at + reorder_window < latest_acked_sent_time_) {
+          seg.lost = true;
+          lost_unsacked_++;
+          assert(bytes_in_flight_ >= seg.len);
+          bytes_in_flight_ -= seg.len;
+          newly_lost = true;
+        } else {
+          new_floor = std::min(new_floor, seg.sent_at);
+        }
       }
+      rack_scan_floor_ = new_floor;
     }
   }
 
@@ -592,6 +626,7 @@ void TcpConnection::detect_losses() {
     (void)seq;
     if (!seg.sacked && !seg.lost && !seg.retransmitted) {
       seg.lost = true;
+      lost_unsacked_++;
       assert(bytes_in_flight_ >= seg.len);
       bytes_in_flight_ -= seg.len;
       newly_lost = true;
@@ -767,8 +802,10 @@ void TcpConnection::on_rto_expired() {
   for (auto& [seq, seg] : in_flight_) {
     if (!seg.sacked && !seg.lost) {
       seg.lost = true;
+      lost_unsacked_++;
     }
   }
+  rack_scan_floor_ = TimePoint::infinite();  // no RACK candidates remain
   bytes_in_flight_ = 0;
   in_recovery_ = true;
   recovery_point_ = 1 + snd_nxt_data_;

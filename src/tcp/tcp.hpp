@@ -51,6 +51,13 @@ struct TcpConfig {
   /// line-rate bursts from flooding shallow queues during recovery.
   int max_burst_segments = 10;
   std::uint32_t header_bytes = 40;  ///< IP+TCP overhead per segment
+  /// Algorithmic fast paths: skip the per-ACK retransmit and RACK scans of
+  /// `in_flight_` when cheap bookkeeping proves they cannot find anything
+  /// (a lost-segment counter and a conservative floor on candidate send
+  /// times). Behaviour is identical either way; the knob lets the
+  /// differential suite in tests/packet_path_test.cpp prove it byte-by-byte
+  /// against the reference full scans.
+  bool fast_forward = true;
 };
 
 enum class TcpState {
@@ -187,6 +194,14 @@ class TcpConnection {
   bool fin_acked_ = false;
   std::map<std::uint64_t, InFlightSegment> in_flight_;  ///< keyed by seq
   std::uint64_t bytes_in_flight_ = 0;
+  /// Count of segments with (lost && !sacked) — exactly the set maybe_send's
+  /// retransmit pass looks for. Zero lets fast-forward skip that scan.
+  std::uint64_t lost_unsacked_ = 0;
+  /// Conservative lower bound on the send time of any RACK loss candidate
+  /// (segment with !sacked && !lost); infinite when provably none. Lets
+  /// fast-forward skip the RACK scan while `floor + reorder_window` has not
+  /// been reached, and is re-tightened exactly on every scan that does run.
+  TimePoint rack_scan_floor_ = TimePoint::infinite();
   std::uint64_t peer_rwnd_ = 65'535;
   std::uint64_t highest_sacked_ = 0;
   /// RACK (RFC 8985, simplified): newest send time among acked/sacked

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <memory>
 #include <new>
@@ -76,6 +77,11 @@ class SmallVector {
 
   void push_back(const T& v) { emplace_back(v); }
   void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  void pop_back() {
+    assert(size_ > 0);
+    data_[--size_].~T();
+  }
 
   template <typename... Args>
   T& emplace_back(Args&&... args) {

@@ -13,7 +13,7 @@ sim::Packet make_dns_packet(sim::Ipv4Addr dst, std::uint16_t src_port, std::uint
   pkt.proto = sim::Protocol::kUdp;
   // Typical DNS datagram sizes: ~60-80 B query, ~100-200 B answer.
   pkt.size_bytes = message.response ? 140 : 72;
-  pkt.payload = std::make_shared<DnsMessage>(std::move(message));
+  pkt.payload = sim::PacketPool::local().make<DnsMessage>(std::move(message));
   return pkt;
 }
 
@@ -23,7 +23,7 @@ sim::Packet make_dns_packet(sim::Ipv4Addr dst, std::uint16_t src_port, std::uint
 
 DnsServer::DnsServer(sim::Host& host, std::uint16_t port) : host_{&host}, port_{port} {
   host.bind(sim::Protocol::kUdp, port, [this](const sim::Packet& pkt) {
-    const auto query = std::static_pointer_cast<const DnsMessage>(pkt.payload);
+    const auto* query = pkt.payload.as<DnsMessage>();
     if (!query || query->response) return;
     DnsMessage answer;
     answer.id = query->id;
@@ -102,7 +102,7 @@ void DnsResolver::send_query(const std::string& name, Pending& pending) {
 }
 
 void DnsResolver::on_packet(const sim::Packet& pkt) {
-  const auto answer = std::static_pointer_cast<const DnsMessage>(pkt.payload);
+  const auto* answer = pkt.payload.as<DnsMessage>();
   if (!answer || !answer->response) return;
   const auto it = pending_.find(answer->name);
   if (it == pending_.end() || it->second.id != answer->id) return;  // stale

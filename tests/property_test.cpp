@@ -195,6 +195,125 @@ TEST_P(LinkConservationProperty, PacketsConservedAndFifo) {
 INSTANTIATE_TEST_SUITE_P(Rates, LinkConservationProperty,
                          ::testing::Values(1, 10, 100, 1000));
 
+// ============================================= link delivery-mode equivalence
+//
+// The rewritten link keeps the original two-events-per-packet scheduling
+// behind Config::unbatched as a reference implementation. Randomized
+// bidirectional packet mixes must observe exactly the same deliveries (time,
+// uid, size, per direction), the same drop decisions, and the same FIFO
+// order whether the link runs the reference, the batched event path, or the
+// analytic fast path.
+
+struct LinkModeCase {
+  int seed;
+  double rate_mbps;
+  int delay_ms;
+  bool lossy;  ///< lossy dirs are fast-ineligible: exercises the batched path
+};
+
+struct LinkModeObservation {
+  std::vector<std::tuple<TimePoint, std::uint64_t, std::uint32_t>> ab, ba;
+  std::uint64_t drops_ab = 0, drops_ba = 0, overflow_ab = 0;
+  std::uint64_t tx_bytes_ab = 0;
+
+  friend bool operator==(const LinkModeObservation&, const LinkModeObservation&) = default;
+};
+
+LinkModeObservation run_link_mix(const LinkModeCase& param, bool unbatched,
+                                 bool fast_forward) {
+  sim::Simulator simulator{static_cast<std::uint64_t>(param.seed)};
+  simulator.set_fast_forward(fast_forward);
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link::Config config =
+      sim::Network::symmetric(DataRate::mbps(param.rate_mbps),
+                              Duration::millis(param.delay_ms), 48 * 1024);
+  config.unbatched = unbatched;
+  sim::Link& link = net.connect(a.uplink(), b.uplink(), std::move(config));
+  std::unique_ptr<phy::GilbertElliott> loss_ab, loss_ba;
+  if (param.lossy) {
+    phy::GilbertElliott::Config ge;
+    ge.mean_good = Duration::millis(300);
+    ge.mean_bad = Duration::millis(30);
+    ge.loss_bad = 0.6;
+    loss_ab = std::make_unique<phy::GilbertElliott>(ge, Rng{static_cast<std::uint64_t>(param.seed) + 1});
+    loss_ba = std::make_unique<phy::GilbertElliott>(ge, Rng{static_cast<std::uint64_t>(param.seed) + 2});
+    link.set_loss(0, loss_ab.get());
+    link.set_loss(1, loss_ba.get());
+  }
+
+  LinkModeObservation out;
+  link.set_delivery_tap(0, [&](const sim::Packet& p) {
+    out.ab.emplace_back(simulator.now(), p.uid, p.size_bytes);
+  });
+  link.set_delivery_tap(1, [&](const sim::Packet& p) {
+    out.ba.emplace_back(simulator.now(), p.uid, p.size_bytes);
+  });
+  b.bind(sim::Protocol::kUdp, 7, [](const sim::Packet&) {});
+  a.bind(sim::Protocol::kUdp, 7, [](const sim::Packet&) {});
+
+  // Random bidirectional mix: bursty enough to build queues and overflow.
+  Rng rng{static_cast<std::uint64_t>(param.seed) * 7919};
+  Duration at_ab = Duration::zero();
+  Duration at_ba = Duration::zero();
+  for (int i = 0; i < 600; ++i) {
+    for (int dir = 0; dir < 2; ++dir) {
+      sim::Host& from = dir == 0 ? a : b;
+      sim::Host& to = dir == 0 ? b : a;
+      Duration& at = dir == 0 ? at_ab : at_ba;
+      sim::Packet p;
+      p.dst = to.addr();
+      p.dst_port = 7;
+      p.proto = sim::Protocol::kUdp;
+      p.size_bytes = static_cast<std::uint32_t>(rng.uniform_int(64, 1500));
+      at += Duration::micros(rng.uniform_int(0, 300));
+      simulator.schedule_in(at, [&from, p]() mutable { from.send(std::move(p)); });
+    }
+  }
+  simulator.run();
+
+  out.drops_ab = link.stats_a_to_b().dropped_medium;
+  out.drops_ba = link.stats_b_to_a().dropped_medium;
+  out.overflow_ab = link.stats_a_to_b().dropped_overflow;
+  out.tx_bytes_ab = link.stats_a_to_b().tx_bytes;
+  return out;
+}
+
+class LinkModeEquivalence : public ::testing::TestWithParam<LinkModeCase> {};
+
+TEST_P(LinkModeEquivalence, BatchedAndFastMatchTheReference) {
+  const LinkModeCase param = GetParam();
+  const LinkModeObservation reference = run_link_mix(param, /*unbatched=*/true,
+                                                     /*fast_forward=*/false);
+  const LinkModeObservation batched = run_link_mix(param, /*unbatched=*/false,
+                                                   /*fast_forward=*/false);
+  EXPECT_EQ(batched, reference);
+  if (!param.lossy) {
+    // Lossless static dirs take the analytic fast path when allowed.
+    const LinkModeObservation fast = run_link_mix(param, /*unbatched=*/false,
+                                                  /*fast_forward=*/true);
+    EXPECT_EQ(fast, reference);
+  }
+  // FIFO within each direction (uids stamped in send order per host).
+  for (std::size_t i = 1; i < reference.ab.size(); ++i) {
+    EXPECT_LT(std::get<1>(reference.ab[i - 1]), std::get<1>(reference.ab[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, LinkModeEquivalence,
+    ::testing::Values(LinkModeCase{1, 10, 5, false}, LinkModeCase{2, 10, 5, true},
+                      LinkModeCase{3, 50, 1, false}, LinkModeCase{4, 50, 40, true},
+                      LinkModeCase{5, 2, 20, false}, LinkModeCase{6, 2, 20, true},
+                      LinkModeCase{7, 300, 3, false}, LinkModeCase{8, 300, 3, true}),
+    [](const auto& info) {
+      const LinkModeCase& c = info.param;
+      return "seed" + std::to_string(c.seed) + "_" +
+             std::to_string(static_cast<int>(c.rate_mbps)) + "mbps_" +
+             std::to_string(c.delay_ms) + "ms" + (c.lossy ? "_lossy" : "_clean");
+    });
+
 // ===================================================== GE stationarity
 
 class GilbertElliottProperty

@@ -403,6 +403,22 @@ TEST(SmallVector, ClearKeepsCapacityAndReuses) {
   EXPECT_EQ(v.back(), 42);
 }
 
+TEST(SmallVector, PopBackDestroysAndShrinks) {
+  // pop_back powers the QUIC chunk requeue (drain a gathered chain
+  // back-to-front); it must destroy the element and work inline and spilled.
+  util::SmallVector<std::string, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(std::string(64, static_cast<char>('a' + i)));
+  EXPECT_FALSE(v.is_inline());
+  while (!v.empty()) {
+    const std::size_t before = v.size();
+    EXPECT_EQ(v.back(), std::string(64, static_cast<char>('a' + before - 1)));
+    v.pop_back();
+    EXPECT_EQ(v.size(), before - 1);
+  }
+  v.push_back("again");  // reusable after draining
+  EXPECT_EQ(v.back(), "again");
+}
+
 TEST(Fnv1a, StableKnownValue) {
   // FNV-1a 64-bit of empty string is the offset basis.
   EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ull);
