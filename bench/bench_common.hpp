@@ -21,6 +21,15 @@
 //   --log-level=LEVEL       trace|debug|info|warn|error|off (default warn)
 // The merged exports are byte-identical for any --jobs value.
 //
+// Latency-provenance flags (EXPERIMENTS.md "Latency provenance"):
+//   --provenance=0|1        per-packet RTT component tagging (default 0)
+//   --breakdown=PATH        write the merged per-flow/component breakdown JSON
+//                           (implies --provenance=1)
+//   --flight=PATH           write anomaly flight-recorder dumps (implies
+//                           --provenance=1; empty document when nothing fired)
+//   --profile=0|1           wall-clock subsystem profiling, reported to stderr
+//                           as "wall-profile ..." lines (default 0)
+//
 // Scenario flags (EXPERIMENTS.md "Scenario runs"):
 //   --scenario=PATH         replay an environment/fault timeline (scenario.hpp
 //                           format; examples/scenarios/*.scn) onto every cell
@@ -91,6 +100,10 @@ struct CommonArgs {
   int jobs = 1;   ///< worker threads; 0 = hardware concurrency
   std::string metrics;          ///< --metrics=PATH; empty = metrics off
   std::string trace;            ///< --trace=PATH; empty = tracing off
+  std::string breakdown;        ///< --breakdown=PATH; empty = no export
+  std::string flight;           ///< --flight=PATH; empty = no export
+  bool provenance = false;      ///< --provenance=1 or implied by the above
+  bool profile = false;         ///< --profile=1 wall-clock subsystem sections
   Duration sample_interval = Duration::zero();  ///< zero = sampling off
   /// --scenario=PATH, already loaded/validated/offset; null = clear sky.
   std::shared_ptr<const scenario::Scenario> scenario;
@@ -115,6 +128,11 @@ struct CommonArgs {
     args.jobs = std::max(0, static_cast<int>(flags.get_int("jobs", 1)));
     args.metrics = flags.get("metrics", "");
     args.trace = flags.get("trace", "");
+    args.breakdown = flags.get("breakdown", "");
+    args.flight = flags.get("flight", "");
+    args.provenance = flags.get_bool("provenance", false) || !args.breakdown.empty() ||
+                      !args.flight.empty();
+    args.profile = flags.get_bool("profile", false);
     args.sample_interval =
         std::max(Duration::zero(), flags.get_duration("sample-interval", Duration::zero()));
     args.fast_forward = flags.get_bool("fast-forward", true);
@@ -148,6 +166,8 @@ struct CommonArgs {
     obs::Options opts;
     opts.metrics = !metrics.empty();
     opts.trace = !trace.empty();
+    opts.provenance = provenance;
+    opts.profile = profile;
     if (sample_interval > Duration::zero()) opts.sample_interval = sample_interval;
     return opts;
   }
@@ -179,6 +199,16 @@ inline void write_obs(const CommonArgs& args, const obs::Snapshot& snap) {
     write_text_file(args.trace,
                     jsonl ? obs::trace_jsonl(snap.events) : obs::trace_json(snap.events));
     std::printf("trace   -> %s (%zu events)\n", args.trace.c_str(), snap.events.size());
+  }
+  if (!args.breakdown.empty()) {
+    write_text_file(args.breakdown, obs::breakdown_json(snap));
+    std::printf("breakdown -> %s (%zu flow groups, %llu cells)\n", args.breakdown.c_str(),
+                snap.breakdown_flows.groups().size(),
+                static_cast<unsigned long long>(snap.cells));
+  }
+  if (!args.flight.empty()) {
+    write_text_file(args.flight, obs::flight_json(snap));
+    std::printf("flights -> %s (%zu dumps)\n", args.flight.c_str(), snap.flights.size());
   }
 }
 

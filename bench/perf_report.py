@@ -60,6 +60,20 @@ def run_micro(micro_sim: Path) -> dict:
     return out
 
 
+def run_profile(fig5: Path) -> None:
+    """Re-runs the macro campaign with subsystem wall-profiling and echoes the
+    testbed's ``wall-profile`` stderr lines (obs::WallProfile report)."""
+    proc = subprocess.run([str(fig5), *MACRO_ARGS, "--profile=1"],
+                          check=True, capture_output=True, text=True)
+    lines = [l for l in proc.stderr.splitlines() if l.startswith("wall-profile")]
+    if lines:
+        print("\nsubsystem wall profile (fig5 macro campaign):")
+        for line in lines:
+            print(f"  {line}")
+    else:
+        print("\nperf_report: --profile produced no wall-profile lines", file=sys.stderr)
+
+
 def run_macro(fig5: Path) -> dict:
     """Times one end-to-end fig5 campaign (smoke scale) as a macro benchmark."""
     start = time.monotonic_ns()
@@ -73,17 +87,27 @@ def run_macro(fig5: Path) -> dict:
     }
 
 
+def _ns_per_op(entry):
+    """ns_per_op of a report entry; None for non-benchmark entries so a
+    schema extension (metadata keys, profile blobs) never crashes --check."""
+    if isinstance(entry, dict) and isinstance(entry.get("ns_per_op"), (int, float)):
+        return float(entry["ns_per_op"])
+    return None
+
+
 def check(fresh: dict, baseline_path: Path, tolerance: float) -> int:
     baseline = json.loads(baseline_path.read_text())
     failures = []
     print(f"{'benchmark':<40} {'baseline ns':>14} {'current ns':>14} {'ratio':>7}")
     for name in sorted(baseline):
-        base_ns = baseline[name]["ns_per_op"]
-        if name not in fresh:
+        base_ns = _ns_per_op(baseline[name])
+        if base_ns is None:
+            continue
+        if name not in fresh or _ns_per_op(fresh[name]) is None:
             failures.append(f"{name}: present in baseline but not produced")
             print(f"{name:<40} {base_ns:>14.1f} {'MISSING':>14}")
             continue
-        cur_ns = fresh[name]["ns_per_op"]
+        cur_ns = _ns_per_op(fresh[name])
         ratio = cur_ns / base_ns if base_ns else float("inf")
         flag = ""
         if ratio > tolerance:
@@ -92,7 +116,9 @@ def check(fresh: dict, baseline_path: Path, tolerance: float) -> int:
             flag = "  <-- REGRESSION"
         print(f"{name:<40} {base_ns:>14.1f} {cur_ns:>14.1f} {ratio:>6.2f}x{flag}")
     for name in sorted(set(fresh) - set(baseline)):
-        print(f"{name:<40} {'(new)':>14} {fresh[name]['ns_per_op']:>14.1f}")
+        cur_ns = _ns_per_op(fresh[name])
+        if cur_ns is not None:
+            print(f"{name:<40} {'(new)':>14} {cur_ns:>14.1f}")
     if failures:
         print("\nperf_report: FAIL", file=sys.stderr)
         for f in failures:
@@ -112,10 +138,15 @@ def main() -> int:
                         help="baseline BENCH_micro.json to compare against")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="max allowed current/baseline ns_per_op ratio (default 2.0)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also run the macro campaign with --profile=1 and "
+                             "print the subsystem wall-profile report")
     args = parser.parse_args()
 
     fresh = run_micro(args.bench_dir / "micro_sim")
     fresh.update(run_macro(args.bench_dir / "fig5_throughput"))
+    if args.profile:
+        run_profile(args.bench_dir / "fig5_throughput")
 
     if args.out is not None:
         args.out.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")

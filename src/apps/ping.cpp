@@ -1,6 +1,10 @@
 #include "apps/ping.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "obs/recorder.hpp"
+#include "sim/provenance.hpp"
 
 namespace slp::apps {
 
@@ -29,6 +33,15 @@ void PingApp::start() {
     Probe& probe = probes_[static_cast<std::size_t>(seq)];
     if (probe.lost || probe.rtt > Duration::zero()) return;  // late or dup
     probe.rtt = host_->sim().now() - sent_at_[static_cast<std::size_t>(seq)];
+    // The reply carries the request's tag (copied at the echo responder), so
+    // its components span the full round trip.
+    if (const sim::ProvenanceTag* tag = sim::prov_tag(pkt)) {
+      std::copy(tag->comp_ns, tag->comp_ns + obs::kTagComponents, probe.comp_ns);
+      if (obs::Recorder* rec = host_->sim().obs()) {
+        rec->record_breakdown(host_->sim().now().ns(), config_.flow, tag->comp_ns,
+                              probe.rtt.ns() - tag->comp_ns[obs::kLossRecovery]);
+      }
+    }
     if (--outstanding_ == 0 && next_seq_ >= config_.count) finish();
   });
   send_next();
@@ -45,6 +58,7 @@ void PingApp::send_next() {
   ping.dst = config_.target;
   ping.proto = sim::Protocol::kIcmp;
   ping.size_bytes = config_.packet_bytes;
+  ping.flow_id = config_.flow;
   ping.icmp = sim::IcmpHeader{sim::IcmpType::kEchoRequest, icmp_id_,
                               static_cast<std::uint16_t>(seq), nullptr};
   host_->send(std::move(ping));

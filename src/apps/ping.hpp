@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/breakdown.hpp"
 #include "sim/host.hpp"
 #include "sim/simulator.hpp"
 
@@ -23,12 +24,18 @@ class PingApp {
     Duration interval = Duration::seconds(1);
     Duration timeout = Duration::seconds(2);
     std::uint32_t packet_bytes = 64;
+    /// Provenance flow key for the probes (0 = anonymous). Campaigns use the
+    /// anchor index so per-anchor RTT decompositions group naturally.
+    std::uint64_t flow = 0;
   };
 
   struct Probe {
     int seq = 0;
     Duration rtt = Duration::zero();
     bool lost = false;
+    /// Round-trip component breakdown (obs::Component-indexed), captured
+    /// from the reply's provenance tag; all-zero when provenance is off.
+    std::int64_t comp_ns[obs::kTagComponents] = {};
   };
 
   PingApp(sim::Host& host, Config config);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
+
 namespace slp::fleet {
 
 namespace {
@@ -110,6 +113,8 @@ Fleet::Fleet(sim::Simulator& sim, leo::StarlinkAccess& access, Config config)
     obs_reallocations_ = reg.counter("fleet.reallocations");
     obs_util_down_ = reg.gauge("fleet.foreground_util_down");
     obs_util_up_ = reg.gauge("fleet.foreground_util_up");
+    obs_epoch_handovers_ = reg.gauge("fleet.epoch_handovers");
+    obs_epoch_reallocations_ = reg.gauge("fleet.epoch_reallocations");
     reg.gauge("fleet.terminals").set(static_cast<double>(placement_.terminals().size()));
     reg.gauge("fleet.cells").set(static_cast<double>(cells_.size()));
   }
@@ -166,6 +171,7 @@ void Fleet::publish_stats() {
 }
 
 void Fleet::tick() {
+  const obs::SectionTimer wall{obs::Section::kArbiter};
   const TimePoint now = sim_->now();
   for (Cell& c : cells_) {
     if (config_.handovers) {
@@ -198,6 +204,23 @@ void Fleet::tick() {
   obs_epochs_.add();
   obs_util_down_.set(foreground_cell_->arbiter->utilization(CellArbiter::kDown, now));
   obs_util_up_.set(foreground_cell_->arbiter->utilization(CellArbiter::kUp, now));
+  // Epoch observability: per-epoch arbiter deltas as gauges, and a trace
+  // span covering the interval this re-evaluation closed out.
+  {
+    const CellArbiter::Stats t = totals();
+    const std::uint64_t d_handovers = t.handovers - published_.handovers;
+    const std::uint64_t d_reallocations = t.reallocations - published_.reallocations;
+    obs_epoch_handovers_.set(static_cast<double>(d_handovers));
+    obs_epoch_reallocations_.set(static_cast<double>(d_reallocations));
+    if (auto* rec = sim_->obs(); rec != nullptr && rec->trace().enabled() && ticked_) {
+      rec->trace().span("fleet", "epoch", last_tick_at_, now,
+                        "{\"epoch\":" + std::to_string(epochs_) +
+                            ",\"handovers\":" + std::to_string(d_handovers) +
+                            ",\"reallocations\":" + std::to_string(d_reallocations) + "}");
+    }
+    last_tick_at_ = now;
+    ticked_ = true;
+  }
   publish_stats();
   // Daemon contract: the fleet must never be the only thing keeping
   // `Simulator::run()` (queue-drain termination) alive. At this point our own

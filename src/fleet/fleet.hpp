@@ -159,6 +159,11 @@ class Fleet final : public leo::CellShareModel {
   obs::Counter obs_reallocations_;
   obs::Gauge obs_util_down_;
   obs::Gauge obs_util_up_;
+  obs::Gauge obs_epoch_handovers_;
+  obs::Gauge obs_epoch_reallocations_;
+  /// Start of the current epoch interval (previous tick), for trace spans.
+  TimePoint last_tick_at_;
+  bool ticked_ = false;
 };
 
 }  // namespace slp::fleet

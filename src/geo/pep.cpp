@@ -1,5 +1,8 @@
 #include "geo/pep.hpp"
 
+#include <algorithm>
+
+#include "obs/recorder.hpp"
 #include "util/log.hpp"
 
 namespace slp::geo {
@@ -51,11 +54,35 @@ void Pep::intercept_syn(const sim::Packet& pkt) {
     stats_.bytes_relayed_up += n;
     server_leg->send(n);
   };
-  server_leg->on_data = [this, client_leg](std::uint64_t n) {
+  // Latency provenance: downstream bytes enter the relay FIFO when the
+  // server leg delivers them and leave when the client leg acks them — that
+  // residency is the split-processing component the PEP adds.
+  Flow* flow_state = &flow;  // std::map nodes are address-stable
+  const bool provenance = sim().provenance();
+  server_leg->on_data = [this, client_leg, flow_state, provenance](std::uint64_t n) {
     stats_.bytes_relayed_down += n;
+    if (provenance) flow_state->down_fifo.emplace_back(sim().now(), n);
     client_leg->send(n);
   };
-  client_leg->on_bytes_acked = [server_leg](std::uint64_t n) { server_leg->consume(n); };
+  client_leg->on_bytes_acked = [this, server_leg, client_leg, flow_state,
+                                provenance](std::uint64_t n) {
+    if (provenance) {
+      obs::Recorder* rec = sim().obs();
+      std::uint64_t left = n;
+      while (left > 0 && !flow_state->down_fifo.empty()) {
+        auto& [arrived, bytes] = flow_state->down_fifo.front();
+        const std::uint64_t take = std::min(bytes, left);
+        if (rec != nullptr) {
+          rec->record_component(client_leg->flow_id(), obs::kPepProc,
+                                (sim().now() - arrived).ns());
+        }
+        bytes -= take;
+        left -= take;
+        if (bytes == 0) flow_state->down_fifo.pop_front();
+      }
+    }
+    server_leg->consume(n);
+  };
   client_leg->on_closed = [server_leg] { server_leg->close(); };
   server_leg->on_closed = [client_leg] { client_leg->close(); };
   client_leg->on_error = [server_leg] { server_leg->abort(); };

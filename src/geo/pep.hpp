@@ -17,8 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "obs/registry.hpp"
 #include "sim/node.hpp"
@@ -91,6 +93,10 @@ class Pep : public sim::Node {
     std::uint64_t down_buffered = 0;
     bool client_closed = false;
     bool server_closed = false;
+    /// Provenance only: (arrival instant, bytes) of downstream relay data,
+    /// drained as the client leg acks — FIFO residency = split-processing
+    /// time the PEP added to each byte's journey.
+    std::deque<std::pair<TimePoint, std::uint64_t>> down_fifo;
   };
   struct FlowKey {
     sim::Ipv4Addr client_addr;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "sim/provenance.hpp"
+
 namespace slp::leo {
 
 namespace {
@@ -82,6 +84,9 @@ StarlinkAccess::StarlinkAccess(sim::Network& net, Config config)
     note_enqueue(0, pkt.size_bytes, t);
     return loaded_up_->should_drop(t, pkt, fraction);
   };
+  sat.a_to_b.delay_attribution = [this](sim::ProvenanceTag& tag, Duration total) {
+    attribute_delay(0, tag, total);
+  };
   sat.b_to_a.rate_fn = [this](TimePoint t) { return downlink_capacity(t); };
   sat.b_to_a.delay_fn = [this](TimePoint t) { return access_delay(t, /*up=*/false); };
   sat.b_to_a.queue_capacity_bytes = config_.downlink_queue_bytes;
@@ -89,6 +94,9 @@ StarlinkAccess::StarlinkAccess(sim::Network& net, Config config)
   sat.b_to_a.aqm = [this](TimePoint t, const sim::Packet& pkt, double fraction) {
     note_enqueue(1, pkt.size_bytes, t);
     return loaded_down_->should_drop(t, pkt, fraction);
+  };
+  sat.b_to_a.delay_attribution = [this](sim::ProvenanceTag& tag, Duration total) {
+    attribute_delay(1, tag, total);
   };
   sat.name = "sat";
   sat_link_ = &net.connect(cpe_->outside(), cgn_->inside(), std::move(sat));
@@ -213,38 +221,77 @@ double StarlinkAccess::own_utilization(int direction, TimePoint now, DataRate ca
 }
 
 Duration StarlinkAccess::access_delay(TimePoint t, bool up) {
-  Duration delay = propagation_one_way(t);
-  delay += up ? config_.processing_up : config_.processing_down;
+  const int direction = up ? 0 : 1;
+  DelayPieces& pieces = last_draw_[direction];
+  pieces = DelayPieces{};
+
+  // Each term is accumulated into exactly one provenance piece, so the four
+  // pieces always sum to the returned delay to the nanosecond. path_at is
+  // slot-cached, so re-querying connectivity draws nothing.
+  const Duration prop = propagation_one_way(t);
+  const bool stalled = !scheduler_->path_at(t).connected;
+  (stalled ? pieces.stall_ns : pieces.prop_ns) += prop.ns();
+  Duration delay = prop;
+
+  const Duration proc = up ? config_.processing_up : config_.processing_down;
+  pieces.access_ns += proc.ns();
+  delay += proc;
 
   // Sub-IP (MAC/PHY) queueing under own load.
-  const int direction = up ? 0 : 1;
   const DataRate capacity = up ? uplink_capacity(t) : downlink_capacity(t);
   const double utilization = own_utilization(direction, t, capacity);
-  delay += (up ? config_.loaded_latency_max_up : config_.loaded_latency_max_down) *
-           (utilization * utilization);
+  const Duration loaded = (up ? config_.loaded_latency_max_up : config_.loaded_latency_max_down) *
+                          (utilization * utilization);
+  pieces.queue_ns += loaded.ns();
+  delay += loaded;
 
   // Frame-scheduling wait: fresh draw per packet.
   const Duration frame = up ? config_.uplink_frame : config_.downlink_frame;
-  delay += Duration::from_seconds(jitter_rng_.uniform(0.0, frame.to_seconds()));
+  const Duration frame_wait =
+      Duration::from_seconds(jitter_rng_.uniform(0.0, frame.to_seconds()));
+  pieces.access_ns += frame_wait.ns();
+  delay += frame_wait;
   // Heavy-tail component (PHY retransmissions, scheduling collisions).
-  delay += Duration::from_seconds(
+  const Duration tail = Duration::from_seconds(
       jitter_rng_.exponential(config_.tail_jitter_mean.to_seconds()));
+  pieces.access_ns += tail.ns();
+  delay += tail;
 
   // Beam/MCS allocation penalty: constant within a 15s slot & direction.
   const std::int64_t slot = t.ns() / config_.handover_slot.ns();
   Rng slot_rng = jitter_rng_.fork((up ? "slot-up/" : "slot-down/") + std::to_string(slot));
-  delay += Duration::from_seconds(
+  const Duration slot_penalty = Duration::from_seconds(
       slot_rng.uniform(0.0, config_.slot_penalty_max.to_seconds()));
+  pieces.stall_ns += slot_penalty.ns();
+  delay += slot_penalty;
 
-  if (config_.epoch_latency_offset) delay += config_.epoch_latency_offset(t);
+  if (config_.epoch_latency_offset) {
+    const Duration offset = config_.epoch_latency_offset(t);
+    pieces.prop_ns += offset.ns();
+    delay += offset;
+  }
 
   // FIFO preservation: never deliver before the previous packet in this
-  // direction (real schedulers drain queues in order).
+  // direction (real schedulers drain queues in order). The pushback is time
+  // spent behind the previous packet, i.e. queueing.
   TimePoint& last = up ? last_arrival_up_ : last_arrival_down_;
   TimePoint arrival = t + delay;
   if (arrival <= last) arrival = last + Duration::nanos(1);
   last = arrival;
+  pieces.queue_ns += ((arrival - t) - delay).ns();
   return arrival - t;
+}
+
+void StarlinkAccess::attribute_delay(int direction, sim::ProvenanceTag& tag,
+                                     Duration total) const {
+  const DelayPieces& p = last_draw_[direction];
+  if (p.prop_ns != 0) tag.add(obs::kPropagation, Duration::nanos(p.prop_ns));
+  if (p.queue_ns != 0) tag.add(obs::kQueue, Duration::nanos(p.queue_ns));
+  if (p.access_ns != 0) tag.add(obs::kAccessProc, Duration::nanos(p.access_ns));
+  if (p.stall_ns != 0) tag.add(obs::kHandoverStall, Duration::nanos(p.stall_ns));
+  assert(p.prop_ns + p.queue_ns + p.access_ns + p.stall_ns == total.ns() &&
+         "access-delay pieces must sum to the drawn delay");
+  (void)total;
 }
 
 }  // namespace slp::leo

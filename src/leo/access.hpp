@@ -197,6 +197,18 @@ class StarlinkAccess {
  private:
   [[nodiscard]] Duration access_delay(TimePoint t, bool up);
 
+  /// Exact nanosecond pieces of the most recent access_delay draw for one
+  /// direction (0 = up, 1 = down). access_delay fills them as it composes
+  /// the delay; the sat link's delay_attribution hook reads them immediately
+  /// afterwards, so the pieces always sum to the drawn total exactly.
+  struct DelayPieces {
+    std::int64_t prop_ns = 0;    ///< bent-pipe propagation + epoch offsets
+    std::int64_t queue_ns = 0;   ///< sub-IP loaded latency + FIFO pushback
+    std::int64_t access_ns = 0;  ///< processing + frame wait + tail jitter
+    std::int64_t stall_ns = 0;   ///< disconnected stall + per-slot penalty
+  };
+  void attribute_delay(int direction, sim::ProvenanceTag& tag, Duration total) const;
+
   Config config_;
   std::unique_ptr<Constellation> constellation_;
   std::unique_ptr<HandoverScheduler> scheduler_;
@@ -230,6 +242,8 @@ class StarlinkAccess {
   // previous one on the same direction.
   TimePoint last_arrival_up_;
   TimePoint last_arrival_down_;
+
+  DelayPieces last_draw_[2];  ///< provenance pieces of the latest delay draw
 
   // Own-traffic utilization EMA per direction (0 = up, 1 = down), fed by the
   // enqueue hook, consumed by access_delay.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/profile.hpp"
+
 namespace slp::leo {
 
 Constellation::Constellation(Config config) : config_{config} {
@@ -151,6 +153,7 @@ std::vector<Constellation::VisibleSat> Constellation::visible_from(const GeoPoin
 void Constellation::visible_from(const GeoPoint& ground, TimePoint t,
                                  double min_elevation_deg, int active_planes,
                                  std::vector<VisibleSat>& out) const {
+  const obs::SectionTimer wall{obs::Section::kEphemeris};
   out.clear();
   for_each_visible(ground, t, min_elevation_deg, active_planes,
                    [&out](SatIndex sat, double el, double slant) {
@@ -160,6 +163,7 @@ void Constellation::visible_from(const GeoPoint& ground, TimePoint t,
 
 int Constellation::count_visible(const GeoPoint& ground, TimePoint t,
                                  double min_elevation_deg, int active_planes) const {
+  const obs::SectionTimer wall{obs::Section::kEphemeris};
   int count = 0;
   for_each_visible(ground, t, min_elevation_deg, active_planes,
                    [&count](SatIndex, double, double) { ++count; });
@@ -170,6 +174,7 @@ std::optional<Constellation::VisibleSat> Constellation::best_visible(const GeoPo
                                                                      TimePoint t,
                                                                      double min_elevation_deg,
                                                                      int active_planes) const {
+  const obs::SectionTimer wall{obs::Section::kEphemeris};
   std::optional<VisibleSat> best;
   for_each_visible(ground, t, min_elevation_deg, active_planes,
                    [&best](SatIndex sat, double el, double slant) {

@@ -51,6 +51,9 @@ PingCampaign::Result PingCampaign::run(const Config& config) {
   for (const auto& anchor : bed.anchors()) {
     result.anchors.push_back(AnchorResult{anchor.name, anchor.european, anchor.local, {}});
   }
+  if (config.obs.provenance) {
+    result.eu_components.assign(obs::kTagComponents, stats::TimeBinner{Duration::hours(6)});
+  }
 
   sim::Host& client = bed.starlink().client();
   std::vector<std::unique_ptr<apps::PingApp>> live;
@@ -66,6 +69,7 @@ PingCampaign::Result PingCampaign::run(const Config& config) {
         apps::PingApp::Config ping_cfg;
         ping_cfg.target = bed.anchor(a).host->addr();
         ping_cfg.count = config.pings_per_round;
+        ping_cfg.flow = a + 1;  // provenance key: anchor index (0 = anonymous)
         auto app = std::make_unique<apps::PingApp>(client, ping_cfg);
         apps::PingApp* raw = app.get();
         app->on_complete = [&, a, at, raw](const std::vector<apps::PingApp::Probe>& probes) {
@@ -80,6 +84,9 @@ PingCampaign::Result PingCampaign::run(const Config& config) {
             anchor.rtt_ms.add(ms);
             if (anchor.european) {
               result.eu_timeline.add(at, ms);
+              for (std::size_t c = 0; c < result.eu_components.size(); ++c) {
+                result.eu_components[c].add(at, static_cast<double>(probe.comp_ns[c]) * 1e-6);
+              }
               const auto hour =
                   static_cast<std::size_t>((at.ns() / Duration::hours(1).ns()) % 24);
               result.eu_by_hour[hour].push_back(ms);
@@ -402,6 +409,13 @@ void merge(PingCampaign::Result& into, const PingCampaign::Result& from) {
     append(into.anchors[i].rtt_ms, from.anchors[i].rtt_ms);
   }
   into.eu_timeline.merge(from.eu_timeline);
+  if (into.eu_components.size() < from.eu_components.size()) {
+    into.eu_components.resize(from.eu_components.size(),
+                              stats::TimeBinner{Duration::hours(6)});
+  }
+  for (std::size_t c = 0; c < from.eu_components.size(); ++c) {
+    into.eu_components[c].merge(from.eu_components[c]);
+  }
   for (std::size_t h = 0; h < into.eu_by_hour.size(); ++h) {
     into.eu_by_hour[h].insert(into.eu_by_hour[h].end(), from.eu_by_hour[h].begin(),
                               from.eu_by_hour[h].end());

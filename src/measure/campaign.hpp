@@ -66,6 +66,10 @@ struct PingCampaign {
   struct Result {
     std::vector<AnchorResult> anchors;
     stats::TimeBinner eu_timeline{Duration::hours(6)};  ///< Figure 2
+    /// Per-component EU RTT timelines (obs::Component-indexed, ms), filled
+    /// only when Config::obs.provenance is on — the fig2b dominant-cause
+    /// annotation reads the per-bin means side by side with eu_timeline.
+    std::vector<stats::TimeBinner> eu_components;
     std::array<std::vector<double>, 24> eu_by_hour;     ///< Mood's test input
     std::uint64_t pings_sent = 0;
     std::uint64_t pings_lost = 0;

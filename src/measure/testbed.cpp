@@ -1,6 +1,8 @@
 #include "measure/testbed.hpp"
 
 #include <cassert>
+#include <iostream>
+#include <sstream>
 
 #include "leo/places.hpp"
 
@@ -42,6 +44,15 @@ obs::Snapshot Testbed::take_obs() {
   }
   if (rec->options().metrics) {
     rec->registry().counter("sim.events_processed").add(sim_.events_processed());
+  }
+  // Subsystem wall-profile report to stderr, one "wall-profile " prefixed
+  // line each so bench/perf_report.py --profile can scrape it from bench
+  // output without parsing the export files.
+  if (const obs::WallProfile* prof = sim_.wall_profile()) {
+    std::istringstream lines{prof->report()};
+    for (std::string line; std::getline(lines, line);) {
+      if (!line.empty()) std::cerr << "wall-profile " << line << "\n";
+    }
   }
   return rec->take_snapshot();
 }

@@ -1,0 +1,55 @@
+#include "obs/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slp::obs {
+
+AnomalyDetector::AnomalyDetector() : cfg_{} {}
+
+double AnomalyDetector::median_of(const Stream& s) {
+  const auto& v = s.sorted;
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+void AnomalyDetector::insert(Stream& s, double value) {
+  s.window.push_back(value);
+  s.sorted.insert(std::upper_bound(s.sorted.begin(), s.sorted.end(), value), value);
+  if (s.window.size() > cfg_.window) {
+    const double evicted = s.window.front();
+    s.window.pop_front();
+    s.sorted.erase(std::lower_bound(s.sorted.begin(), s.sorted.end(), evicted));
+  }
+}
+
+void AnomalyDetector::observe(std::string_view stream, std::int64_t t_ns, double value) {
+  if (!std::isfinite(value)) return;
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    if (streams_.size() >= cfg_.max_streams) return;
+    it = streams_.emplace(std::string{stream}, Stream{}).first;
+  }
+  Stream& s = it->second;
+  if (s.window.size() >= cfg_.min_samples) {
+    const double med = median_of(s);
+    const char* kind = nullptr;
+    if (value > med * cfg_.spike_factor && value - med > cfg_.min_delta) {
+      kind = "spike";
+    } else if (value < med / cfg_.drop_factor && med - value > cfg_.min_delta) {
+      kind = "drop";
+    }
+    // The never-fired sentinel is checked explicitly: subtracting INT64_MIN
+    // would overflow and (wrapping negative) suppress the first detection.
+    const bool cooled = s.last_fire_ns == std::numeric_limits<std::int64_t>::min() ||
+                        t_ns - s.last_fire_ns >= cfg_.cooldown.ns();
+    if (kind != nullptr && cooled) {
+      s.last_fire_ns = t_ns;
+      ++anomalies_;
+      if (cb_) cb_(Anomaly{kind, stream, t_ns, value, med});
+    }
+  }
+  insert(s, value);
+}
+
+}  // namespace slp::obs

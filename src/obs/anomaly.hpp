@@ -1,0 +1,93 @@
+// anomaly.hpp — rolling-median spike/outage detection over sampled streams.
+//
+// The paper's fig 2/6 latency spikes and outage windows are *events*, not
+// distribution shifts: a handover slot that stalls a probe for 400 ms, a
+// beam outage that zeroes throughput for a minute. The AnomalyDetector
+// watches every Sampler probe (and the provenance-measured latency stream)
+// against its own rolling median and fires a callback when a value departs
+// by a configurable factor — which the Recorder turns into a flight-recorder
+// dump: the last-N trace events plus the metrics counters that moved since
+// the previous dump.
+//
+// Everything here is driven by sim time and sampled values, so detections
+// (and therefore flight dumps) are deterministic and --jobs invariant.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/units.hpp"
+
+namespace slp::obs {
+
+class AnomalyDetector {
+ public:
+  struct Config {
+    std::size_t window = 64;        ///< rolling-median window (samples)
+    std::size_t min_samples = 16;   ///< history required before detecting
+    double spike_factor = 4.0;      ///< fire when value > median * factor
+    double drop_factor = 4.0;       ///< fire when value < median / factor
+    double min_delta = 1.0;         ///< |value - median| must also exceed this
+    Duration cooldown = Duration::seconds(60);  ///< per-stream refractory period
+    std::size_t max_streams = 256;  ///< new streams beyond this are ignored
+  };
+
+  struct Anomaly {
+    const char* kind = "spike";  ///< "spike" | "drop"
+    std::string_view stream;
+    std::int64_t t_ns = 0;
+    double value = 0.0;
+    double median = 0.0;
+  };
+  using Callback = std::function<void(const Anomaly&)>;
+
+  AnomalyDetector();  // default Config (defined out of line: nested-NSDMI quirk)
+  explicit AnomalyDetector(const Config& cfg) : cfg_{cfg} {}
+
+  void set_callback(Callback cb) { cb_ = std::move(cb); }
+
+  /// Feeds one observation. The value is tested against the stream's history
+  /// *before* being inserted, so a step change fires on its first sample.
+  void observe(std::string_view stream, std::int64_t t_ns, double value);
+
+  [[nodiscard]] std::uint64_t anomalies() const { return anomalies_; }
+
+ private:
+  struct Stream {
+    std::deque<double> window;   ///< insertion order, for eviction
+    std::vector<double> sorted;  ///< same values kept sorted, for the median
+    std::int64_t last_fire_ns = std::numeric_limits<std::int64_t>::min();
+  };
+
+  void insert(Stream& s, double value);
+  [[nodiscard]] static double median_of(const Stream& s);
+
+  Config cfg_;
+  Callback cb_;
+  std::map<std::string, Stream, std::less<>> streams_;
+  std::uint64_t anomalies_ = 0;
+};
+
+/// One flight-recorder dump, captured by the Recorder at each anomaly.
+struct FlightDump {
+  std::string stream;  ///< probe / stream that fired
+  std::string kind;    ///< "spike" | "drop"
+  std::int64_t t_ns = 0;
+  double value = 0.0;
+  double median = 0.0;
+  std::uint32_t cell = 0;  ///< sweep cell id; offset during merge
+  /// Counters that changed since the previous dump (name-sorted deltas).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  /// Chronological tail of the trace ring at dump time.
+  std::vector<TraceEvent> events;
+};
+
+}  // namespace slp::obs

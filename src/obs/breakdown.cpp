@@ -1,0 +1,53 @@
+#include "obs/breakdown.hpp"
+
+namespace slp::obs {
+
+const char* component_name(int component) {
+  switch (component) {
+    case kPropagation: return "propagation";
+    case kQueue: return "queue";
+    case kSerialize: return "serialize";
+    case kAccessProc: return "access_proc";
+    case kHandoverStall: return "handover_stall";
+    case kLossRecovery: return "loss_recovery";
+    case kPepProc: return "pep_proc";
+    case kMeasured: return "measured";
+    default: return "other";
+  }
+}
+
+std::vector<double> Breakdown::default_edges() {
+  // Exponential in ms: 0.0625, 0.125, ..., 2048. Covers sub-ms serialize
+  // components up through multi-second outage stalls in 16 buckets.
+  std::vector<double> edges;
+  for (double e = 0.0625; e <= 2048.0; e *= 2.0) edges.push_back(e);
+  return edges;
+}
+
+Breakdown::Breakdown() : flows_{default_edges()}, components_{default_edges()} {}
+
+void Breakdown::add_component(std::uint64_t flow, int component, std::int64_t ns) {
+  const double ms = static_cast<double>(ns) * 1e-6;
+  flows_.add(breakdown_key(flow, component), ms);
+  components_.add(static_cast<std::uint64_t>(component), ms);
+}
+
+void Breakdown::record(std::uint64_t flow, const std::int64_t* comp_ns,
+                       std::int64_t latency_ns) {
+  std::int64_t attributed = 0;
+  for (int c = 0; c < kTagComponents; ++c) {
+    attributed += comp_ns[c];
+    // Zero components are skipped so e.g. ping flows don't grow empty
+    // pep/loss groups; the skip is value-driven, hence deterministic.
+    if (comp_ns[c] != 0) add_component(flow, c, comp_ns[c]);
+  }
+  // `latency_ns` is one network traversal: it excludes loss-recovery time
+  // (which elapsed on *earlier* transmissions of the same data), so the
+  // end-to-end measured latency re-adds that component.
+  const std::int64_t recovery = comp_ns[kLossRecovery];
+  const std::int64_t other = latency_ns - (attributed - recovery);
+  if (other != 0) add_component(flow, kOther, other);
+  add_component(flow, kMeasured, latency_ns + recovery);
+}
+
+}  // namespace slp::obs

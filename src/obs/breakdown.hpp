@@ -1,0 +1,84 @@
+// breakdown.hpp — latency-provenance components and the per-flow sink.
+//
+// The paper's core move is *explaining* RTT, not just reporting it: access
+// jitter vs. bent-pipe propagation vs. the 15-second handover slots. The
+// provenance layer decomposes every measured latency into the stage
+// components below. Packets carry a pooled sim::ProvenanceTag (see
+// sim/provenance.hpp) that link/transport code advances as the packet
+// crosses the stack; measurement endpoints feed the finished decomposition
+// into a Breakdown sink, which keeps two stats::KeyedSamples views:
+//
+//   * flows:      key = flow * kComponentKeyStride + component
+//   * components: key = component (all flows pooled)
+//
+// Both merge key-ordered through runner::run_merged, so the exported
+// obs::breakdown_json is byte-identical for any --jobs value — and, because
+// the fast path synthesizes the same component values analytically, for
+// --fast-forward=0|1 too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/groupby.hpp"
+
+namespace slp::obs {
+
+/// Stage components of one measured latency. The first kTagComponents are
+/// accumulated on the wire by sim::ProvenanceTag; kOther and kMeasured are
+/// synthesized by the sink at record time.
+enum Component : int {
+  kPropagation = 0,   ///< fixed/bent-pipe propagation legs (incl. epoch offsets)
+  kQueue,             ///< IP queue wait + sub-IP loaded latency + FIFO pushback
+  kSerialize,         ///< transmission time at the drawn link rate
+  kAccessProc,        ///< fixed PHY/MAC processing + frame wait + tail jitter
+  kHandoverStall,     ///< per-slot beam penalty; disconnected-path stall
+  kLossRecovery,      ///< time lost to retransmission (TCP RACK / QUIC loss)
+  kPepProc,           ///< residency in the geo:: PEP relay buffer
+  kTagComponents,     ///< count of tag-accumulated components (= 7)
+  kOther = kTagComponents,  ///< residual: measured minus attributed (sink-side)
+  kMeasured,                ///< the end-to-end measured latency itself
+  kComponentSlots,          ///< total keyed slots per flow
+};
+
+/// Key stride between flows in the flows view (> kComponentSlots, stable).
+inline constexpr std::uint64_t kComponentKeyStride = 16;
+
+[[nodiscard]] constexpr std::uint64_t breakdown_key(std::uint64_t flow, int component) {
+  return flow * kComponentKeyStride + static_cast<std::uint64_t>(component);
+}
+
+/// Stable short name ("propagation", "queue", ...) used in exports.
+[[nodiscard]] const char* component_name(int component);
+
+/// Streaming per-flow / pooled-per-component latency decomposition sink.
+/// Values are recorded in milliseconds over shared exponential edges.
+class Breakdown {
+ public:
+  Breakdown();
+
+  /// Records a finished decomposition: `comp_ns` points at kTagComponents
+  /// nanosecond sums (a ProvenanceTag's array) and `latency_ns` is the
+  /// measured network latency (send -> receive, excluding loss recovery —
+  /// the sink re-adds comp_ns[kLossRecovery] to form kMeasured). The
+  /// unattributed residual lands in kOther.
+  void record(std::uint64_t flow, const std::int64_t* comp_ns, std::int64_t latency_ns);
+
+  /// Records one standalone component sample (e.g. a QUIC loss-recovery
+  /// interval or a PEP relay residency) without a full decomposition.
+  void add_component(std::uint64_t flow, int component, std::int64_t ns);
+
+  [[nodiscard]] const stats::KeyedSamples& flows() const { return flows_; }
+  [[nodiscard]] const stats::KeyedSamples& components() const { return components_; }
+  [[nodiscard]] stats::KeyedSamples take_flows() { return std::move(flows_); }
+  [[nodiscard]] stats::KeyedSamples take_components() { return std::move(components_); }
+
+  /// Shared bucket edges (ms): exponential, 0.0625 .. 2048.
+  [[nodiscard]] static std::vector<double> default_edges();
+
+ private:
+  stats::KeyedSamples flows_;
+  stats::KeyedSamples components_;
+};
+
+}  // namespace slp::obs

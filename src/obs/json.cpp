@@ -1,7 +1,9 @@
 #include "obs/json.hpp"
 
+#include <clocale>
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 
 namespace slp::obs {
 
@@ -32,12 +34,32 @@ std::string json_escape(std::string_view s) {
 
 std::string json_quote(std::string_view s) { return '"' + json_escape(s) + '"'; }
 
-std::string json_number(double v) {
+namespace {
+
+// snprintf honours the global LC_NUMERIC, so a host locale like de_DE would
+// turn 3.14 into "3,14" and silently break every byte-compared export. All
+// double rendering funnels through here: format, then swap whatever decimal
+// separator the active locale produced back to '.'.
+std::string format_double(const char* fmt, double v) {
   if (!std::isfinite(v)) return "0";
   if (v == 0.0) return "0";  // normalizes -0 too
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  return buf;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  std::string out{buf};
+  if (const char* dp = std::localeconv()->decimal_point; dp != nullptr && dp[0] != '\0' &&
+                                                         !(dp[0] == '.' && dp[1] == '\0')) {
+    const std::string_view sep{dp};
+    if (const auto pos = out.find(sep); pos != std::string::npos) {
+      out.replace(pos, sep.size(), ".");
+    }
+  }
+  return out;
 }
+
+}  // namespace
+
+std::string json_number(double v) { return format_double("%.12g", v); }
+
+std::string json_number_exact(double v) { return format_double("%.17g", v); }
 
 }  // namespace slp::obs

@@ -20,7 +20,13 @@ namespace slp::obs {
 [[nodiscard]] std::string json_quote(std::string_view s);
 
 /// Shortest-ish deterministic rendering of a double ("%.12g"; -0, nan and
-/// inf are normalized to 0 so the output is always valid JSON).
+/// inf are normalized to 0 so the output is always valid JSON). Locale
+/// independent: the active LC_NUMERIC decimal separator is normalized to '.'.
 [[nodiscard]] std::string json_number(double v);
+
+/// Round-trip-exact rendering ("%.17g", same normalization rules as
+/// json_number). Used by metrics_json/breakdown_json, whose outputs are
+/// byte-compared across processes in CI.
+[[nodiscard]] std::string json_number_exact(double v);
 
 }  // namespace slp::obs

@@ -5,6 +5,28 @@
 
 namespace slp::obs {
 
+namespace {
+thread_local WallProfile* g_current_profile = nullptr;
+}  // namespace
+
+WallProfile* WallProfile::current() { return g_current_profile; }
+
+WallProfile* WallProfile::exchange_current(WallProfile* p) {
+  WallProfile* prev = g_current_profile;
+  g_current_profile = p;
+  return prev;
+}
+
+const char* section_name(Section s) {
+  switch (s) {
+    case Section::kEphemeris: return "ephemeris";
+    case Section::kArbiter: return "arbiter";
+    case Section::kLink: return "links";
+    case Section::kCc: return "cc";
+    default: return "?";
+  }
+}
+
 std::uint64_t WallProfile::quantile_ns(double q) const {
   if (events_ == 0) return 0;
   const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(events_ - 1));
@@ -24,7 +46,21 @@ std::string WallProfile::report() const {
                 "events=%" PRIu64 " callback mean=%.0fns p50<=%" PRIu64 "ns p99<=%" PRIu64
                 "ns max<=%" PRIu64 "ns",
                 events_, mean, quantile_ns(0.50), quantile_ns(0.99), quantile_ns(1.0));
-  return buf;
+  std::string out = buf;
+  for (int i = 0; i < static_cast<int>(Section::kCount); ++i) {
+    const auto& sec = sections_[static_cast<std::size_t>(i)];
+    if (sec.calls == 0) continue;
+    const double share = total_ns_ == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(sec.total_ns) /
+                                   static_cast<double>(total_ns_);
+    std::snprintf(buf, sizeof(buf),
+                  "\nsection %-9s calls=%-10" PRIu64 " total=%.3fms (%.1f%% of loop)",
+                  section_name(static_cast<Section>(i)), sec.calls,
+                  static_cast<double>(sec.total_ns) * 1e-6, share);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace slp::obs

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/anomaly.hpp"
+#include "obs/breakdown.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -26,6 +28,7 @@ struct Options {
   bool trace = false;                ///< record trace events
   Duration sample_interval = Duration::zero();  ///< zero = sampling off
   bool profile = false;              ///< wall-clock event-loop profiling (Simulator-side)
+  bool provenance = false;           ///< per-packet latency provenance + anomaly detection
 
   /// Bounds that keep months-long campaigns from producing gigabyte exports:
   /// the trace keeps a ring of the most recent events per cell (overwrites
@@ -36,7 +39,7 @@ struct Options {
   std::size_t max_series_points = 4096;   ///< per-probe per-cell series cap
 
   [[nodiscard]] bool any() const {
-    return metrics || trace || profile || sample_interval > Duration::zero();
+    return metrics || trace || profile || provenance || sample_interval > Duration::zero();
   }
 };
 
@@ -50,6 +53,9 @@ struct Snapshot {
   std::map<std::string, HistogramCell> histograms;
   std::vector<Series> series;
   std::vector<TraceEvent> events;
+  stats::KeyedSamples breakdown_flows;       ///< key = flow*stride + component
+  stats::KeyedSamples breakdown_components;  ///< key = component, flows pooled
+  std::vector<FlightDump> flights;           ///< anomaly flight-recorder dumps
 };
 
 /// Folds `from` into `into`: counters and histogram buckets sum, gauges take
@@ -58,8 +64,17 @@ struct Snapshot {
 void merge(Snapshot& into, const Snapshot& from);
 
 /// Deterministic metrics document: cells, counters, gauges, histograms and
-/// sampled series (name-sorted maps, %.12g numbers).
+/// sampled series (name-sorted maps, locale-independent %.17g numbers).
 [[nodiscard]] std::string metrics_json(const Snapshot& snap);
+
+/// Deterministic latency-provenance document: shared bucket edges, pooled
+/// per-component groups and per-flow × component groups, key-ordered. Byte
+/// identical for any --jobs and for --fast-forward=0|1.
+[[nodiscard]] std::string breakdown_json(const Snapshot& snap);
+
+/// Flight-recorder dumps captured at anomalies: one record per dump with the
+/// triggering stream/value/median, counter deltas and the trace-event tail.
+[[nodiscard]] std::string flight_json(const Snapshot& snap);
 
 class Recorder {
  public:
@@ -70,16 +85,31 @@ class Recorder {
   [[nodiscard]] TraceSink& trace() { return trace_; }
   /// Null when sampling is off; callers register probes only if present.
   [[nodiscard]] Sampler* sampler() { return sampler_.get(); }
+  /// Null unless Options::provenance; callers record only if present.
+  [[nodiscard]] Breakdown* breakdown() { return breakdown_.get(); }
+
+  /// Records a finished per-packet decomposition (no-op when provenance is
+  /// off) and feeds the measured latency to the anomaly detector.
+  void record_breakdown(std::int64_t t_ns, std::uint64_t flow,
+                        const std::int64_t* comp_ns, std::int64_t latency_ns);
+  /// Records one standalone component sample (no-op when provenance is off).
+  void record_component(std::uint64_t flow, int component, std::int64_t ns);
 
   /// Moves all collected data out as a single-cell snapshot (cells=1, cell
   /// id 0 on every event/series). The Recorder is spent afterwards.
   [[nodiscard]] Snapshot take_snapshot();
 
  private:
+  void capture_flight(const AnomalyDetector::Anomaly& a);
+
   Options opts_;
   Registry registry_;
   TraceSink trace_;
   std::unique_ptr<Sampler> sampler_;
+  std::unique_ptr<Breakdown> breakdown_;
+  std::unique_ptr<AnomalyDetector> anomaly_;
+  std::vector<FlightDump> flights_;
+  std::map<std::string, std::uint64_t> last_flight_counters_;
 };
 
 }  // namespace slp::obs

@@ -28,7 +28,11 @@ void Sampler::sample_until(TimePoint up_to) {
     const std::int64_t t = next_.ns();
     std::size_t longest = 0;
     for (auto& slot : slots_) {
-      if (slot.probe) slot.points.push_back({t, slot.probe(next_)});
+      if (slot.probe) {
+        const double v = slot.probe(next_);
+        slot.points.push_back({t, v});
+        if (observer_) observer_(slot.name, t, v);
+      }
       longest = std::max(longest, slot.points.size());
     }
     next_ = next_ + Duration::nanos(interval_.ns() * static_cast<std::int64_t>(stride_));

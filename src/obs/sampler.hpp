@@ -54,6 +54,12 @@ class Sampler {
   std::uint64_t add_probe(std::string name, Probe probe);
   void remove_probe(std::uint64_t id);
 
+  /// Called once per (probe, grid point) as samples are taken — the anomaly
+  /// detector's live feed. The points a series *retains* thin out under
+  /// decimation, but the observer sees every sampled value.
+  using Observer = std::function<void(const std::string& name, std::int64_t t_ns, double value)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
   /// Samples every grid point in (last_sampled, up_to]. Called by the
   /// Simulator before advancing the clock past `up_to`.
   void sample_until(TimePoint up_to);
@@ -80,6 +86,7 @@ class Sampler {
   void decimate();
 
   Duration interval_;
+  Observer observer_;
   std::size_t max_points_ = 0;  ///< per-probe series cap; 0 = unlimited
   std::size_t stride_ = 1;      ///< current grid decimation factor
   TimePoint next_;  ///< next unsampled grid point (starts at epoch)

@@ -19,6 +19,20 @@ void TraceSink::push(TraceEvent&& ev) {
   }
 }
 
+std::vector<TraceEvent> TraceSink::recent(std::size_t n) const {
+  n = std::min(n, events_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  // Chronological order is head_..end then begin()..head_ once wrapped; the
+  // newest n events end just before head_ (or at end() while still filling).
+  const std::size_t size = events_.size();
+  const std::size_t newest_end = (max_events_ != 0 && size >= max_events_) ? head_ : size;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(events_[(newest_end + size - n + i) % size]);
+  }
+  return out;
+}
+
 std::vector<TraceEvent> TraceSink::take() {
   if (head_ != 0) {
     std::rotate(events_.begin(),

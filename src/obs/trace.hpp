@@ -56,6 +56,10 @@ class TraceSink {
   [[nodiscard]] std::vector<TraceEvent> take();
   [[nodiscard]] std::size_t size() const { return events_.size(); }
 
+  /// Chronological copy of the most recent min(n, size) events, without
+  /// disturbing the ring — the flight recorder's "last N events" dump.
+  [[nodiscard]] std::vector<TraceEvent> recent(std::size_t n) const;
+
  private:
   void push(TraceEvent&& ev);
 

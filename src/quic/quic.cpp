@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
+#include "sim/provenance.hpp"
 #include "util/log.hpp"
 
 namespace slp::quic {
@@ -390,6 +393,19 @@ void QuicConnection::on_datagram(const sim::Packet& pkt) {
   stats_.packets_received++;
   if (hooks.on_packet_received) hooks.on_packet_received(payload->pn, now);
 
+  // Receiver-side latency provenance for data-bearing packets. QUIC never
+  // retransmits a packet number, so each tag covers exactly one wire
+  // traversal; recovery time for lost predecessors is recorded separately
+  // at the sender (on_packet_lost_internal).
+  if (pkt.flow_id != 0 && (payload->stream_len > 0 || has_chunks(*payload))) {
+    if (const sim::ProvenanceTag* tag = sim::prov_tag(pkt)) {
+      if (obs::Recorder* rec = stack_->sim().obs()) {
+        rec->record_breakdown(now.ns(), pkt.flow_id, tag->comp_ns,
+                              (now - pkt.first_sent).ns());
+      }
+    }
+  }
+
   // --- handshake --------------------------------------------------------
   if (payload->handshake) {
     if (!is_client_ && !established_) {
@@ -577,6 +593,7 @@ void QuicConnection::maybe_send_max_data() {
 // ------------------------------------------------------------- ACK / loss
 
 void QuicConnection::process_ack(const AckFrame& ack, TimePoint now) {
+  const obs::SectionTimer wall{obs::Section::kCc};
   std::uint64_t newly_acked_bytes = 0;
   bool largest_newly_acked = false;
   Duration largest_rtt = Duration::zero();
@@ -645,6 +662,15 @@ void QuicConnection::on_packet_lost_internal(std::uint64_t pn, SentPacket& sp) {
   }
   stats_.packets_lost++;
   if (hooks.on_packet_lost) hooks.on_packet_lost(pn);
+
+  // Credit the dead air between this copy's send and its loss declaration to
+  // recovery; the replacement packet gets a fresh tag for its own traversal.
+  if (flow_id_ != 0 && stack_->sim().provenance()) {
+    if (obs::Recorder* rec = stack_->sim().obs()) {
+      rec->record_component(flow_id_, obs::kLossRecovery,
+                            (stack_->sim().now() - sp.sent_at).ns());
+    }
+  }
 
   // Re-queue the content for transmission under NEW packet numbers.
   if (sp.stream_len > 0) {

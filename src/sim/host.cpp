@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "sim/provenance.hpp"
 #include "util/log.hpp"
 
 namespace slp::sim {
@@ -16,6 +17,9 @@ void Host::send(Packet pkt) {
   if (pkt.uid == 0) pkt.uid = sim().next_packet_uid();
   if (pkt.checksum == 0) refresh_checksum(pkt);
   pkt.first_sent = sim().now();
+  // Transports that pre-attach (e.g. TCP retransmissions crediting recovery
+  // time) keep their tag; everything else starts its journey here.
+  if (sim().provenance() && !pkt.prov) attach_provenance(pkt, sim().now());
   stats_.sent++;
   if (capture_) capture_(pkt, /*outbound=*/true);
   uplink().send(std::move(pkt));
@@ -55,6 +59,10 @@ void Host::deliver_icmp(const Packet& pkt) {
       reply.proto = Protocol::kIcmp;
       reply.size_bytes = pkt.size_bytes;
       reply.icmp = IcmpHeader{IcmpType::kEchoReply, pkt.icmp->id, pkt.icmp->seq, nullptr};
+      // The reply continues the request's provenance journey (and flow), so
+      // the tag at the pinger covers the full round trip.
+      reply.flow_id = pkt.flow_id;
+      reply.prov = pkt.prov;
       send(std::move(reply));
       return;
     }

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/profile.hpp"
+#include "sim/provenance.hpp"
+
 namespace slp::sim {
 
 void Interface::send(Packet pkt) {
@@ -61,6 +64,8 @@ void Link::init_obs() {
       d.obs.dropped_overflow = rec->registry().counter(prefix + "dropped_overflow");
       d.obs.dropped_medium = rec->registry().counter(prefix + "dropped_medium");
       d.obs.dropped_aqm = rec->registry().counter(prefix + "dropped_aqm");
+      d.obs.fast_active = rec->registry().gauge(prefix + "fast_path_active");
+      materializations_ = rec->registry().counter("sim.ff.materializations");
     }
     if (traced_ && rec->sampler() != nullptr) {
       d.obs.probe_id = rec->sampler()->add_probe(
@@ -98,6 +103,7 @@ void Link::update_fast_eligibility(int direction) {
   if (d.fast_capable && !d.fast && !d.transmitting && d.queue.empty()) {
     d.fast = true;
     d.busy_until = sim_->now();
+    d.obs.fast_active.set(1.0);
     assert(d.pipe.empty());
   }
 }
@@ -185,6 +191,9 @@ void Link::enqueue(int direction, Packet pkt) {
 void Link::begin_transmission(int direction, Packet pkt) {
   Direction& d = dir_[direction];
   d.transmitting = true;
+  // Provenance: everything since the last watermark was queue wait (zero for
+  // a packet that started serializing at enqueue).
+  if (ProvenanceTag* tag = prov_tag(pkt)) tag->advance(obs::kQueue, sim_->now());
   const DataRate rate = d.config.rate_fn ? d.config.rate_fn(sim_->now()) : d.config.rate;
   const Duration tx_time = rate.transmission_time(pkt.size_bytes);
   if (unbatched_) {
@@ -235,6 +244,15 @@ void Link::finish_transmission(int direction, Packet pkt) {
   }
 
   const Duration delay = d.config.delay_fn ? d.config.delay_fn(sim_->now()) : d.config.delay;
+  if (ProvenanceTag* tag = prov_tag(pkt)) {
+    tag->advance(obs::kSerialize, sim_->now());
+    if (d.config.delay_attribution) {
+      d.config.delay_attribution(*tag, delay);
+    } else {
+      tag->add(obs::kPropagation, delay);
+    }
+    tag->set_mark(sim_->now() + delay);
+  }
   Interface* to = d.to;
   sim_->schedule_in(delay, [this, direction, to, pkt = std::move(pkt)]() mutable {
     Direction& dd = dir_[direction];
@@ -246,6 +264,7 @@ void Link::finish_transmission(int direction, Packet pkt) {
 }
 
 void Link::on_tx_done(int direction) {
+  const obs::SectionTimer wall{obs::Section::kLink};
   Direction& d = dir_[direction];
   assert(d.tx_valid);
   Packet pkt = std::move(d.tx_pkt);
@@ -275,6 +294,20 @@ void Link::on_tx_done(int direction) {
   }
 
   const Duration delay = d.config.delay_fn ? d.config.delay_fn(sim_->now()) : d.config.delay;
+  if (ProvenanceTag* tag = prov_tag(pkt)) {
+    // A materialized head entered the serializer without begin_transmission:
+    // its watermark is still at enqueue. Catching up to tx_start attributes
+    // the virtual-pipe wait to kQueue (a no-op for normal packets, whose
+    // watermark already sits at tx_start).
+    tag->advance(obs::kQueue, tx_start);
+    tag->advance(obs::kSerialize, sim_->now());
+    if (d.config.delay_attribution) {
+      d.config.delay_attribution(*tag, delay);
+    } else {
+      tag->add(obs::kPropagation, delay);
+    }
+    tag->set_mark(sim_->now() + delay);
+  }
   push_arrival(direction, Arrival{sim_->now() + delay, tx_start, tx_end, std::move(pkt)});
 }
 
@@ -297,6 +330,7 @@ void Link::arm_delivery(int direction, TimePoint due) {
 }
 
 void Link::deliver_due(int direction) {
+  const obs::SectionTimer wall{obs::Section::kLink};
   Direction& d = dir_[direction];
   d.delivery_due = TimePoint::infinite();
   // One firing drains every arrival that is due — back-to-back completions
@@ -304,6 +338,18 @@ void Link::deliver_due(int direction) {
   while (!d.arrivals.empty() && d.arrivals.front().due <= sim_->now()) {
     Arrival arr = std::move(d.arrivals.front());
     d.arrivals.pop_front();
+    // Provenance for fast-committed arrivals: the event path stamped the
+    // watermark to `due` at serialization end; a watermark that is NOT at
+    // `due` means this packet's timeline was committed analytically at
+    // enqueue, so synthesize the identical components from the Arrival's
+    // exact (tx_start, tx_end, due) schedule. Packets pulled back by
+    // materialize() re-ran the event path and are skipped by the guard.
+    if (ProvenanceTag* tag = prov_tag(arr.pkt); tag != nullptr && tag->mark != arr.due) {
+      tag->advance(obs::kQueue, arr.tx_start);
+      tag->add(obs::kSerialize, arr.tx_end - arr.tx_start);
+      tag->add(obs::kPropagation, arr.due - arr.tx_end);
+      tag->set_mark(arr.due);
+    }
     // tx accounting is deferred to delivery so the fast path (which never
     // sees serialization end as an event) produces identical counters at
     // any run cutoff.
@@ -336,6 +382,8 @@ void Link::materialize(int direction) {
   if (!d.fast) return;
   const TimePoint now = sim_->now();
   d.fast = false;
+  d.obs.fast_active.set(0.0);
+  materializations_.add();
 
   while (!d.pipe.empty() && d.pipe.front().first <= now) {
     d.queued_bytes -= d.pipe.front().second;

@@ -54,6 +54,8 @@
 
 namespace slp::sim {
 
+struct ProvenanceTag;
+
 /// Decides whether a packet in flight is destroyed by the medium.
 /// Implementations live in slp::phy (Gilbert-Elliott, outages, ...).
 class LossModel {
@@ -78,6 +80,14 @@ class Link {
     /// instantaneous queue fill fraction. Models utilization-coupled loss
     /// (drops that only happen when the link is loaded).
     std::function<bool(TimePoint, const Packet&, double queue_fraction)> aqm;
+    /// Latency-provenance attribution for dynamic delays: called immediately
+    /// after `delay_fn` with the drawn total so the owner (e.g. the Starlink
+    /// access model) can split it into components from the exact pieces it
+    /// just composed. Must draw no RNG. When unset, the whole delay is
+    /// attributed to obs::kPropagation. Only consulted when the packet
+    /// carries a tag; directions with a delay_fn never run the fast path, so
+    /// the hook never has to synthesize analytically.
+    std::function<void(ProvenanceTag&, Duration)> delay_attribution;
   };
 
   struct Config {
@@ -143,6 +153,7 @@ class Link {
     obs::Counter dropped_overflow;
     obs::Counter dropped_medium;
     obs::Counter dropped_aqm;
+    obs::Gauge fast_active;      ///< 1 while the analytic fast path serves
     std::uint64_t probe_id = 0;  ///< queue-depth sampler probe (0 = none)
   };
 
@@ -213,6 +224,9 @@ class Link {
   std::string obs_name_;  ///< resolved metric name ("other" when unnamed)
   bool traced_ = false;   ///< emit per-drop trace events (named links only)
   bool unbatched_ = false;
+  /// Fast-path disqualification events, pooled across all links so silent
+  /// fall-backs (a scenario retune, a loss attach) are observable.
+  obs::Counter materializations_;
 };
 
 }  // namespace slp::sim

@@ -85,6 +85,10 @@ struct Packet {
   /// Pool-backed: copying a packet bumps a slab refcount instead of touching
   /// the heap (see packet_pool.hpp).
   PayloadRef payload;
+  /// Latency-provenance tag (a pooled sim::ProvenanceTag), attached at the
+  /// origin when the Simulator's provenance knob is on and carried through
+  /// copies/forwards for free (slab refcount bump). Null when disabled.
+  PayloadRef prov;
   std::uint64_t flow_id = 0;          ///< grouping key for traces/statistics
   TimePoint first_sent;               ///< stamped by the origin host
 };

@@ -1,0 +1,72 @@
+// provenance.hpp — the pooled per-packet latency-provenance tag.
+//
+// When Simulator::provenance() is on, the origin host (or transport, for
+// retransmissions) attaches a ProvenanceTag to each packet via the thread's
+// PacketPool — allocation is the same slab fast path packets themselves use.
+// The tag accumulates nanosecond sums per obs::Component as the packet
+// crosses the stack, using a simple watermark discipline:
+//
+//   set_mark(t)        — "accounted up to t"
+//   advance(c, now)    — attribute [mark, now) to component c, mark = now
+//   add(c, d)          — attribute d without moving the mark (analytic hops)
+//
+// Because every producer either advances the mark or pairs add() with
+// set_mark(), the component sums telescope: at delivery they cover exactly
+// [first_send, delivery), so sum == measured one-way latency with int64
+// exactness — the EXPECT_EQ contract in provenance_test. The fast path in
+// sim::Link uses add()+set_mark() with the *same* analytically-derived
+// delays the event path draws, which is what keeps --fast-forward=0|1
+// breakdown exports byte-identical.
+//
+// Disabled cost: Packet::prov stays null and every instrumentation site is
+// one pointer null check.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/breakdown.hpp"
+#include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
+#include "util/units.hpp"
+
+namespace slp::sim {
+
+struct ProvenanceTag {
+  std::int64_t comp_ns[obs::kTagComponents] = {};
+  /// Watermark: sim time up to which this packet's journey is attributed.
+  TimePoint mark;
+
+  void set_mark(TimePoint t) { mark = t; }
+
+  /// Attributes `d` to `c` without touching the watermark.
+  void add(obs::Component c, Duration d) { comp_ns[c] += d.ns(); }
+
+  /// Attributes [mark, now) to `c` and moves the watermark to `now`.
+  void advance(obs::Component c, TimePoint now) {
+    comp_ns[c] += (now - mark).ns();
+    mark = now;
+  }
+
+  [[nodiscard]] std::int64_t total_ns() const {
+    std::int64_t sum = 0;
+    for (const std::int64_t v : comp_ns) sum += v;
+    return sum;
+  }
+};
+
+static_assert(sizeof(ProvenanceTag) <= PacketPool::kPayloadCapacity);
+
+/// The packet's tag, or nullptr when provenance is off. Mutation through a
+/// const Packet& is deliberate: forwarding copies share one tag, and the tag
+/// is measurement metadata, not header state middleboxes could rewrite.
+[[nodiscard]] inline ProvenanceTag* prov_tag(const Packet& pkt) {
+  return pkt.prov ? pkt.prov.as_mutable<ProvenanceTag>() : nullptr;
+}
+
+/// Attaches a fresh tag with the watermark at `now` (the send instant).
+inline void attach_provenance(Packet& pkt, TimePoint now) {
+  pkt.prov = PacketPool::local().make<ProvenanceTag>();
+  pkt.prov.as_mutable<ProvenanceTag>()->mark = now;
+}
+
+}  // namespace slp::sim

@@ -26,8 +26,27 @@ EventId Simulator::schedule_at(TimePoint at, util::InlineFunction fn) {
 void Simulator::enable_obs(const obs::Options& opts) {
   recorder_ = std::make_unique<obs::Recorder>(opts);
   sampler_ = recorder_->sampler();
+  provenance_ = opts.provenance;
   if (opts.profile) profile_ = std::make_unique<obs::WallProfile>();
 }
+
+namespace {
+
+/// Installs this simulator's WallProfile as the thread's current one for the
+/// duration of a run loop, so SectionTimers in subsystem code attribute to it.
+class ProfileScope {
+ public:
+  explicit ProfileScope(obs::WallProfile* p)
+      : prev_{obs::WallProfile::exchange_current(p)} {}
+  ~ProfileScope() { obs::WallProfile::exchange_current(prev_); }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  obs::WallProfile* prev_;
+};
+
+}  // namespace
 
 void Simulator::sample_up_to(TimePoint at) {
   // A grid point t is sampled when the clock first moves past it, so the
@@ -42,6 +61,7 @@ void Simulator::run() {
   stopped_ = false;
   if (profile_) {
     using Clock = std::chrono::steady_clock;
+    const ProfileScope scope{profile_.get()};
     while (!queue_.empty() && !stopped_) {
       auto [at, fn] = queue_.pop();
       if (sampler_ != nullptr) sample_up_to(at);
@@ -65,6 +85,7 @@ void Simulator::run() {
 
 void Simulator::run_until(TimePoint deadline) {
   stopped_ = false;
+  const ProfileScope scope{profile_ ? profile_.get() : obs::WallProfile::current()};
   while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
     auto [at, fn] = queue_.pop();
     if (sampler_ != nullptr) sample_up_to(at);

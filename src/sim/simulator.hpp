@@ -70,6 +70,11 @@ class Simulator {
   void set_fast_forward(bool on) { fast_forward_ = on; }
   [[nodiscard]] bool fast_forward() const { return fast_forward_; }
 
+  /// True when enable_obs() was called with Options::provenance — origin
+  /// hosts/transports attach a pooled ProvenanceTag to each packet. Cached
+  /// here so the per-send check is one bool load.
+  [[nodiscard]] bool provenance() const { return provenance_; }
+
   /// Fresh globally-unique packet uid.
   [[nodiscard]] std::uint64_t next_packet_uid() { return next_packet_uid_++; }
   /// Fresh globally-unique flow id.
@@ -85,6 +90,7 @@ class Simulator {
   Rng rng_;
   bool stopped_ = false;
   bool fast_forward_ = true;
+  bool provenance_ = false;
   std::uint64_t events_processed_ = 0;
   std::uint64_t next_packet_uid_ = 1;
   std::uint64_t next_flow_id_ = 1;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
+#include "sim/provenance.hpp"
 #include "util/log.hpp"
 
 namespace slp::tcp {
@@ -277,6 +280,17 @@ void TcpConnection::send_segment(std::uint64_t seq, std::uint64_t len, bool retr
 
   auto& seg = in_flight_[seq];
   if (seg.lost && !seg.sacked) lost_unsacked_--;  // this send clears the mark
+  const TimePoint prev_sent_at = seg.sent_at;
+  if (stack_->sim().provenance()) {
+    // Self-attach: PEP relay legs transmit through a raw Interface, never
+    // Host::send, so the stamp must happen here. A retransmission credits
+    // the time since the previous (lost) copy left to loss recovery, keeping
+    // the propagation/queueing components clean of recovery stalls.
+    sim::attach_provenance(pkt, stack_->sim().now());
+    if (retransmission && prev_sent_at <= stack_->sim().now()) {
+      sim::prov_tag(pkt)->add(obs::kLossRecovery, stack_->sim().now() - prev_sent_at);
+    }
+  }
   seg.len = len;
   seg.sent_at = stack_->sim().now();
   seg.retransmitted = seg.retransmitted || retransmission;
@@ -448,6 +462,7 @@ void TcpConnection::update_rtt(Duration sample) {
 }
 
 void TcpConnection::handle_ack(const sim::Packet& pkt) {
+  const obs::SectionTimer wall{obs::Section::kCc};
   const sim::TcpHeader& hdr = *pkt.tcp;
   const std::uint64_t ack = hdr.ack;
   const TimePoint now = stack_->sim().now();
@@ -661,6 +676,19 @@ void TcpConnection::handle_data(const sim::Packet& pkt) {
   const std::uint64_t payload = hdr.payload_bytes;
   const std::uint64_t seq = hdr.seq;
   bool out_of_order = false;
+
+  // One-way latency provenance, recorded at the receiver for every data
+  // segment that carried a tag: the wire latency of this copy plus the
+  // recovery time the tag accumulated across lost predecessors.
+  if (payload > 0 && pkt.flow_id != 0) {
+    if (const sim::ProvenanceTag* tag = sim::prov_tag(pkt)) {
+      if (obs::Recorder* rec = stack_->sim().obs()) {
+        const TimePoint now = stack_->sim().now();
+        rec->record_breakdown(now.ns(), pkt.flow_id, tag->comp_ns,
+                              (now - pkt.first_sent).ns());
+      }
+    }
+  }
 
   if (hdr.fin) peer_fin_seq_ = seq + payload;
 

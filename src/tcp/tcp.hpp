@@ -128,6 +128,7 @@ class TcpConnection {
   [[nodiscard]] std::uint16_t remote_port() const { return remote_port_; }
   [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
   [[nodiscard]] std::uint64_t bytes_unsent() const { return stream_length_ - snd_nxt_data_; }
+  [[nodiscard]] std::uint64_t flow_id() const { return flow_id_; }
 
   ~TcpConnection();
 

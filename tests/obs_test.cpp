@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <clocale>
+#include <string>
+#include <vector>
 
+#include "obs/anomaly.hpp"
+#include "obs/breakdown.hpp"
 #include "obs/json.hpp"
 #include "obs/profile.hpp"
 #include "obs/recorder.hpp"
@@ -32,6 +37,27 @@ TEST(Json, NumbersAreDeterministicAndFinite) {
   EXPECT_EQ(json_number(1.5), "1.5");
   EXPECT_EQ(json_number(1.0 / 0.0), "0");
   EXPECT_EQ(json_number(0.0 / 0.0), "0");
+}
+
+TEST(Json, NumbersUseDotRegardlessOfLocale) {
+  // The exporters are byte-compared across processes in CI, so a host whose
+  // LC_NUMERIC writes "1,5" must still produce "1.5". Skip when no
+  // comma-decimal locale is installed (minimal containers).
+  const std::string saved = std::setlocale(LC_ALL, nullptr);
+  const char* applied = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      applied = name;
+      break;
+    }
+  }
+  if (applied == nullptr) GTEST_SKIP() << "no comma-decimal locale installed";
+  const std::string shortest = json_number(1.5);
+  const std::string exact = json_number_exact(0.1);
+  std::setlocale(LC_ALL, saved.c_str());
+  EXPECT_EQ(shortest, "1.5");
+  EXPECT_EQ(exact, "0.10000000000000001");  // %.17g round-trips, '.' separator
+  EXPECT_EQ(exact.find(','), std::string::npos);
 }
 
 // -------------------------------------------------------------- registry
@@ -181,6 +207,149 @@ TEST(TraceSink, RingKeepsMostRecentEventsAndCountsDrops) {
   EXPECT_EQ(events[0].name, "e3");
   EXPECT_EQ(events[1].name, "e4");
   EXPECT_EQ(events[2].name, "e5");
+}
+
+TEST(Sampler, StrideDoublesExactlyAtThePowerOfTwoCap) {
+  // One grid point short of the cap: nothing decimated.
+  Sampler under{Duration::seconds(1), /*max_points=*/8};
+  under.add_probe("x", [](TimePoint t) { return t.to_seconds(); });
+  under.sample_until(TimePoint::epoch() + Duration::seconds(6));  // t = 0..6
+  EXPECT_EQ(under.stride(), 1u);
+  EXPECT_EQ(under.take()[0].points.size(), 7u);
+  // Landing exactly on the cap (8 = 2^3 points): exactly one halving, so the
+  // retained grid is every other point of the original, ending at t=6.
+  Sampler at{Duration::seconds(1), /*max_points=*/8};
+  at.add_probe("x", [](TimePoint t) { return t.to_seconds(); });
+  at.sample_until(TimePoint::epoch() + Duration::seconds(7));  // t = 0..7
+  EXPECT_EQ(at.stride(), 2u);
+  const auto series = at.take();
+  ASSERT_EQ(series[0].points.size(), 4u);
+  EXPECT_EQ(series[0].points[0].t_ns, 0);
+  EXPECT_EQ(series[0].points[3].t_ns, 6'000'000'000);
+}
+
+TEST(TraceSink, RecentReturnsChronologicalTailAcrossWraparound) {
+  TraceSink sink{true, /*max_events=*/4};
+  for (int i = 1; i <= 6; ++i) {
+    std::string name = "e";
+    name += static_cast<char>('0' + i);
+    sink.instant("cat", name, TimePoint::epoch() + Duration::seconds(i));
+  }
+  const auto tail = sink.recent(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].name, "e5");
+  EXPECT_EQ(tail[1].name, "e6");
+  const auto all = sink.recent(100);  // clamped to what the ring still holds
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "e3");
+  EXPECT_EQ(all[3].name, "e6");
+  EXPECT_EQ(sink.size(), 4u);  // recent() is non-destructive
+}
+
+// --------------------------------------------------------------- anomaly
+
+AnomalyDetector::Config tight_anomaly_config() {
+  AnomalyDetector::Config cfg;
+  cfg.window = 32;
+  cfg.min_samples = 4;
+  cfg.spike_factor = 4.0;
+  cfg.drop_factor = 4.0;
+  cfg.min_delta = 1.0;
+  cfg.cooldown = Duration::seconds(10);
+  return cfg;
+}
+
+TEST(AnomalyDetector, SpikeFiresOnlyAfterMinSamples) {
+  AnomalyDetector det{tight_anomaly_config()};
+  std::vector<AnomalyDetector::Anomaly> fired;
+  det.set_callback([&fired](const AnomalyDetector::Anomaly& a) { fired.push_back(a); });
+  det.observe("rtt", 0, 500.0);  // no history yet: never an anomaly
+  for (int i = 1; i <= 4; ++i) {
+    det.observe("rtt", i * 1'000'000'000LL, 50.0);
+  }
+  EXPECT_EQ(det.anomalies(), 0u);
+  det.observe("rtt", 5'000'000'000LL, 500.0);  // 500 > 4 x median(50)
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_STREQ(fired[0].kind, "spike");
+  EXPECT_DOUBLE_EQ(fired[0].value, 500.0);
+  EXPECT_DOUBLE_EQ(fired[0].median, 50.0);
+  EXPECT_EQ(fired[0].t_ns, 5'000'000'000LL);
+}
+
+TEST(AnomalyDetector, DropFiresBelowMedianOverFactor) {
+  AnomalyDetector det{tight_anomaly_config()};
+  std::vector<AnomalyDetector::Anomaly> fired;
+  det.set_callback([&fired](const AnomalyDetector::Anomaly& a) { fired.push_back(a); });
+  for (int i = 0; i < 4; ++i) det.observe("tput", i * 1'000'000'000LL, 400.0);
+  det.observe("tput", 4'000'000'000LL, 40.0);  // 40 < 400 / 4
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_STREQ(fired[0].kind, "drop");
+}
+
+TEST(AnomalyDetector, CooldownSuppressesRepeatFiresPerStream) {
+  AnomalyDetector det{tight_anomaly_config()};
+  for (int i = 0; i < 4; ++i) det.observe("rtt", i * 1'000'000'000LL, 50.0);
+  det.observe("rtt", 4'000'000'000LL, 500.0);   // fires
+  det.observe("rtt", 5'000'000'000LL, 500.0);   // within 10 s cooldown
+  det.observe("rtt", 9'000'000'000LL, 500.0);   // still within
+  EXPECT_EQ(det.anomalies(), 1u);
+  det.observe("rtt", 20'000'000'000LL, 500.0);  // cooldown expired, median still 50
+  EXPECT_EQ(det.anomalies(), 2u);
+}
+
+TEST(AnomalyDetector, MinDeltaGatesSmallRelativeSpikes) {
+  AnomalyDetector det{tight_anomaly_config()};
+  for (int i = 0; i < 4; ++i) det.observe("q", i * 1'000'000'000LL, 0.1);
+  det.observe("q", 4'000'000'000LL, 0.5);  // 5x the median, but |delta| < 1.0
+  EXPECT_EQ(det.anomalies(), 0u);
+}
+
+// -------------------------------------------------- flight recorder dumps
+
+TEST(Recorder, AnomalyCapturesFlightDumpWithDeltasAndTraceTail) {
+  Options opts;
+  opts.provenance = true;  // trace ring recording is implied, export is not
+  Recorder rec{opts};
+  Counter handovers = rec.registry().counter("leo.handovers");
+  std::int64_t comp[kTagComponents] = {};
+  comp[kPropagation] = 40'000'000;
+  comp[kQueue] = 10'000'000;
+  // Default detector config: min_samples=16, spike_factor=4, cooldown=60s.
+  for (int i = 0; i < 16; ++i) {
+    rec.record_breakdown(i * 1'000'000'000LL, /*flow=*/1, comp, 50'000'000);
+  }
+  handovers.add(3);
+  rec.trace().instant("leo", "handover", TimePoint::epoch() + Duration::seconds(16));
+  std::int64_t spike[kTagComponents] = {};
+  spike[kPropagation] = 40'000'000;
+  spike[kHandoverStall] = 360'000'000;
+  rec.record_breakdown(16'000'000'000LL, /*flow=*/1, spike, 400'000'000);
+  const Snapshot snap = rec.take_snapshot();
+  ASSERT_EQ(snap.flights.size(), 1u);
+  const FlightDump& dump = snap.flights[0];
+  EXPECT_EQ(dump.stream, "provenance.measured_ms");
+  EXPECT_EQ(dump.kind, "spike");
+  EXPECT_DOUBLE_EQ(dump.value, 400.0);
+  ASSERT_EQ(dump.counter_deltas.size(), 1u);
+  EXPECT_EQ(dump.counter_deltas[0].first, "leo.handovers");
+  EXPECT_EQ(dump.counter_deltas[0].second, 3u);
+  ASSERT_EQ(dump.events.size(), 1u);
+  EXPECT_EQ(dump.events[0].name, "handover");
+  EXPECT_EQ(snap.counters.at("obs.anomaly.count"), 1u);
+  // The trace ring existed only to feed flight dumps; without --trace it
+  // must not leak into the trace export.
+  EXPECT_TRUE(snap.events.empty());
+  const std::string doc = flight_json(snap);
+  EXPECT_NE(doc.find("\"stream\": \"provenance.measured_ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"leo.handovers\": 3"), std::string::npos);
+}
+
+TEST(Recorder, EmptySnapshotExportsAreValidDocuments) {
+  const Snapshot empty;
+  EXPECT_NE(breakdown_json(empty).find("\"components\": {}"), std::string::npos);
+  EXPECT_NE(breakdown_json(empty).find("\"flows\": {}"), std::string::npos);
+  EXPECT_NE(flight_json(empty).find("\"flights\": []"), std::string::npos);
+  EXPECT_NE(metrics_json(empty).find("\"counters\": {}"), std::string::npos);
 }
 
 TEST(Simulator, LazySamplingSeesPostEventState) {

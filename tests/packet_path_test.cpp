@@ -401,6 +401,10 @@ std::string strip_event_count(const std::string& json) {
   std::string line, out;
   while (std::getline(in, line)) {
     if (line.find("sim.events_processed") != std::string::npos) continue;
+    // Fast-path introspection metrics exist precisely to differ between the
+    // two modes (materialization counter, per-direction active gauges).
+    if (line.find("sim.ff.") != std::string::npos) continue;
+    if (line.find("fast_path_active") != std::string::npos) continue;
     out += line;
     out += '\n';
   }

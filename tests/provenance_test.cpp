@@ -1,0 +1,284 @@
+// provenance_test.cpp — acceptance suite for the latency-provenance layer.
+//
+// The contract under test (ISSUE: "Latency provenance"):
+//   * exactness — every delivered probe's per-component nanosecond sums
+//     telescope to EXACTLY the measured RTT (EXPECT_EQ on int64, no epsilon),
+//     on a plain wired path, across the Starlink access with its handover
+//     slots, and across fast-path materialization boundaries;
+//   * invariance — the merged breakdown/flight exports are byte-identical
+//     for any --jobs value and for --fast-forward=0|1;
+//   * attribution — TCP retransmissions surface as the loss_recovery
+//     component; unattributed residual ("other") never appears, because a
+//     nonzero residual is exactly what an accounting bug would produce.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/ping.hpp"
+#include "measure/campaign.hpp"
+#include "measure/testbed.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/recorder.hpp"
+#include "phy/gilbert_elliott.hpp"
+#include "runner/sweep.hpp"
+#include "sim/network.hpp"
+#include "sim/provenance.hpp"
+#include "tcp/tcp.hpp"
+
+namespace slp {
+namespace {
+
+using namespace slp::literals;
+using sim::make_addr;
+
+std::int64_t comp_sum(const apps::PingApp::Probe& probe) {
+  std::int64_t sum = 0;
+  for (const std::int64_t v : probe.comp_ns) sum += v;
+  return sum;
+}
+
+/// Comparable fingerprint of one probe (loss flag, exact RTT, every
+/// component) for cross-mode equality checks.
+using ProbeFacts = std::tuple<bool, std::int64_t, std::vector<std::int64_t>>;
+
+ProbeFacts facts(const apps::PingApp::Probe& probe) {
+  return {probe.lost, probe.rtt.ns(),
+          std::vector<std::int64_t>{probe.comp_ns, probe.comp_ns + obs::kTagComponents}};
+}
+
+bool has_component(const obs::Snapshot& snap, int component) {
+  return snap.breakdown_components.groups().count(static_cast<std::uint64_t>(component)) > 0;
+}
+
+// ------------------------------------------------------------ wired exactness
+
+struct WiredPingRun {
+  std::vector<apps::PingApp::Probe> probes;
+  obs::Snapshot snap;
+};
+
+WiredPingRun run_wired_ping(bool fast_forward) {
+  sim::Simulator simulator{11};
+  simulator.set_fast_forward(fast_forward);
+  obs::Options opts;
+  opts.provenance = true;
+  simulator.enable_obs(opts);
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  net.connect(a.uplink(), b.uplink(),
+              sim::Network::symmetric(DataRate::mbps(20), 10_ms, 256 * 1024));
+  apps::PingApp::Config cfg;
+  cfg.target = b.addr();
+  cfg.count = 10;
+  cfg.interval = Duration::from_millis(200);
+  cfg.flow = 7;
+  apps::PingApp ping{a, cfg};
+  WiredPingRun out;
+  ping.on_complete = [&out](const std::vector<apps::PingApp::Probe>& r) { out.probes = r; };
+  ping.start();
+  simulator.run();
+  out.snap = simulator.obs()->take_snapshot();
+  return out;
+}
+
+TEST(Provenance, WiredPingComponentsSumToRttExactly) {
+  for (const bool ff : {true, false}) {
+    const WiredPingRun run = run_wired_ping(ff);
+    ASSERT_EQ(run.probes.size(), 10u) << "ff=" << ff;
+    for (const auto& probe : run.probes) {
+      ASSERT_FALSE(probe.lost);
+      // The whole point: int64 equality, not near.
+      EXPECT_EQ(comp_sum(probe), probe.rtt.ns()) << "ff=" << ff << " seq=" << probe.seq;
+      EXPECT_GT(probe.comp_ns[obs::kPropagation], 0);
+      EXPECT_GT(probe.comp_ns[obs::kSerialize], 0);
+      EXPECT_EQ(probe.comp_ns[obs::kLossRecovery], 0);  // ICMP never retransmits
+    }
+    // Exact attribution leaves no residual: the sink-side "other" component
+    // is value-driven and must never materialize.
+    EXPECT_FALSE(has_component(run.snap, obs::kOther)) << "ff=" << ff;
+    EXPECT_TRUE(has_component(run.snap, obs::kMeasured)) << "ff=" << ff;
+    // The flow key requested by the app shows up in the per-flow view.
+    EXPECT_EQ(run.snap.breakdown_flows.groups().count(obs::breakdown_key(7, obs::kMeasured)),
+              1u)
+        << "ff=" << ff;
+  }
+  // The analytic fast path synthesizes the identical decomposition.
+  const WiredPingRun fast = run_wired_ping(true);
+  const WiredPingRun ref = run_wired_ping(false);
+  ASSERT_EQ(fast.probes.size(), ref.probes.size());
+  for (std::size_t i = 0; i < fast.probes.size(); ++i) {
+    EXPECT_EQ(facts(fast.probes[i]), facts(ref.probes[i])) << "probe " << i;
+  }
+  EXPECT_EQ(obs::breakdown_json(fast.snap), obs::breakdown_json(ref.snap));
+}
+
+// --------------------------------------------------------- Starlink exactness
+
+std::vector<apps::PingApp::Probe> run_starlink_ping(bool fast_forward) {
+  measure::TestbedConfig config;
+  config.seed = 5;
+  config.obs.provenance = true;
+  config.fast_forward = fast_forward;
+  measure::Testbed tb{config};
+  apps::PingApp::Config cfg;
+  cfg.target = tb.anchor(0).host->addr();
+  cfg.count = 40;
+  cfg.interval = Duration::seconds(2);  // 80 s: crosses several 15 s slots
+  cfg.flow = 1;
+  apps::PingApp ping{tb.client(measure::AccessKind::kStarlink), cfg};
+  std::vector<apps::PingApp::Probe> probes;
+  ping.on_complete = [&probes](const std::vector<apps::PingApp::Probe>& r) { probes = r; };
+  ping.start();
+  tb.run_for(Duration::minutes(3));
+  return probes;
+}
+
+TEST(Provenance, StarlinkPingStaysExactAcrossHandoverSlots) {
+  const auto fast = run_starlink_ping(true);
+  const auto ref = run_starlink_ping(false);
+  ASSERT_EQ(fast.size(), 40u);
+  ASSERT_EQ(ref.size(), 40u);
+  int delivered = 0;
+  bool saw_stall = false;
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(facts(fast[i]), facts(ref[i])) << "probe " << i;
+    if (fast[i].lost) continue;
+    ++delivered;
+    EXPECT_EQ(comp_sum(fast[i]), fast[i].rtt.ns()) << "probe " << i;
+    EXPECT_GT(fast[i].comp_ns[obs::kPropagation], 0);
+    EXPECT_GT(fast[i].comp_ns[obs::kAccessProc], 0);
+    saw_stall |= fast[i].comp_ns[obs::kHandoverStall] > 0;
+  }
+  // Clear sky: the vast majority of probes complete, and 80 s of probing
+  // at the paper's 15 s slot cadence hits at least one slot penalty.
+  EXPECT_GE(delivered, 30);
+  EXPECT_TRUE(saw_stall);
+}
+
+// ---------------------------------------------- materialization boundaries
+
+obs::Snapshot run_retuned_tcp(bool fast_forward) {
+  sim::Simulator simulator{404};
+  simulator.set_fast_forward(fast_forward);
+  obs::Options opts;
+  opts.provenance = true;
+  opts.metrics = true;
+  simulator.enable_obs(opts);
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(
+      a.uplink(), b.uplink(),
+      sim::Network::symmetric(DataRate::mbps(20), 10_ms, 256 * 1024));
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  sb.listen(80, [](tcp::TcpConnection& c) { c.on_data = [](std::uint64_t) {}; });
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80);
+  conn.on_established = [&conn] { conn.send(4'000'000); };
+  // Handover-style delay retunes land mid-epoch: the analytic direction
+  // materializes mid-serialization, pulls committed arrivals back onto the
+  // event path, and the synthesized components must still telescope exactly.
+  simulator.schedule_in(Duration::millis(700), [&link] {
+    link.set_delay(0, 25_ms);
+    link.set_delay(1, 25_ms);
+  });
+  simulator.schedule_in(Duration::millis(1500), [&link] {
+    link.set_delay(0, 10_ms);
+    link.set_delay(1, 10_ms);
+  });
+  simulator.run_until(TimePoint::epoch() + Duration::minutes(5));
+  simulator.run();
+  return simulator.obs()->take_snapshot();
+}
+
+TEST(Provenance, MaterializationBoundaryKeepsAttributionExact) {
+  const obs::Snapshot fast = run_retuned_tcp(true);
+  const obs::Snapshot ref = run_retuned_tcp(false);
+  // Positive control: the retunes really did cross materialization
+  // boundaries (satellite: the fast-forward introspection counter).
+  ASSERT_NE(fast.counters.find("sim.ff.materializations"), fast.counters.end());
+  EXPECT_GE(fast.counters.at("sim.ff.materializations"), 2u);
+  // With --fast-forward=0 the counter cell exists (binding creates it) but
+  // never increments: the reference path has nothing to materialize.
+  EXPECT_EQ(ref.counters.at("sim.ff.materializations"), 0u);
+  EXPECT_EQ(fast.gauges.at("link.other.ab.fast_path_active"), 1.0);  // drained: re-engaged
+  // Exactness across the boundary: no residual in either mode, and the
+  // breakdown documents are byte-identical.
+  EXPECT_FALSE(has_component(fast, obs::kOther));
+  EXPECT_FALSE(has_component(ref, obs::kOther));
+  EXPECT_TRUE(has_component(fast, obs::kMeasured));
+  EXPECT_EQ(obs::breakdown_json(fast), obs::breakdown_json(ref));
+}
+
+// ------------------------------------------------------------ loss recovery
+
+TEST(Provenance, TcpRetransmissionsSurfaceAsLossRecovery) {
+  sim::Simulator simulator{88};
+  obs::Options opts;
+  opts.provenance = true;
+  simulator.enable_obs(opts);
+  sim::Network net{simulator};
+  sim::Host& a = net.add_host("a", make_addr(10, 0, 0, 1));
+  sim::Host& b = net.add_host("b", make_addr(10, 0, 0, 2));
+  sim::Link& link = net.connect(a.uplink(), b.uplink(),
+                                sim::Network::symmetric(DataRate::mbps(30), 20_ms));
+  phy::GilbertElliott ge{{.mean_good = 500_ms, .mean_bad = 40_ms, .loss_bad = 0.6}, Rng{5}};
+  link.set_loss(0, &ge);
+  tcp::TcpStack sa{a};
+  tcp::TcpStack sb{b};
+  sb.listen(80, [](tcp::TcpConnection& c) { c.on_data = [](std::uint64_t) {}; });
+  tcp::TcpConnection& conn = sa.connect(b.addr(), 80);
+  conn.on_established = [&conn] { conn.send(2'000'000); };
+  simulator.run_until(TimePoint::epoch() + Duration::minutes(5));
+  const obs::Snapshot snap = simulator.obs()->take_snapshot();
+  ASSERT_GT(conn.stats().retransmissions, 0u);  // the path was actually lossy
+  ASSERT_TRUE(has_component(snap, obs::kLossRecovery));
+  const auto& recovery =
+      snap.breakdown_components.groups().at(static_cast<std::uint64_t>(obs::kLossRecovery));
+  EXPECT_GT(recovery.summary.count(), 0u);
+  EXPECT_GT(recovery.summary.sum(), 0.0);
+  // Even under retransmission the per-traversal accounting stays exact:
+  // recovery is carried as its own component, never as residual.
+  EXPECT_FALSE(has_component(snap, obs::kOther));
+}
+
+// ----------------------------------------------------- campaign invariance
+
+TEST(Provenance, CampaignBreakdownExportIsByteIdenticalAcrossJobsAndFastForward) {
+  measure::PingCampaign::Config config;
+  config.duration = Duration::hours(2);
+  config.cadence = Duration::minutes(10);
+  for (const int seeds : {1, 2}) {
+    std::string breakdown_baseline;
+    std::string flight_baseline;
+    bool have_baseline = false;
+    for (const int jobs : {1, 2}) {
+      for (const bool ff : {true, false}) {
+        config.obs = obs::Options{};
+        config.obs.provenance = true;
+        config.fast_forward = ff;
+        const auto result = runner::run_merged<measure::PingCampaign>({seeds, jobs}, config);
+        const std::string breakdown = obs::breakdown_json(result.obs);
+        const std::string flights = obs::flight_json(result.obs);
+        EXPECT_NE(breakdown.find("\"propagation\""), std::string::npos);
+        if (!have_baseline) {
+          breakdown_baseline = breakdown;
+          flight_baseline = flights;
+          have_baseline = true;
+          continue;
+        }
+        EXPECT_EQ(breakdown, breakdown_baseline)
+            << "breakdown diverged at seeds=" << seeds << " jobs=" << jobs << " ff=" << ff;
+        EXPECT_EQ(flights, flight_baseline)
+            << "flights diverged at seeds=" << seeds << " jobs=" << jobs << " ff=" << ff;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slp
