@@ -13,8 +13,17 @@
 
 int main(int argc, char** argv) {
   using namespace slp;
-  const auto args = bench::CommonArgs::parse(argc, argv);
+  const Flags flags = Flags::parse(argc, argv);
+  const auto args = bench::CommonArgs::parse(flags);
+  // --fleet=N replaces the synthetic shared-cell load under the ping rounds
+  // with N simulated terminals contending for real per-cell capacity
+  // (src/fleet/); 0 keeps the paper-calibrated LoadProcess.
+  const int fleet_size = static_cast<int>(flags.get_int("fleet", 0));
+  bench::warn_unused(flags);
   bench::banner("Figure 2", "RTT to European anchors over the campaign timeline");
+  if (fleet_size > 0) {
+    std::printf("shared-cell load: real contention from a %d-terminal fleet\n", fleet_size);
+  }
 
   measure::PingCampaign::Config config;
   config.seed = args.seed;
@@ -23,6 +32,7 @@ int main(int argc, char** argv) {
   // sparser grid over the full timeline — same bins, fewer samples per bin).
   config.cadence = Duration::minutes(static_cast<std::int64_t>(120 / args.scale));
   config.epochs = true;
+  config.fleet.size = fleet_size;
   const auto result = bench::run_sweep<measure::PingCampaign>(args, config);
 
   // One row per ~6-day stride of 6h bins to keep the series readable.

@@ -14,12 +14,13 @@ namespace {
 
 slp::stats::Samples speedtest(const slp::bench::CommonArgs& args, std::uint64_t seed,
                               slp::measure::AccessKind access, bool download, int tests,
-                              slp::obs::Snapshot& all_obs) {
+                              int fleet_size, slp::obs::Snapshot& all_obs) {
   slp::measure::SpeedtestCampaign::Config config;
   config.seed = seed;
   config.access = access;
   config.download = download;
   config.tests = tests;
+  config.fleet.size = fleet_size;  // ignored for SatCom (synthetic load stays)
   auto result = slp::bench::run_sweep<slp::measure::SpeedtestCampaign>(args, config);
   slp::obs::merge(all_obs, result.obs);
   return std::move(result.mbps);
@@ -29,8 +30,17 @@ slp::stats::Samples speedtest(const slp::bench::CommonArgs& args, std::uint64_t 
 
 int main(int argc, char** argv) {
   using namespace slp;
-  const auto args = bench::CommonArgs::parse(argc, argv);
+  const Flags flags = Flags::parse(argc, argv);
+  const auto args = bench::CommonArgs::parse(flags);
+  // --fleet=N replaces the synthetic shared-cell load under the Starlink
+  // tests with N simulated terminals contending for real per-cell capacity
+  // (src/fleet/); 0 keeps the paper-calibrated LoadProcess.
+  const int fleet_size = static_cast<int>(flags.get_int("fleet", 0));
+  bench::warn_unused(flags);
   bench::banner("Figure 5", "throughput distributions (Ookla TCP vs QUIC H3)");
+  if (fleet_size > 0) {
+    std::printf("shared-cell load: real contention from a %d-terminal fleet\n", fleet_size);
+  }
 
   const int tests = args.scaled(16);
   obs::Snapshot all_obs;
@@ -39,21 +49,23 @@ int main(int argc, char** argv) {
 
   table.add_row(bench::boxplot_row(
       "starlink ookla down",
-      speedtest(args, args.seed, measure::AccessKind::kStarlink, true, tests, all_obs),
+      speedtest(args, args.seed, measure::AccessKind::kStarlink, true, tests, fleet_size,
+                all_obs),
       "178 (max 386)"));
   table.add_row(bench::boxplot_row(
       "starlink ookla up",
-      speedtest(args, args.seed + 1, measure::AccessKind::kStarlink, false, tests, all_obs),
+      speedtest(args, args.seed + 1, measure::AccessKind::kStarlink, false, tests, fleet_size,
+                all_obs),
       "17 (max 64)"));
   table.add_row(bench::boxplot_row(
       "satcom ookla down",
       speedtest(args, args.seed + 2, measure::AccessKind::kSatCom, true,
-                std::max(2, tests / 2), all_obs),
+                std::max(2, tests / 2), 0, all_obs),
       "82"));
   table.add_row(bench::boxplot_row(
       "satcom ookla up",
       speedtest(args, args.seed + 3, measure::AccessKind::kSatCom, false,
-                std::max(2, tests / 2), all_obs),
+                std::max(2, tests / 2), 0, all_obs),
       "4.5"));
 
   {
@@ -61,6 +73,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed + 4;
     config.download = true;
     config.transfers = args.scaled(8);
+    config.fleet.size = fleet_size;
     const auto h3 = bench::run_sweep<measure::H3Campaign>(args, config);
     obs::merge(all_obs, h3.obs);
     table.add_row(bench::boxplot_row("starlink H3 down", h3.goodput_mbps, "100-150"));
@@ -71,6 +84,7 @@ int main(int argc, char** argv) {
     config.download = false;
     config.transfers = args.scaled(4);
     config.bytes = 40ull * 1000 * 1000;
+    config.fleet.size = fleet_size;
     const auto h3 = bench::run_sweep<measure::H3Campaign>(args, config);
     obs::merge(all_obs, h3.obs);
     table.add_row(bench::boxplot_row("starlink H3 up", h3.goodput_mbps, "~17, stable"));

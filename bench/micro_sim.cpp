@@ -9,6 +9,8 @@
 #include "fleet/cell_arbiter.hpp"
 #include "leo/constellation.hpp"
 #include "leo/places.hpp"
+#include "mobility/obstruction.hpp"
+#include "mobility/routes.hpp"
 #include "quic/quic.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
@@ -200,6 +202,43 @@ void BM_CellArbiterReallocate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CellArbiterReallocate);
+
+void BM_TrajectoryPositionAt(benchmark::State& state) {
+  // Closed-form O(1) state lookup on the highway route — this is the per-tick
+  // cost of the mobility epoch (and the per-probe cost of speed binning), so
+  // it must stay cheap enough to run at 1 Hz x campaign length for free.
+  const mobility::Route route = mobility::routes::highway();
+  const std::int64_t total_ns = route.trajectory.total_duration().ns();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    // Pseudo-scan: jump around the route so segment search isn't warm-cached
+    // on one leg.
+    const auto t = Duration::nanos((++i * 977 * 1'000'000) % total_ns);
+    benchmark::DoNotOptimize(route.trajectory.state_at(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrajectoryPositionAt);
+
+void BM_ObstructionMaskQuery(benchmark::State& state) {
+  // Candidate-filter cost: one blocks() per visible satellite per slot
+  // recompute while a mask is active.
+  const mobility::ObstructionMask mask{{
+      {20.0, 160.0, 50.0},
+      {200.0, 340.0, 50.0},
+      {60.0, 120.0, 42.0},
+  }};
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    const double az = static_cast<double>((i * 37) % 360);
+    const double el = static_cast<double>((i * 13) % 90);
+    const double heading = static_cast<double>((i * 101) % 360);
+    benchmark::DoNotOptimize(mask.blocks(az, el, heading));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObstructionMaskQuery);
 
 void BM_EventQueueCancelChurn(benchmark::State& state) {
   // Schedule + cancel without draining: exercises O(1) cancel, slot reuse and

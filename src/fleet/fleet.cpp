@@ -73,20 +73,7 @@ Fleet::Fleet(sim::Simulator& sim, leo::StarlinkAccess& access, Config config)
     }
     // Handover tracking: the foreground cell reads the access's scheduler in
     // tick(); populated neighbour cells watch the sky from their own centre.
-    if (config_.handovers && !foreground && !c.terminals.empty()) {
-      if (constellation_ == nullptr) {
-        constellation_ = std::make_unique<leo::Constellation>(ac.shell);
-      }
-      leo::HandoverScheduler::Config ho;
-      ho.terminal = grid.center_of(id);
-      ho.slot = ac.handover_slot;
-      ho.terminal_min_elevation_deg = ac.terminal_min_elevation_deg;
-      ho.gateways = leo::default_european_gateways();
-      ho.active_planes_fn = ac.active_planes_fn;
-      c.scheduler = std::make_unique<leo::HandoverScheduler>(
-          *constellation_, std::move(ho),
-          sim.fork_rng(config_.rng_label + "/ho-" + CellGrid::to_string(id)));
-    }
+    if (config_.handovers && !foreground && !c.terminals.empty()) ensure_scheduler(c);
     cells_.push_back(std::move(c));
   };
 
@@ -143,6 +130,69 @@ Fleet::Cell* Fleet::find_cell(CellId id) {
   return (it != cells_.end() && it->id == id) ? &*it : nullptr;
 }
 
+void Fleet::ensure_scheduler(Cell& c) {
+  if (c.scheduler != nullptr) return;
+  const leo::StarlinkAccess::Config& ac = access_->config();
+  if (constellation_ == nullptr) {
+    constellation_ = std::make_unique<leo::Constellation>(ac.shell);
+  }
+  leo::HandoverScheduler::Config ho;
+  ho.terminal = placement_.grid().center_of(c.id);
+  ho.slot = ac.handover_slot;
+  ho.terminal_min_elevation_deg = ac.terminal_min_elevation_deg;
+  ho.gateways = leo::default_european_gateways();
+  ho.active_planes_fn = ac.active_planes_fn;
+  // Label-keyed fork: the stream is the same whether the scheduler is built
+  // at construction or lazily when a migration leaves the cell behind.
+  c.scheduler = std::make_unique<leo::HandoverScheduler>(
+      *constellation_, std::move(ho),
+      sim_->fork_rng(config_.rng_label + "/ho-" + CellGrid::to_string(c.id)));
+  c.had_sat = false;  // fresh vantage: restart the change tracker
+}
+
+bool Fleet::set_foreground_position(const leo::GeoPoint& p, TimePoint now) {
+  const CellId target = placement_.grid().cell_of(p);
+  if (target == foreground_cell_id_) return false;
+
+  Cell* old_cell = find_cell(foreground_cell_id_);
+  old_cell->arbiter->detach(kForegroundId);
+  // While it hosted the foreground, the departed cell tracked the access's
+  // own scheduler; if background members remain it now needs its own sky
+  // watcher at the cell centre.
+  if (config_.handovers && !old_cell->terminals.empty()) ensure_scheduler(*old_cell);
+
+  Cell* next = find_cell(target);
+  if (next == nullptr) {
+    const leo::StarlinkAccess::Config& ac = access_->config();
+    CellArbiter::Config arb;
+    arb.cell_downlink = ac.cell_downlink;
+    arb.cell_uplink = ac.cell_uplink;
+    arb.downlink_load = ac.downlink_load;
+    arb.uplink_load = ac.uplink_load;
+    Cell c;
+    c.id = target;
+    const std::string base = config_.rng_label + "/cell-" + CellGrid::to_string(target);
+    c.arbiter = std::make_unique<CellArbiter>(arb, sim_->fork_rng(base + "/load-down"),
+                                              sim_->fork_rng(base + "/load-up"));
+    for (int dir = 0; dir < 2; ++dir) {
+      if (load_override_[dir] >= 0.0) c.arbiter->set_load_override(dir, load_override_[dir]);
+    }
+    const auto it = std::lower_bound(cells_.begin(), cells_.end(), target,
+                                     [](const Cell& cc, CellId key) { return cc.id < key; });
+    cells_.insert(it, std::move(c));  // invalidates old_cell; not used below
+    next = find_cell(target);
+    if (auto* rec = sim_->obs()) {
+      rec->registry().gauge("fleet.cells").set(static_cast<double>(cells_.size()));
+    }
+  }
+  next->arbiter->attach(kForegroundId, config_.foreground_weight, /*elastic=*/true);
+  foreground_cell_id_ = target;
+  foreground_cell_ = next;
+  (void)now;
+  publish_stats();
+  return true;
+}
+
 CellArbiter* Fleet::arbiter(CellId cell) {
   Cell* c = find_cell(cell);
   return c == nullptr ? nullptr : c->arbiter.get();
@@ -174,7 +224,10 @@ void Fleet::tick() {
   const obs::SectionTimer wall{obs::Section::kArbiter};
   const TimePoint now = sim_->now();
   for (Cell& c : cells_) {
-    if (config_.handovers) {
+    // Cells without a scheduler of their own: only the current foreground
+    // cell may fall back to the access's scheduler (a cell the foreground
+    // migrated out of and left empty has nobody watching its sky).
+    if (config_.handovers && (c.scheduler != nullptr || c.id == foreground_cell_id_)) {
       const leo::HandoverScheduler::Path& path = c.scheduler != nullptr
                                                      ? c.scheduler->path_at(now)
                                                      : access_->scheduler().path_at(now);
@@ -240,10 +293,12 @@ double Fleet::available_fraction(int direction, TimePoint t) {
 void Fleet::set_load_override(int direction, double utilization) {
   // A scripted surge is regional: every cell's ambient floor rises, so both
   // the foreground capacity and the neighbours' contention react.
+  load_override_[direction] = utilization;
   for (Cell& c : cells_) c.arbiter->set_load_override(direction, utilization);
 }
 
 void Fleet::clear_load_override(int direction) {
+  load_override_[direction] = -1.0;
   for (Cell& c : cells_) c.arbiter->clear_load_override(direction);
 }
 

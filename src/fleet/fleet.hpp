@@ -94,6 +94,15 @@ class Fleet final : public leo::CellShareModel {
   /// Null for unknown cells.
   [[nodiscard]] CellArbiter* arbiter(CellId cell);
 
+  // --- mobility (src/mobility/) ---------------------------------------
+  /// Re-homes the foreground terminal to the cell containing `p`: detaches
+  /// it from its old arbiter, attaches it (elastic) to the new cell's —
+  /// creating that cell on first visit — and leaves the departed cell
+  /// serving its background members. Returns true when a cell boundary was
+  /// actually crossed. Draws no randomness beyond label-forked streams, so
+  /// a moving foreground never perturbs the background fleet's draws.
+  bool set_foreground_position(const leo::GeoPoint& p, TimePoint now);
+
   /// Aggregated arbiter counters across all cells.
   [[nodiscard]] CellArbiter::Stats totals() const;
   /// Fleet-wide epoch ticks executed so far.
@@ -129,6 +138,8 @@ class Fleet final : public leo::CellShareModel {
   void tick();
   void publish_stats();
   [[nodiscard]] Cell* find_cell(CellId id);
+  /// Builds the cell-centre sky watcher for a cell that needs one.
+  void ensure_scheduler(Cell& c);
 
   sim::Simulator* sim_;
   leo::StarlinkAccess* access_;
@@ -149,6 +160,10 @@ class Fleet final : public leo::CellShareModel {
   stats::KeyedSamples terminal_down_mbps_;
   stats::Samples foreground_down_mbps_;
   stats::Samples foreground_up_mbps_;
+
+  /// Active scenario load-surge floors (index = direction; < 0 = none), so
+  /// cells created by a mid-run migration inherit an in-force override.
+  double load_override_[2] = {-1.0, -1.0};
 
   CellArbiter::Stats published_{};
   std::uint64_t epochs_ = 0;

@@ -50,12 +50,13 @@ StarlinkAccess::StarlinkAccess(sim::Network& net, Config config)
   // window by forking the *same* label so both processes draw identically.
   outage_down_ = std::make_unique<phy::OutageProcess>(
       config_.outage, net.sim().fork_rng(config_.rng_label + "/outage"));
-  // Scenario gates last: they draw no randomness, so their presence (open or
-  // closed) leaves the stochastic children's streams untouched.
-  composite_up_ = std::make_unique<phy::CompositeLossModel>(
-      std::vector<sim::LossModel*>{loss_up_.get(), outage_up_.get(), &gate_up_});
-  composite_down_ = std::make_unique<phy::CompositeLossModel>(
-      std::vector<sim::LossModel*>{loss_down_.get(), outage_down_.get(), &gate_down_});
+  // Scenario and mobility gates last: they draw no randomness, so their
+  // presence (open or closed) leaves the stochastic children's streams
+  // untouched.
+  composite_up_ = std::make_unique<phy::CompositeLossModel>(std::vector<sim::LossModel*>{
+      loss_up_.get(), outage_up_.get(), &gate_up_, &mobility_gate_up_});
+  composite_down_ = std::make_unique<phy::CompositeLossModel>(std::vector<sim::LossModel*>{
+      loss_down_.get(), outage_down_.get(), &gate_down_, &mobility_gate_down_});
   loaded_up_ = std::make_unique<phy::UtilizationLoss>(
       config_.loaded_loss, net.sim().fork_rng(config_.rng_label + "/loaded-up"));
   loaded_down_ = std::make_unique<phy::UtilizationLoss>(
@@ -195,6 +196,16 @@ void StarlinkAccess::clear_load_override(int direction) {
 }
 
 void StarlinkAccess::force_reconfiguration() { scheduler_->invalidate(); }
+
+void StarlinkAccess::set_terminal_position(const GeoPoint& p) {
+  config_.terminal = p;
+  scheduler_->set_terminal(p);  // the leo.visible_sats probe reads config_.terminal
+}
+
+void StarlinkAccess::set_mobility_outage(bool active) {
+  mobility_gate_up_.set_open(!active);
+  mobility_gate_down_.set_open(!active);
+}
 
 Duration StarlinkAccess::propagation_one_way(TimePoint t) {
   const HandoverScheduler::Path& path = scheduler_->path_at(t);

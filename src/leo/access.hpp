@@ -194,6 +194,23 @@ class StarlinkAccess {
   void set_cell_share_model(CellShareModel* model) { cell_model_ = model; }
   [[nodiscard]] CellShareModel* cell_share_model() const { return cell_model_; }
 
+  // --- mobility hooks (src/mobility/) --------------------------------
+  // Like the scenario hooks, none of these draws randomness: a moving
+  // terminal perturbs geometry and gating only, never the seeded streams.
+
+  /// Re-homes the terminal: future visibility queries (scheduler slots and
+  /// the leo.visible_sats probe) run from the new vantage point.
+  void set_terminal_position(const GeoPoint& p);
+
+  /// Full sky blockage while driving through a tunnel/underpass: closes a
+  /// dedicated loss-gate pair on the satellite link. Kept separate from the
+  /// scenario hard-outage gates so a tunnel window composes with (does not
+  /// cancel) an overlapping PoP outage.
+  void set_mobility_outage(bool active);
+  [[nodiscard]] bool in_mobility_outage() const { return !mobility_gate_up_.is_open(); }
+
+  [[nodiscard]] const Constellation& constellation() const { return *constellation_; }
+
  private:
   [[nodiscard]] Duration access_delay(TimePoint t, bool up);
 
@@ -224,6 +241,8 @@ class StarlinkAccess {
   std::unique_ptr<phy::UtilizationLoss> loaded_down_;
   phy::GateLoss gate_up_;    ///< scenario hard-outage gates (normally open)
   phy::GateLoss gate_down_;
+  phy::GateLoss mobility_gate_up_;  ///< tunnel gates (normally open)
+  phy::GateLoss mobility_gate_down_;
   CellShareModel* cell_model_ = nullptr;  ///< non-owning; null = LoadProcess
   double rain_db_ = 0.0;
   double rain_factor_ = 1.0;  ///< capacity multiplier derived from rain_db_

@@ -45,6 +45,40 @@ double elevation_deg(const Vec3& ground_ecef, const Vec3& sat_ecef) {
   return rad_to_deg(std::asin(std::clamp(sin_el, -1.0, 1.0)));
 }
 
+GeoPoint from_ecef(const Vec3& v) {
+  const double r = v.norm();
+  if (r == 0.0) return GeoPoint{};
+  const double lat = std::asin(std::clamp(v.z / r, -1.0, 1.0));
+  const double lon = std::atan2(v.y, v.x);
+  return GeoPoint{rad_to_deg(lat), rad_to_deg(lon), r - kEarthRadiusM};
+}
+
+double initial_bearing_deg(const GeoPoint& from, const GeoPoint& to) {
+  const double lat1 = deg_to_rad(from.lat_deg);
+  const double lat2 = deg_to_rad(to.lat_deg);
+  const double dlon = deg_to_rad(to.lon_deg - from.lon_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x =
+      std::cos(lat1) * std::sin(lat2) - std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  if (x == 0.0 && y == 0.0) return 0.0;  // coincident or antipodal: bearing undefined
+  const double deg = rad_to_deg(std::atan2(y, x));
+  return deg < 0.0 ? deg + 360.0 : deg;
+}
+
+double azimuth_deg(const GeoPoint& ground, const Vec3& sat_ecef) {
+  const double lat = deg_to_rad(ground.lat_deg);
+  const double lon = deg_to_rad(ground.lon_deg);
+  const Vec3 d = sat_ecef - to_ecef(ground);
+  // Local ENU basis at the ground point (spherical Earth).
+  const Vec3 east{-std::sin(lon), std::cos(lon), 0.0};
+  const Vec3 north{-std::sin(lat) * std::cos(lon), -std::sin(lat) * std::sin(lon), std::cos(lat)};
+  const double e = d.dot(east);
+  const double n = d.dot(north);
+  if (e == 0.0 && n == 0.0) return 0.0;  // directly overhead: azimuth undefined
+  const double deg = rad_to_deg(std::atan2(e, n));
+  return deg < 0.0 ? deg + 360.0 : deg;
+}
+
 Duration rf_propagation_delay(double distance_m) {
   return Duration::from_seconds(distance_m / kRfSpeedMps);
 }

@@ -61,6 +61,20 @@ struct GeoPoint {
 /// Same, with the ground point already converted (bit-identical result).
 [[nodiscard]] double elevation_deg(const Vec3& ground_ecef, const Vec3& sat_ecef);
 
+/// Inverse of to_ecef (spherical Earth): geographic coordinates of an ECEF
+/// position. Longitude lands in [-180, 180].
+[[nodiscard]] GeoPoint from_ecef(const Vec3& v);
+
+/// Initial great-circle bearing from `from` toward `to`, degrees clockwise
+/// from true north in [0, 360).
+[[nodiscard]] double initial_bearing_deg(const GeoPoint& from, const GeoPoint& to);
+
+/// Azimuth (degrees clockwise from true north, [0, 360)) of `sat_ecef` as
+/// seen from `ground`. Together with elevation_deg this places a satellite
+/// on the local sky dome, which is what heading-relative obstruction masks
+/// (src/mobility/obstruction.hpp) consume.
+[[nodiscard]] double azimuth_deg(const GeoPoint& ground, const Vec3& sat_ecef);
+
 /// One-way propagation delay over a straight-line RF path.
 [[nodiscard]] Duration rf_propagation_delay(double distance_m);
 

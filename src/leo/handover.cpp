@@ -116,6 +116,7 @@ HandoverScheduler::Path HandoverScheduler::compute_path(TimePoint slot_start) {
   for (const auto& cand : candidates_buf_) {
     if (!satellite_healthy(cand.sat)) continue;
     const Vec3 sat_pos = constellation_->position_ecef(cand.sat, slot_start);
+    if (filter_ && !filter_(cand, azimuth_deg(config_.terminal, sat_pos))) continue;
     int best_gw = -1;
     double best_slant = std::numeric_limits<double>::max();
     for (std::size_t g = 0; g < config_.gateways.size(); ++g) {

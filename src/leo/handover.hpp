@@ -69,6 +69,22 @@ class HandoverScheduler {
   /// Forces the next path_at() to recompute (maintenance reconfiguration).
   void invalidate();
 
+  // --- mobility hooks (src/mobility/) --------------------------------
+  // Re-homes the terminal to a new vantage point. Deliberately does NOT
+  // invalidate the cached slot: the new position takes effect at the next
+  // slot computation, and in-motion re-routes within a slot are driven
+  // explicitly by the mobility epoch check (mobile_terminal.hpp), which
+  // knows whether the *serving* satellite actually dropped out of view.
+  void set_terminal(const GeoPoint& p) { config_.terminal = p; }
+
+  /// Extra per-candidate gate composed on top of terminal_min_elevation_deg
+  /// (heading-relative obstruction sectors). Receives the candidate and its
+  /// azimuth from the terminal; returning false excludes it from the slot's
+  /// usable set. Null disables. Azimuths are only computed while a filter is
+  /// installed, so the static path pays nothing.
+  using CandidateFilter = std::function<bool(const Constellation::VisibleSat&, double az_deg)>;
+  void set_candidate_filter(CandidateFilter filter) { filter_ = std::move(filter); }
+
   [[nodiscard]] const Config& config() const { return config_; }
 
   struct Stats {
@@ -92,6 +108,7 @@ class HandoverScheduler {
   // Scratch buffers reused across slots so the 15 s tick stops allocating.
   std::vector<Constellation::VisibleSat> candidates_buf_;
   std::vector<std::pair<Constellation::VisibleSat, int>> usable_buf_;  ///< sat, gateway idx
+  CandidateFilter filter_;
   std::set<std::pair<int, int>> failed_sats_;  ///< (plane, slot)
   std::set<int> failed_planes_;
   std::set<int> failed_gateways_;

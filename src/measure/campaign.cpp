@@ -1,7 +1,10 @@
 #include "measure/campaign.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 
 #include "apps/h3.hpp"
 #include "apps/messages.hpp"
@@ -44,6 +47,7 @@ PingCampaign::Result PingCampaign::run(const Config& config) {
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
   tb_config.fast_forward = config.fast_forward;
+  tb_config.fleet = config.fleet;
   if (config.epochs) apply_paper_epochs(tb_config.starlink);
   Testbed bed{tb_config};
 
@@ -392,6 +396,112 @@ WebCampaign::Result WebCampaign::run(const Config& config) {
   return result;
 }
 
+// ================================================================ road trip
+
+RoadTripCampaign::Result RoadTripCampaign::run(const Config& config) {
+  const std::optional<mobility::Route> route = mobility::routes::lookup(config.route);
+  if (!route.has_value()) {
+    throw std::invalid_argument("road trip: unknown route '" + config.route + "'");
+  }
+
+  TestbedConfig tb_config;
+  tb_config.seed = config.seed;
+  tb_config.with_satcom = false;
+  tb_config.obs = config.obs;
+  tb_config.scenario = config.scenario;
+  tb_config.fast_forward = config.fast_forward;
+  tb_config.fleet = config.fleet;
+  tb_config.mobility.route = *route;
+  tb_config.mobility.speed_scale = config.speed_scale;
+  tb_config.mobility.obstructions = config.obstructions;
+  Testbed bed{tb_config};
+
+  Result result;
+  // RTT edges: moving-terminal RTTs live between the static ~40 ms median
+  // and multi-hundred-ms reacquisition spikes.
+  result.rtt_by_speed =
+      stats::KeyedSamples{{25, 50, 75, 100, 150, 200, 300, 500, 1000}};
+  result.route_km = route->trajectory.total_distance_m() / 1000.0;
+
+  Duration drive = config.duration;
+  if (drive <= Duration::zero()) {
+    drive = config.speed_scale > 0.0
+                ? route->trajectory.total_duration() * (1.0 / config.speed_scale) +
+                      Duration::seconds(30)
+                : Duration::minutes(5);
+  }
+  const auto rounds = static_cast<std::int64_t>(drive / config.cadence);
+
+  // Per-round probe outcome: -1 unanswered (run ended first), 0 ok, 1 lost.
+  // Consecutive 1s fold into outage durations after the run.
+  std::vector<signed char> outcomes(static_cast<std::size_t>(rounds), -1);
+
+  sim::Host& client = bed.starlink().client();
+  const sim::Ipv4Addr target = bed.anchor(0).host->addr();  // brussels-be
+  std::vector<std::unique_ptr<apps::PingApp>> live;
+
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    const TimePoint at = TimePoint::epoch() + config.cadence * static_cast<double>(round);
+    bed.sim().schedule_at(at, [&, at, round] {
+      apps::PingApp::Config ping_cfg;
+      ping_cfg.target = target;
+      ping_cfg.count = 1;
+      ping_cfg.flow = 1;
+      auto app = std::make_unique<apps::PingApp>(client, ping_cfg);
+      apps::PingApp* raw = app.get();
+      app->on_complete = [&, at, round, raw](const std::vector<apps::PingApp::Probe>& probes) {
+        // Bin by the vehicle's speed at probe launch (0 while parked or
+        // before departure), 20 km/h per bin.
+        const mobility::Trajectory::State st = bed.mobility()->state_at(at);
+        const auto key = static_cast<std::uint64_t>(st.speed_mps * 3.6 / 20.0);
+        for (const auto& probe : probes) {
+          result.probes_sent++;
+          result.loss_by_speed.add(key, probe.lost ? 1.0 : 0.0);
+          outcomes[static_cast<std::size_t>(round)] = probe.lost ? 1 : 0;
+          if (probe.lost) {
+            result.probes_lost++;
+            continue;
+          }
+          result.rtt_by_speed.add(key, probe.rtt.to_millis());
+          for (int c = 0; c < obs::kTagComponents; ++c) {
+            result.comp_ns[static_cast<std::size_t>(c)] += probe.comp_ns[c];
+          }
+        }
+        for (auto& slot : live) {
+          if (slot.get() == raw) {
+            slot.reset();
+            break;
+          }
+        }
+      };
+      raw->start();
+      live.push_back(std::move(app));
+      if (live.size() > 256) {
+        std::erase_if(live, [](const auto& p) { return p == nullptr; });
+      }
+    });
+  }
+  bed.sim().run();
+
+  int streak = 0;
+  for (std::int64_t round = 0; round <= rounds; ++round) {
+    const bool lost = round < rounds && outcomes[static_cast<std::size_t>(round)] == 1;
+    if (lost) {
+      streak++;
+    } else if (streak > 0) {
+      result.outage_s.add(streak * config.cadence.to_seconds());
+      streak = 0;
+    }
+  }
+
+  const mobility::MobileTerminal::Stats& ms = bed.mobility()->stats();
+  result.reroutes = ms.reroutes;
+  result.cell_migrations = ms.cell_migrations;
+  result.tunnels = ms.tunnels;
+  result.obs = bed.take_obs();
+  return result;
+}
+
 // ============================================================ sweep support
 
 namespace {
@@ -443,6 +553,20 @@ void merge(MessageCampaign::Result& into, const MessageCampaign::Result& from) {
 
 void merge(SpeedtestCampaign::Result& into, const SpeedtestCampaign::Result& from) {
   append(into.mbps, from.mbps);
+  obs::merge(into.obs, from.obs);
+}
+
+void merge(RoadTripCampaign::Result& into, const RoadTripCampaign::Result& from) {
+  into.rtt_by_speed.merge(from.rtt_by_speed);
+  into.loss_by_speed.merge(from.loss_by_speed);
+  append(into.outage_s, from.outage_s);
+  for (std::size_t c = 0; c < into.comp_ns.size(); ++c) into.comp_ns[c] += from.comp_ns[c];
+  into.probes_sent += from.probes_sent;
+  into.probes_lost += from.probes_lost;
+  into.reroutes += from.reroutes;
+  into.cell_migrations += from.cell_migrations;
+  into.tunnels += from.tunnels;
+  into.route_km = std::max(into.route_km, from.route_km);
   obs::merge(into.obs, from.obs);
 }
 

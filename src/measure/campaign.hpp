@@ -23,6 +23,7 @@
 
 #include "measure/loss.hpp"
 #include "measure/testbed.hpp"
+#include "obs/breakdown.hpp"
 #include "mbox/tracebox.hpp"
 #include "mbox/traceroute.hpp"
 #include "mbox/wehe.hpp"
@@ -51,6 +52,9 @@ struct PingCampaign {
     obs::Options obs;  ///< per-cell observability (testbed-wide)
     /// Optional environment/fault timeline (seed-independent; see scenario.hpp).
     std::shared_ptr<const scenario::Scenario> scenario;
+    /// Optional simulated-neighbour fleet (src/fleet/); size 0 keeps the
+    /// synthetic cell load, size N > 1 puts real contention under Figure 2.
+    fleet::Fleet::Config fleet;
     /// Analytic fast paths (see TestbedConfig::fast_forward). Same exports
     /// either way; false runs the packet-level reference.
     bool fast_forward = true;
@@ -195,6 +199,51 @@ struct WebCampaign {
   static Result run(const Config& config);
 };
 
+// ================================================================ road trip
+
+/// The mobility extension (bench/fig7_road_trip): 1 Hz latency probes to the
+/// nearest anchor while the terminal drives a mobility::Route. Probes are
+/// binned by the vehicle's instantaneous speed, consecutive losses fold into
+/// outage durations, and the provenance sums expose how much of the moving
+/// RTT is handover stall.
+struct RoadTripCampaign {
+  struct Config {
+    std::uint64_t seed = 7;
+    std::string route = "highway";  ///< mobility::routes::lookup name
+    double speed_scale = 1.0;       ///< multiplies the route's leg speeds
+    Duration cadence = Duration::seconds(1);
+    /// Zero = drive the whole route (scaled) plus a 30 s settled tail.
+    Duration duration = Duration::zero();
+    bool obstructions = true;  ///< false strips the route's masks (ablation)
+    obs::Options obs;
+    std::shared_ptr<const scenario::Scenario> scenario;
+    /// Optional simulated-neighbour fleet: makes cell migrations land in
+    /// arbiters with real background members.
+    fleet::Fleet::Config fleet;
+    bool fast_forward = true;  ///< see TestbedConfig::fast_forward
+  };
+
+  struct Result {
+    /// RTT (ms) grouped by speed bin: key = floor(speed_kmh / 20).
+    stats::KeyedSamples rtt_by_speed;
+    /// Loss indicator (1 = lost) per probe, same keys: mean() = loss rate.
+    stats::KeyedSamples loss_by_speed;
+    stats::Samples outage_s;  ///< consecutive-loss run lengths, seconds
+    /// Provenance component sums over all answered probes (ns); all zero
+    /// unless Config::obs.provenance is on.
+    std::array<std::int64_t, obs::kTagComponents> comp_ns{};
+    std::uint64_t probes_sent = 0;
+    std::uint64_t probes_lost = 0;
+    std::uint64_t reroutes = 0;         ///< mobility.* counter mirrors
+    std::uint64_t cell_migrations = 0;
+    std::uint64_t tunnels = 0;
+    double route_km = 0.0;  ///< same route in every cell; merge keeps max
+    obs::Snapshot obs;
+  };
+
+  static Result run(const Config& config);
+};
+
 // ============================================================ sweep support
 //
 // Per-cell result folds for runner::run_merged (runner/sweep.hpp): each
@@ -208,6 +257,7 @@ void merge(H3Campaign::Result& into, const H3Campaign::Result& from);
 void merge(MessageCampaign::Result& into, const MessageCampaign::Result& from);
 void merge(SpeedtestCampaign::Result& into, const SpeedtestCampaign::Result& from);
 void merge(WebCampaign::Result& into, const WebCampaign::Result& from);
+void merge(RoadTripCampaign::Result& into, const RoadTripCampaign::Result& from);
 
 // =============================================================== middleboxes
 

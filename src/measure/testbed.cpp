@@ -94,12 +94,22 @@ void Testbed::build_core() {
     starlink_->pop().routes().add_default(pop_if);
     core_->routes().add_route(make_addr(149, 6, 50, 0), 24, core_if);
   }
+  // Mobility before injector/fleet: a config-driven route moves the
+  // terminal to its start at construction, so the fleet's foreground cell
+  // and the first scenario epoch both see the departed vantage.
+  const bool want_mobility =
+      !config_.mobility.route.trivial() ||
+      (config_.scenario != nullptr && config_.scenario->contains(scenario::EventKind::kMove));
+  if (want_mobility) {
+    mobile_ = std::make_unique<mobility::MobileTerminal>(sim_, *starlink_, config_.mobility);
+  }
   if (config_.scenario != nullptr && !config_.scenario->empty()) {
     injector_ = std::make_unique<scenario::Injector>(
-        sim_, config_.scenario, scenario::Injector::Hooks{starlink_.get()});
+        sim_, config_.scenario, scenario::Injector::Hooks{starlink_.get(), mobile_.get()});
   }
   if (config_.fleet.enabled()) {
     fleet_ = std::make_unique<fleet::Fleet>(sim_, *starlink_, config_.fleet);
+    if (mobile_ != nullptr) mobile_->set_fleet(fleet_.get());
   }
 
   // --- SatCom access ---------------------------------------------------

@@ -21,6 +21,7 @@
 #include "fleet/fleet.hpp"
 #include "geo/geo_access.hpp"
 #include "leo/access.hpp"
+#include "mobility/mobile_terminal.hpp"
 #include "obs/recorder.hpp"
 #include "scenario/injector.hpp"
 #include "sim/network.hpp"
@@ -52,6 +53,11 @@ struct TestbedConfig {
   /// size 0 keeps the synthetic LoadProcess; size 1 attaches only the
   /// foreground terminal (bit-identical to size 0 by construction).
   fleet::Fleet::Config fleet;
+  /// Terminal motion (src/mobility/). A trivial route builds no
+  /// MobileTerminal at all unless the scenario carries a `move` directive;
+  /// a non-trivial route with speed_scale 0 builds a fully passive one —
+  /// both keep exports byte-identical to a static run.
+  mobility::MobileTerminal::Config mobility;
   /// Analytic fast paths (link express serialization, transport scan
   /// skipping). Exports are identical either way; `false` runs the
   /// packet-level reference the differential suite compares against.
@@ -77,6 +83,8 @@ class Testbed {
   [[nodiscard]] const scenario::Injector* injector() const { return injector_.get(); }
   /// Null unless the config asked for a fleet (fleet.size > 0).
   [[nodiscard]] fleet::Fleet* fleet() { return fleet_.get(); }
+  /// Null unless the config carried a non-trivial route or a `move` event.
+  [[nodiscard]] mobility::MobileTerminal* mobility() { return mobile_.get(); }
   [[nodiscard]] geo::GeoAccess& satcom() { return *geo_; }
   [[nodiscard]] bool has_satcom() const { return geo_ != nullptr; }
 
@@ -110,7 +118,11 @@ class Testbed {
   sim::Simulator sim_;
   sim::Network net_;
   std::unique_ptr<leo::StarlinkAccess> starlink_;
-  /// Declared after starlink_: the injector's hooks point into the access.
+  /// Declared after starlink_: repositions the access's terminal; its
+  /// destructor uninstalls the scheduler's candidate filter.
+  std::unique_ptr<mobility::MobileTerminal> mobile_;
+  /// Declared after both: the injector's hooks point into the access and
+  /// the mobile terminal.
   std::unique_ptr<scenario::Injector> injector_;
   /// Declared after both: the fleet installs itself as the access's cell
   /// share model and must uninstall before the access dies.

@@ -1,0 +1,208 @@
+#include "mobility/mobile_terminal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace slp::mobility {
+
+namespace {
+
+/// Sentinel plan end for config-driven plans: "until the route completes".
+constexpr TimePoint never() {
+  return TimePoint::from_ns(std::numeric_limits<std::int64_t>::max());
+}
+
+}  // namespace
+
+MobileTerminal::MobileTerminal(sim::Simulator& sim, leo::StarlinkAccess& access, Config config)
+    : sim_{&sim},
+      access_{&access},
+      config_{std::move(config)},
+      depart_{TimePoint::epoch()},
+      plan_end_{TimePoint::epoch()},
+      timer_{sim} {
+  if (config_.active()) {
+    begin(config_.route, config_.speed_scale, config_.depart, never());
+  }
+}
+
+MobileTerminal::~MobileTerminal() {
+  if (activated_) {
+    access_->scheduler().set_candidate_filter(nullptr);
+    if (gate_closed_) access_->set_mobility_outage(false);
+  }
+}
+
+void MobileTerminal::activate() {
+  if (activated_) return;
+  activated_ = true;
+  // The filter reads the mutable sky state refreshed by tick(); it is a
+  // pass-through until a mask becomes active.
+  access_->scheduler().set_candidate_filter(
+      [this](const leo::Constellation::VisibleSat& cand, double az_deg) {
+        return !mask_active_ || !mask_.blocks(az_deg, cand.elevation_deg, heading_deg_);
+      });
+  if (auto* rec = sim_->obs()) {
+    obs::Registry& reg = rec->registry();
+    obs_epochs_ = reg.counter("mobility.epochs");
+    obs_reroutes_ = reg.counter("mobility.reroutes");
+    obs_migrations_ = reg.counter("mobility.cell_migrations");
+    obs_obstructed_ = reg.counter("mobility.obstructed_epochs");
+    obs_tunnels_ = reg.counter("mobility.tunnels");
+    obs_speed_ = reg.gauge("mobility.speed_kmh");
+    obs_heading_ = reg.gauge("mobility.heading_deg");
+    obs_distance_ = reg.gauge("mobility.distance_km");
+    obs_obstructed_gauge_ = reg.gauge("mobility.obstructed");
+    trace_ = rec->trace().enabled() ? &rec->trace() : nullptr;
+  }
+}
+
+void MobileTerminal::begin_move(const std::string& route, double speed_scale, TimePoint start,
+                                TimePoint end) {
+  std::optional<Route> r = routes::lookup(route);
+  if (!r.has_value()) {
+    // The scenario layer cannot validate route names (it has no view of the
+    // mobility registry); an unknown name is a scripted no-op, loudly.
+    std::fprintf(stderr, "mobility: unknown route '%s' in move directive, ignoring\n",
+                 route.c_str());
+    return;
+  }
+  begin(std::move(*r), speed_scale, start, end);
+}
+
+void MobileTerminal::end_move(TimePoint at) {
+  if (!plan_active_) return;
+  plan_end_ = std::min(plan_end_, at);
+  tick();  // settle the final position; wants_more_ goes false past plan_end_
+}
+
+void MobileTerminal::begin(Route route, double speed_scale, TimePoint depart, TimePoint end) {
+  route_ = std::move(route);
+  speed_scale_ = std::max(0.0, speed_scale);
+  depart_ = depart;
+  plan_end_ = end;
+  plan_active_ = true;
+  last_seg_index_ = std::numeric_limits<int>::min();  // force a mask refresh
+  activate();
+  if (sim_->now() >= depart_) {
+    tick();
+    // Like the fleet's construction-time epoch: a begin() that runs before
+    // the campaign scheduled its workload sees an empty queue, so give the
+    // next epoch one unconditional chance to observe the real run.
+    if (wants_more_ && !timer_.armed()) {
+      timer_.arm(config_.epoch, [this] { tick(); });
+    }
+  } else {
+    timer_.arm_at(depart_, [this] { tick(); });
+  }
+}
+
+bool MobileTerminal::apply_mask(const Trajectory::State& st) {
+  const int idx = config_.obstructions ? route_.segment_index_at(st.distance_m) : -1;
+  const bool changed = idx != last_seg_index_;
+  last_seg_index_ = idx;
+  if (changed) {
+    if (idx < 0) {
+      mask_ = ObstructionMask{};
+      mask_active_ = false;
+    } else {
+      mask_ = route_.obstructions[static_cast<std::size_t>(idx)].mask;
+      mask_active_ = true;
+    }
+  }
+  const bool gate = mask_active_ && mask_.full_gate();
+  if (gate != gate_closed_) {
+    access_->set_mobility_outage(gate);
+    gate_closed_ = gate;
+    if (gate) {
+      ++stats_.tunnels;
+      obs_tunnels_.add();
+    }
+    if (trace_ != nullptr) {
+      trace_->instant("mobility", gate ? "tunnel.enter" : "tunnel.exit", sim_->now());
+    }
+  }
+  return changed;
+}
+
+Trajectory::State MobileTerminal::state_at(TimePoint t) const {
+  TimePoint tt = std::min(t, plan_end_);
+  const Duration elapsed = tt > depart_ ? (tt - depart_) : Duration::zero();
+  // speed_scale multiplies every leg speed, which is the same as running the
+  // nominal trajectory clock speed_scale times faster.
+  Trajectory::State st = route_.trajectory.state_at(elapsed * speed_scale_);
+  st.speed_mps *= speed_scale_;
+  if (!plan_active_ || t < depart_ || t >= plan_end_ || speed_scale_ <= 0.0) {
+    st.speed_mps = 0.0;
+    st.moving = false;
+  }
+  return st;
+}
+
+void MobileTerminal::tick() {
+  const TimePoint now = sim_->now();
+  const Trajectory::State st = state_at(now);
+
+  // 1. Re-home the vantage point; geometry changes take effect immediately
+  //    for visibility checks and at the next slot compute for the path.
+  access_->set_terminal_position(st.position);
+  heading_deg_ = st.heading_deg;
+
+  // 2. Obstruction regime by odometer (also drives the tunnel gate).
+  const bool regime_changed = apply_mask(st);
+
+  // 3. Serving-satellite validity from the *current* position. A connected
+  //    path whose satellite fell below the gate (or behind the mask) forces
+  //    a mid-slot re-acquisition; a disconnected terminal retries when the
+  //    obstruction regime changes (e.g. tunnel exit) instead of waiting out
+  //    the 15 s slot.
+  leo::HandoverScheduler& sched = access_->scheduler();
+  const leo::HandoverScheduler::Path& path = sched.path_at(now);
+  bool reroute = false;
+  if (path.connected) {
+    const leo::Vec3 sat_pos = access_->constellation().position_ecef(path.sat, now);
+    const double el = leo::elevation_deg(st.position, sat_pos);
+    const double az = leo::azimuth_deg(st.position, sat_pos);
+    reroute = el < sched.config().terminal_min_elevation_deg ||
+              (mask_active_ && mask_.blocks(az, el, heading_deg_));
+  } else {
+    reroute = regime_changed;
+  }
+  if (reroute) {
+    sched.invalidate();
+    ++stats_.reroutes;
+    obs_reroutes_.add();
+    if (trace_ != nullptr) trace_->instant("mobility", "reroute", now);
+  }
+
+  // 4. Cell migration when the trajectory crossed a CellGrid boundary.
+  if (fleet_ != nullptr && fleet_->set_foreground_position(st.position, now)) {
+    ++stats_.cell_migrations;
+    obs_migrations_.add();
+    if (trace_ != nullptr) trace_->instant("mobility", "cell_migration", now);
+  }
+
+  // 5. Bookkeeping.
+  ++stats_.epochs;
+  obs_epochs_.add();
+  if (mask_active_) {
+    ++stats_.obstructed_epochs;
+    obs_obstructed_.add();
+  }
+  obs_speed_.set(st.speed_mps * 3.6);
+  obs_heading_.set(st.heading_deg);
+  obs_distance_.set(st.distance_m / 1000.0);
+  obs_obstructed_gauge_.set(mask_active_ ? 1.0 : 0.0);
+
+  // 6. Another epoch? Only while the plan still produces motion. The daemon
+  //    contract mirrors the fleet's: never be the only event keeping the
+  //    queue alive.
+  wants_more_ = plan_active_ && now < plan_end_ && !st.finished && speed_scale_ > 0.0 &&
+                !route_.trajectory.stationary();
+  if (wants_more_ && sim_->pending_events() > 0) {
+    timer_.arm(config_.epoch, [this] { tick(); });
+  }
+}
+
+}  // namespace slp::mobility

@@ -1,0 +1,139 @@
+// mobile_terminal.hpp — drives the foreground terminal along a route.
+//
+// The MobileTerminal is the runtime that turns the passive data in Route
+// into in-motion behaviour, re-evaluated on a motion epoch timer:
+//
+//   * position: the trajectory's state is pushed into leo::StarlinkAccess
+//     (and its HandoverScheduler), so slot geometry, visibility counts and
+//     the leo.visible_sats probe all track the moving vantage;
+//   * obstruction: the active ObstructionMask (selected by odometer) is
+//     installed as the scheduler's candidate filter — heading-relative
+//     sectors compose with the dish elevation gate — and a full-gate mask
+//     (tunnel) additionally closes the access's mobility loss gates;
+//   * handover pressure: if the *serving* satellite has dropped below the
+//     elevation gate or behind the mask at the current position, the slot
+//     cache is invalidated and the terminal re-acquires mid-slot (counted
+//     as mobility.reroutes). A disconnected re-acquire books its stall into
+//     the kHandoverStall provenance component through the access's existing
+//     unconnected-path accounting;
+//   * cell migration: fleet::Fleet::set_foreground_position() re-homes the
+//     foreground across CellGrid boundaries (mobility.cell_migrations).
+//
+// Determinism: the terminal draws no randomness at all, and a trivial plan
+// (stationary route, no masks, or zero speed) stays fully passive — no
+// timer, no counters, no filter — so the exports of a zero-speed run are
+// byte-identical to a static-terminal run (tests/mobility_test.cpp pins
+// this). All state is per-simulation, so --jobs sharding and
+// --fast-forward are unaffected.
+#pragma once
+
+#include <string>
+
+#include "fleet/fleet.hpp"
+#include "leo/access.hpp"
+#include "mobility/routes.hpp"
+#include "obs/recorder.hpp"
+#include "scenario/injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace slp::mobility {
+
+class MobileTerminal final : public scenario::MobilityHook {
+ public:
+  struct Config {
+    Route route;  ///< may be trivial; `move` directives can load one later
+    /// Multiplies every leg's nominal speed; <= 0 parks the terminal at the
+    /// route start (useful for the zero-speed determinism pin).
+    double speed_scale = 1.0;
+    TimePoint depart = TimePoint::epoch();
+    /// Motion re-evaluation cadence. 1 s resolves the paper-scale obstruction
+    /// windows while staying far below the 15 s slot grid.
+    Duration epoch = Duration::seconds(1);
+    bool obstructions = true;
+
+    /// Does this config ever change observable behaviour on its own?
+    [[nodiscard]] bool moving() const {
+      return speed_scale > 0.0 && !route.trajectory.stationary();
+    }
+    [[nodiscard]] bool active() const {
+      return moving() || (obstructions && route.segment_at(0.0) != nullptr);
+    }
+  };
+
+  /// Construction is passive unless config.active(): scenario-driven runs
+  /// build an idle MobileTerminal that only wakes when a `move` fires.
+  MobileTerminal(sim::Simulator& sim, leo::StarlinkAccess& access, Config config);
+  ~MobileTerminal() override;
+
+  MobileTerminal(const MobileTerminal&) = delete;
+  MobileTerminal& operator=(const MobileTerminal&) = delete;
+
+  /// Attaches the fleet for cell migration (optional; call after both exist).
+  void set_fleet(fleet::Fleet* fleet) { fleet_ = fleet; }
+
+  // --- scenario::MobilityHook ----------------------------------------
+  void begin_move(const std::string& route, double speed_scale, TimePoint start,
+                  TimePoint end) override;
+  void end_move(TimePoint at) override;
+
+  /// Kinematics at an arbitrary time (clamped to the active plan's window).
+  /// Stateless — campaigns use it to bin probes by instantaneous speed.
+  [[nodiscard]] Trajectory::State state_at(TimePoint t) const;
+
+  [[nodiscard]] const Route& route() const { return route_; }
+  [[nodiscard]] bool plan_active() const { return plan_active_; }
+
+  struct Stats {
+    std::uint64_t epochs = 0;            ///< motion re-evaluations executed
+    std::uint64_t reroutes = 0;          ///< mid-slot re-acquisitions forced
+    std::uint64_t cell_migrations = 0;   ///< CellGrid boundaries crossed
+    std::uint64_t obstructed_epochs = 0; ///< epochs under a non-open mask
+    std::uint64_t tunnels = 0;           ///< full-gate (tunnel) entries
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void activate();
+  void begin(Route route, double speed_scale, TimePoint depart, TimePoint end);
+  void tick();
+  /// Selects the obstruction regime for the current odometer reading and
+  /// drives the tunnel gate; returns true when the regime changed.
+  bool apply_mask(const Trajectory::State& st);
+
+  sim::Simulator* sim_;
+  leo::StarlinkAccess* access_;
+  fleet::Fleet* fleet_ = nullptr;
+  Config config_;
+
+  // Active plan.
+  Route route_;
+  double speed_scale_ = 1.0;
+  TimePoint depart_;
+  TimePoint plan_end_;
+  bool plan_active_ = false;
+  bool wants_more_ = false;  ///< tick() decided another epoch is needed
+
+  // Current sky state (read by the candidate filter installed on the
+  // scheduler, refreshed each tick before any path recompute).
+  ObstructionMask mask_;
+  bool mask_active_ = false;
+  double heading_deg_ = 0.0;
+  int last_seg_index_ = -1;
+  bool gate_closed_ = false;
+  bool activated_ = false;
+
+  sim::Timer timer_;
+  Stats stats_;
+  obs::Counter obs_epochs_;
+  obs::Counter obs_reroutes_;
+  obs::Counter obs_migrations_;
+  obs::Counter obs_obstructed_;
+  obs::Counter obs_tunnels_;
+  obs::Gauge obs_speed_;
+  obs::Gauge obs_heading_;
+  obs::Gauge obs_distance_;
+  obs::Gauge obs_obstructed_gauge_;
+  obs::TraceSink* trace_ = nullptr;
+};
+
+}  // namespace slp::mobility

@@ -1,0 +1,60 @@
+#include "mobility/obstruction.hpp"
+
+#include <cmath>
+
+namespace slp::mobility {
+
+namespace {
+
+double wrap360(double deg) {
+  deg = std::fmod(deg, 360.0);
+  return deg < 0.0 ? deg + 360.0 : deg;
+}
+
+/// Is `az` inside [from, to) on the circle? A degenerate from == to sector
+/// covers the full circle.
+bool in_sector(double az, double from, double to) {
+  az = wrap360(az);
+  from = wrap360(from);
+  to = wrap360(to);
+  if (from == to) return true;
+  if (from < to) return az >= from && az < to;
+  return az >= from || az < to;  // wraps through north
+}
+
+}  // namespace
+
+ObstructionMask::ObstructionMask(std::vector<Sector> sectors) : sectors_{std::move(sectors)} {
+  for (const Sector& s : sectors_) {
+    if (wrap360(s.az_from_deg) == wrap360(s.az_to_deg) && s.min_elevation_deg >= 90.0) {
+      full_gate_ = true;
+    }
+  }
+}
+
+ObstructionMask ObstructionMask::tunnel() {
+  return ObstructionMask{{Sector{0.0, 360.0, 90.0}}};
+}
+
+ObstructionMask ObstructionMask::sector(double az_from_deg, double az_to_deg,
+                                        double min_elevation_deg) {
+  return ObstructionMask{{Sector{az_from_deg, az_to_deg, min_elevation_deg}}};
+}
+
+double ObstructionMask::min_elevation_deg(double az_deg, double heading_deg) const {
+  const double rel = wrap360(az_deg - heading_deg);
+  double floor_deg = 0.0;
+  for (const Sector& s : sectors_) {
+    if (in_sector(rel, s.az_from_deg, s.az_to_deg) && s.min_elevation_deg > floor_deg) {
+      floor_deg = s.min_elevation_deg;
+    }
+  }
+  return floor_deg;
+}
+
+bool ObstructionMask::blocks(double az_deg, double elevation_deg, double heading_deg) const {
+  if (sectors_.empty()) return false;
+  return elevation_deg < min_elevation_deg(az_deg, heading_deg);
+}
+
+}  // namespace slp::mobility

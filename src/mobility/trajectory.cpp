@@ -1,0 +1,122 @@
+#include "mobility/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slp::mobility {
+
+namespace {
+
+leo::Vec3 unit(const leo::Vec3& v) {
+  const double n = v.norm();
+  return n == 0.0 ? leo::Vec3{1.0, 0.0, 0.0} : v * (1.0 / n);
+}
+
+/// Spherical linear interpolation between unit vectors at parameter f.
+leo::Vec3 slerp(const leo::Vec3& a, const leo::Vec3& b, double angle_rad, double f) {
+  const double s = std::sin(angle_rad);
+  if (s < 1e-12) return a;  // endpoints (numerically) coincide
+  const double wa = std::sin((1.0 - f) * angle_rad) / s;
+  const double wb = std::sin(f * angle_rad) / s;
+  return unit(a * wa + b * wb);
+}
+
+}  // namespace
+
+Trajectory Trajectory::from_waypoints(std::vector<Waypoint> waypoints) {
+  Trajectory traj;
+  if (waypoints.empty()) return traj;
+  traj.has_start_ = true;
+  traj.start_ = waypoints.front().point;
+
+  Duration t = Duration::zero();
+  double odometer = 0.0;
+  bool parked = false;
+  for (std::size_t i = 0; i < waypoints.size() && !parked; ++i) {
+    const Waypoint& wp = waypoints[i];
+    const bool last = i + 1 == waypoints.size();
+    const leo::GeoPoint next = last ? wp.point : waypoints[i + 1].point;
+    // Heading while paused = heading of the leg about to be driven.
+    const double heading = last ? 0.0 : leo::initial_bearing_deg(wp.point, next);
+
+    if (wp.pause > Duration::zero()) {
+      Segment seg;
+      seg.t0 = t;
+      seg.dt = wp.pause;
+      seg.s0 = odometer;
+      seg.a = seg.b = unit(leo::to_ecef(leo::GeoPoint{wp.point.lat_deg, wp.point.lon_deg, 0.0}));
+      seg.geo_a = seg.geo_b = wp.point;
+      seg.heading_deg = heading;
+      seg.pause = true;
+      t = t + wp.pause;
+      traj.segments_.push_back(seg);
+    }
+    if (last) break;
+
+    const double length = leo::great_circle_distance_m(wp.point, next);
+    if (length <= 0.0) continue;  // duplicate waypoint: nothing to drive
+    if (wp.speed_mps <= 0.0) {
+      parked = true;  // no speed to leave on: route ends here
+      break;
+    }
+    Segment seg;
+    seg.t0 = t;
+    seg.dt = Duration::from_seconds(length / wp.speed_mps);
+    seg.s0 = odometer;
+    seg.length_m = length;
+    seg.a = unit(leo::to_ecef(leo::GeoPoint{wp.point.lat_deg, wp.point.lon_deg, 0.0}));
+    seg.b = unit(leo::to_ecef(leo::GeoPoint{next.lat_deg, next.lon_deg, 0.0}));
+    seg.angle_rad = length / leo::kEarthRadiusM;
+    seg.geo_a = wp.point;
+    seg.geo_b = next;
+    seg.speed_mps = wp.speed_mps;
+    seg.heading_deg = heading;
+    t = t + seg.dt;
+    odometer += length;
+    traj.segments_.push_back(seg);
+  }
+
+  traj.total_duration_ = t;
+  traj.total_distance_m_ = odometer;
+  const leo::GeoPoint final_point =
+      traj.segments_.empty() ? traj.start_ : traj.segments_.back().geo_b;
+  traj.end_state_ = State{final_point,
+                          traj.segments_.empty() ? 0.0 : traj.segments_.back().heading_deg,
+                          0.0, odometer, false, true};
+  return traj;
+}
+
+Trajectory::State Trajectory::state_at(Duration elapsed) const {
+  if (!has_start_) return State{leo::GeoPoint{}, 0.0, 0.0, 0.0, false, true};
+  if (segments_.empty()) return end_state_;
+  if (elapsed.ns() < 0) elapsed = Duration::zero();
+  if (elapsed >= total_duration_) return end_state_;
+
+  // Last segment whose start is <= elapsed.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), elapsed,
+                             [](Duration t, const Segment& s) { return t < s.t0; });
+  const Segment& seg = *std::prev(it);
+
+  State st;
+  if (seg.pause) {
+    st.position = seg.geo_a;
+    st.heading_deg = seg.heading_deg;
+    st.distance_m = seg.s0;
+    return st;
+  }
+  const double f = static_cast<double>((elapsed - seg.t0).ns()) / static_cast<double>(seg.dt.ns());
+  const leo::Vec3 u = slerp(seg.a, seg.b, seg.angle_rad, f);
+  const double alt = seg.geo_a.alt_m + (seg.geo_b.alt_m - seg.geo_a.alt_m) * f;
+  leo::GeoPoint pos = leo::from_ecef(u * leo::kEarthRadiusM);
+  pos.alt_m = alt;
+  st.position = pos;
+  // Heading along the arc: bearing toward the segment end. At the very end
+  // of the arc the bearing degenerates; fall back to the initial bearing.
+  st.heading_deg = f >= 1.0 ? seg.heading_deg : leo::initial_bearing_deg(pos, seg.geo_b);
+  st.speed_mps = seg.speed_mps;
+  st.distance_m = seg.s0 + seg.length_m * f;
+  st.moving = true;
+  return st;
+}
+
+}  // namespace slp::mobility

@@ -40,6 +40,9 @@ std::string event_args_json(const Event& ev) {
       args += "\"period_s\":" + json_number(ev.period.to_seconds()) +
               ",\"blip_s\":" + json_number(ev.blip.to_seconds());
       break;
+    case EventKind::kMove:
+      args += "\"route\":\"" + ev.route + "\",\"speed\":" + json_number(ev.speed);
+      break;
   }
   args += "}";
   return args;
@@ -58,8 +61,11 @@ Injector::Injector(sim::Simulator& sim, std::shared_ptr<const Scenario> scenario
     }
     trace_ = rec->trace().enabled() ? &rec->trace() : nullptr;
   }
-  if (hooks_.starlink == nullptr) return;
-  for (const Event& ev : scenario_->events) schedule_event(ev);
+  for (const Event& ev : scenario_->events) {
+    const bool have_hook =
+        ev.kind == EventKind::kMove ? hooks_.mobility != nullptr : hooks_.starlink != nullptr;
+    if (have_hook) schedule_event(ev);
+  }
 }
 
 void Injector::note_started(const Event& ev) {
@@ -86,6 +92,14 @@ void Injector::schedule_event(const Event& ev) {
   }
   if (ev.kind == EventKind::kMaintenance) {
     schedule_maintenance(ev);
+    return;
+  }
+  if (ev.kind == EventKind::kMove) {
+    sim_->schedule_at(ev.start, [this, ev] {
+      note_started(ev);
+      hooks_.mobility->begin_move(ev.route, ev.speed, ev.start, ev.end);
+    });
+    sim_->schedule_at(ev.end, [this, ev] { hooks_.mobility->end_move(ev.end); });
     return;
   }
   leo::StarlinkAccess* sl = hooks_.starlink;

@@ -30,13 +30,30 @@
 
 namespace slp::scenario {
 
+/// Receiver for `move` timeline directives. Implemented by
+/// mobility::MobileTerminal; declared here as an abstract interface so the
+/// scenario library stays below src/mobility/ in the dependency order (fleet
+/// already links scenario, and mobility links fleet).
+class MobilityHook {
+ public:
+  virtual ~MobilityHook() = default;
+  /// Starts driving the named route at `speed_scale` x its nominal speeds.
+  /// Unknown route names are the implementation's problem (warn and ignore):
+  /// the scenario layer cannot see the mobility route registry.
+  virtual void begin_move(const std::string& route, double speed_scale, TimePoint start,
+                          TimePoint end) = 0;
+  /// Parks the vehicle wherever it is at `at`.
+  virtual void end_move(TimePoint at) = 0;
+};
+
 class Injector {
  public:
-  /// Topology hooks the injector drives. Only the Starlink access reacts to
-  /// scenarios today (the paper's environment episodes are all LEO-side);
-  /// null hooks make the injector a validated no-op.
+  /// Topology hooks the injector drives. The Starlink access reacts to the
+  /// environment/fault kinds, the mobility hook to `move` directives; null
+  /// hooks make the corresponding events validated no-ops.
   struct Hooks {
     leo::StarlinkAccess* starlink = nullptr;
+    MobilityHook* mobility = nullptr;
   };
 
   /// Validates `scenario` (throws ScenarioError) and schedules every event.

@@ -16,6 +16,7 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kPopOutage: return "pop_outage";
     case EventKind::kLoadSurge: return "load_surge";
     case EventKind::kMaintenance: return "maintenance";
+    case EventKind::kMove: return "move";
   }
   return "?";
 }
@@ -30,7 +31,7 @@ bool parse_kind(std::string_view word, EventKind& out) {
   for (const EventKind kind :
        {EventKind::kRain, EventKind::kSatelliteFail, EventKind::kPlaneFail,
         EventKind::kGatewayOutage, EventKind::kPopOutage, EventKind::kLoadSurge,
-        EventKind::kMaintenance}) {
+        EventKind::kMaintenance, EventKind::kMove}) {
     if (word == to_string(kind)) {
       out = kind;
       return true;
@@ -77,6 +78,7 @@ bool key_allowed(EventKind kind, std::string_view key) {
     case EventKind::kPopOutage: return false;
     case EventKind::kLoadSurge: return key == "utilization" || key == "direction";
     case EventKind::kMaintenance: return key == "period" || key == "blip";
+    case EventKind::kMove: return key == "route" || key == "speed";
   }
   return false;
 }
@@ -94,7 +96,8 @@ bool same_target(const Event& a, const Event& b) {
     case EventKind::kRain:
     case EventKind::kPopOutage:
     case EventKind::kMaintenance:
-      return true;  // one global knob each
+    case EventKind::kMove:
+      return true;  // one global knob (or vehicle) each
   }
   return true;
 }
@@ -187,6 +190,10 @@ Scenario Scenario::parse(std::string_view text) {
         ev.period = need_duration(line_no, key, value);
       } else if (key == "blip") {
         ev.blip = need_duration(line_no, key, value);
+      } else if (key == "route") {
+        ev.route = std::string{value};
+      } else if (key == "speed") {
+        ev.speed = need_double(line_no, key, value);
       }
     }
     if (!saw_start) fail(line_no, "missing start=");
@@ -297,6 +304,24 @@ Scenario& Scenario::maintenance(TimePoint start, TimePoint end, Duration period,
   return *this;
 }
 
+Scenario& Scenario::move(TimePoint start, TimePoint end, std::string route, double speed) {
+  Event ev;
+  ev.kind = EventKind::kMove;
+  ev.start = start;
+  ev.end = end;
+  ev.route = std::move(route);
+  ev.speed = speed;
+  events.push_back(ev);
+  return *this;
+}
+
+bool Scenario::contains(EventKind kind) const {
+  for (const Event& ev : events) {
+    if (ev.kind == kind) return true;
+  }
+  return false;
+}
+
 Scenario& Scenario::shift(Duration offset) {
   for (Event& ev : events) {
     ev.start = ev.start + offset;
@@ -345,6 +370,10 @@ void Scenario::validate() const {
         if (ev.blip <= Duration::zero() || ev.blip >= ev.period) {
           throw ScenarioError{where + ": blip must be in (0, period)"};
         }
+        break;
+      case EventKind::kMove:
+        if (ev.route.empty()) throw ScenarioError{where + ": needs route="};
+        if (ev.speed < 0.0) throw ScenarioError{where + ": speed must be >= 0"};
         break;
     }
   }

@@ -25,6 +25,7 @@
 //   pop_outage     start=30s duration=15s
 //   load_surge     start=1m  end=5m  utilization=0.92 direction=down
 //   maintenance    start=10m end=12m period=15s blip=1.5s
+//   move           start=0s  end=45m route=highway speed=1.0
 #pragma once
 
 #include <stdexcept>
@@ -44,6 +45,7 @@ enum class EventKind {
   kPopOutage,      ///< hard outage window: every packet destroyed
   kLoadSurge,      ///< shared-cell utilization pinned high
   kMaintenance,    ///< periodic reconfiguration storm (15 s grid)
+  kMove,           ///< terminal drives a named route (src/mobility/)
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind);
@@ -64,6 +66,8 @@ struct Event {
   int direction = 2;                      ///< load_surge: 0 up, 1 down, 2 both
   Duration period = Duration::seconds(15);        ///< maintenance grid
   Duration blip = Duration::millis(1500);         ///< maintenance gate closure
+  std::string route = "highway";          ///< move: named mobility route
+  double speed = 1.0;                     ///< move: speed scale (1 = nominal)
 };
 
 class ScenarioError final : public std::runtime_error {
@@ -95,6 +99,8 @@ struct Scenario {
   Scenario& maintenance(TimePoint start, TimePoint end,
                         Duration period = Duration::seconds(15),
                         Duration blip = Duration::millis(1500));
+  Scenario& move(TimePoint start, TimePoint end, std::string route,
+                 double speed = 1.0);
 
   /// Shifts every event by `offset` — positions a file-local timeline inside
   /// a longer campaign (`--scenario-offset`). Throws if any start goes
@@ -111,6 +117,7 @@ struct Scenario {
   void validate() const;
 
   [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] bool contains(EventKind kind) const;
 };
 
 }  // namespace slp::scenario
