@@ -42,6 +42,7 @@
 #include <memory>
 #include <string>
 
+#include "fleet/fleet.hpp"
 #include "obs/recorder.hpp"
 #include "runner/sweep.hpp"
 #include "scenario/scenario.hpp"
@@ -91,6 +92,37 @@ inline void warn_unused(const Flags& flags) {
   for (const auto& key : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
   }
+}
+
+/// Shared fleet flags (EXPERIMENTS.md "Continental campaigns"):
+///   --fleet=N             simulated neighbour terminals incl. the foreground
+///                         (0 = synthetic cell load only, the default)
+///   --continental=0|1     continental-Europe placement preset; also turns
+///                         idle-cell aggregation on unless --aggregate says
+///                         otherwise
+///   --aggregate=0|1       analytic idle-cell aggregation (hot cells only)
+///   --shards=K            arbiter epoch shards (1 = serial; output is
+///                         byte-identical for every K)
+///   --supercell-km=F      aggregation supercell edge, converted to a factor
+///                         of the cell size (--supercell-factor=K sets it
+///                         directly)
+///   --fleet-cell-km=F     base cell size for the fleet grid
+inline fleet::Fleet::Config parse_fleet(const Flags& flags) {
+  fleet::Fleet::Config fc;
+  fc.size = static_cast<int>(flags.get_int("fleet", 0));
+  const bool continental = flags.get_bool("continental", false);
+  if (continental) fc.placement = fleet::Placement::continental_europe();
+  fc.placement.cell_km = flags.get_double("fleet-cell-km", fc.placement.cell_km);
+  fc.aggregate_idle = flags.get_bool("aggregate", continental);
+  fc.supercell_factor =
+      static_cast<int>(flags.get_int("supercell-factor", fc.supercell_factor));
+  const double supercell_km = flags.get_double("supercell-km", 0.0);
+  if (supercell_km > 0.0) {
+    fc.supercell_factor = std::max(
+        1, static_cast<int>(supercell_km / std::max(1.0, fc.placement.cell_km) + 0.5));
+  }
+  fc.shards = std::max(0, static_cast<int>(flags.get_int("shards", 1)));
+  return fc;
 }
 
 struct CommonArgs {

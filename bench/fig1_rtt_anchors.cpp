@@ -4,14 +4,74 @@
 // minima in [24, 28] ms; the German probes lowest at ~42 ms median (minimum
 // 20.5 ms overall); San Francisco ~184 ms and Singapore ~270 ms via the same
 // European exits (no ISLs).
+//
+// Extra flags: --fleet=N (simulated neighbours contending under the pings;
+// see bench_common.hpp for the continental/aggregation/sharding knobs) and
+// --multivantage=1, which inverts the experiment: instead of one dish
+// pinging 11 anchors, every anchor city hosts a measured dish in one shared
+// fleet (measure::MultiVantageCampaign) and the table reports each city's
+// own access RTT and elastic-share capacity.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "measure/campaign.hpp"
+#include "measure/multivantage.hpp"
+
+namespace {
+
+int run_multivantage(const slp::bench::CommonArgs& args, const slp::Flags& flags) {
+  using namespace slp;
+  bench::banner("Figure 1 (multi-vantage)",
+                "the 11 anchor metros as measured terminals in one fleet");
+
+  measure::MultiVantageCampaign::Config config;
+  config.seed = args.seed;
+  config.duration = flags.get_duration(
+      "duration", Duration::hours(static_cast<std::int64_t>(24 * args.scale)));
+  config.cadence = Duration::minutes(5);
+  config.fleet = bench::parse_fleet(flags);
+  config.obs = args.obs();
+  bench::warn_unused(flags);
+
+  const auto result =
+      runner::run_merged<measure::MultiVantageCampaign>(args.sweep(), config);
+
+  std::printf("fleet: %d terminals, %llu hot cells, %llu supercells "
+              "(%llu terminals aggregated)\n\n",
+              config.fleet.size, static_cast<unsigned long long>(result.hot_cells),
+              static_cast<unsigned long long>(result.supercells),
+              static_cast<unsigned long long>(result.aggregated_terminals));
+
+  stats::TextTable table{{"vantage", "min", "p5", "p25", "median", "p75", "p95",
+                          "down p50 (Mbps)"}};
+  for (const auto& v : result.vantages) {
+    std::vector<std::string> row = bench::boxplot_row(v.name, v.rtt_ms, "");
+    row.back() = v.down_mbps.empty() ? "-" : stats::TextTable::num(v.down_mbps.median(), 1);
+    table.add_row(row);
+  }
+  std::printf("%s", table.str().c_str());
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;
+  for (const auto& v : result.vantages) {
+    sent += v.probes_sent;
+    lost += v.probes_lost;
+  }
+  std::printf("\nprobes sent: %llu, lost: %llu\n", static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(lost));
+  std::printf("Take-away: every metro sees the same ~frame+propagation access floor; "
+              "contention moves the capacity column, not the RTT floor.\n");
+  bench::write_obs(args, result.obs);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace slp;
-  const auto args = bench::CommonArgs::parse(argc, argv);
+  const Flags flags = Flags::parse(argc, argv);
+  const auto args = bench::CommonArgs::parse(flags);
+  if (flags.get_bool("multivantage", false)) return run_multivantage(args, flags);
+
   bench::banner("Figure 1", "RTT distribution towards the 11 anchors (ping)");
 
   measure::PingCampaign::Config config;
@@ -21,6 +81,8 @@ int main(int argc, char** argv) {
   config.duration = Duration::hours(static_cast<std::int64_t>(48 * args.scale));
   config.cadence = Duration::minutes(5);
   config.epochs = false;  // Figure 1 aggregates; epochs belong to Figure 2
+  config.fleet = bench::parse_fleet(flags);
+  bench::warn_unused(flags);
   const auto result = bench::run_sweep<measure::PingCampaign>(args, config);
 
   // The paper's published per-anchor reference points (median / min).

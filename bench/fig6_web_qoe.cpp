@@ -15,7 +15,13 @@
 
 int main(int argc, char** argv) {
   using namespace slp;
-  const auto args = bench::CommonArgs::parse(argc, argv);
+  const Flags flags = Flags::parse(argc, argv);
+  const auto args = bench::CommonArgs::parse(flags);
+  // --fleet=N loads the Starlink cells with simulated neighbours for the
+  // Starlink rows (plus the continental/aggregation knobs, bench_common.hpp);
+  // SatCom/wired accesses ignore it.
+  const fleet::Fleet::Config fleet_config = bench::parse_fleet(flags);
+  bench::warn_unused(flags);
   bench::banner("Figure 6", "web QoE: onLoad and SpeedIndex across accesses");
 
   struct Row {
@@ -40,6 +46,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed;
     config.access = row.access;
     config.visits = row.visits;
+    config.fleet = fleet_config;
     const auto result = bench::run_sweep<measure::WebCampaign>(args, config);
     results.push_back(result);
     using stats::TextTable;

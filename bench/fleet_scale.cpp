@@ -8,7 +8,11 @@
 // --jobs value (CI diffs --jobs=1 against --jobs=8).
 //
 // Extra flags: --terminals=N (default 10000, incl. the foreground),
-// --duration=DUR (default 1h), --cell-km=F, --demand-scale=F.
+// --duration=DUR (default 1h), --cell-km=F, --demand-scale=F, plus the
+// continental-scale knobs from bench_common.hpp: --continental=0|1 (European
+// placement preset + aggregation), --aggregate=0|1 (analytic idle cells),
+// --shards=K (parallel arbiter epochs, byte-identical for any K) and
+// --supercell-km=F / --supercell-factor=K (aggregation grid).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -20,28 +24,37 @@ int main(int argc, char** argv) {
   const auto args = bench::CommonArgs::parse(flags);
   const int terminals = static_cast<int>(flags.get_int("terminals", 10000));
   const Duration duration = flags.get_duration("duration", Duration::hours(1));
-  const double cell_km = flags.get_double("cell-km", 24.0);
   const double demand_scale = flags.get_double("demand-scale", 1.0);
-  bench::warn_unused(flags);
 
   bench::banner("Fleet scale", "multi-terminal contention: placement, demand, per-cell PF");
 
   fleet::FleetCampaign::Config config;
   config.seed = args.seed;
   config.duration = duration;
+  config.fleet = bench::parse_fleet(flags);
   config.fleet.size = std::max(1, static_cast<int>(terminals * args.scale));
-  config.fleet.placement.cell_km = cell_km;
+  config.fleet.placement.cell_km = flags.get_double("cell-km", config.fleet.placement.cell_km);
   config.fleet.demand.scale_down = demand_scale;
   config.fleet.demand.scale_up = demand_scale;
+  bench::warn_unused(flags);
 
-  std::printf("fleet: %d terminals, %.0f s simulated, %d seed cell(s), %d job(s)\n\n",
-              config.fleet.size, duration.to_seconds(), args.seeds, args.jobs);
+  std::printf("fleet: %d terminals, %.0f s simulated, %d seed cell(s), %d job(s), "
+              "%d shard(s)%s\n\n",
+              config.fleet.size, duration.to_seconds(), args.seeds, args.jobs,
+              config.fleet.shards,
+              config.fleet.aggregate_idle ? ", idle cells aggregated" : "");
 
   const auto result = bench::run_sweep<fleet::FleetCampaign>(args, config);
 
-  std::printf("placement: %llu background terminals in %llu cells\n",
+  std::printf("placement: %llu background terminals, %llu hot cells",
               static_cast<unsigned long long>(result.terminals),
               static_cast<unsigned long long>(result.cells));
+  if (result.supercells > 0) {
+    std::printf(", %llu supercells (%llu terminals aggregated)",
+                static_cast<unsigned long long>(result.supercells),
+                static_cast<unsigned long long>(result.aggregated_terminals));
+  }
+  std::printf("\n");
   std::printf("epochs: %llu   attaches: %llu   detaches: %llu   handovers: %llu   "
               "reallocations: %llu\n\n",
               static_cast<unsigned long long>(result.epochs),

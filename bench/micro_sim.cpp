@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "fleet/cell_arbiter.hpp"
+#include "fleet/fleet.hpp"
+#include "leo/access.hpp"
 #include "leo/constellation.hpp"
 #include "leo/places.hpp"
 #include "mobility/obstruction.hpp"
@@ -202,6 +204,49 @@ void BM_CellArbiterReallocate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CellArbiterReallocate);
+
+void BM_HierarchicalGridLookup(benchmark::State& state) {
+  // The aggregation hot path: point -> base cell -> supercell. Every fold
+  // into / promotion out of an aggregate does exactly this pair of lookups,
+  // and the continental placement does it once per populated cell per tick
+  // when publishing analytic utilization.
+  fleet::HierarchicalGrid hier{24.0, 8};
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    const leo::GeoPoint p{40.0 + static_cast<double>(i % 2000) * 0.01,
+                          -10.0 + static_cast<double>((i * 7) % 4000) * 0.01};
+    const fleet::CellId base = hier.base().cell_of(p);
+    benchmark::DoNotOptimize(hier.super_of(base));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchicalGridLookup);
+
+void BM_ShardedArbiterEpoch(benchmark::State& state) {
+  // One fleet epoch over a continental hot set (every populated cell live,
+  // no aggregation), stepped serially (arg 1) or across a worker pool
+  // (arg 4). The exported bytes are identical either way — this measures
+  // the wall-time of the shard + fold cycle that tick() runs.
+  sim::Simulator sim{7};
+  sim::Network net{sim};
+  leo::StarlinkAccess access{net, leo::StarlinkAccess::Config{}};
+  fleet::Fleet::Config fc;
+  fc.size = 20000;
+  fc.placement = fleet::Placement::continental_europe();
+  fc.aggregate_idle = false;
+  fc.handovers = false;
+  fc.shards = static_cast<int>(state.range(0));
+  sim.schedule_in(Duration::hours(24 * 365), [] {});  // keep the timer armed
+  fleet::Fleet fleet{sim, access, fc};
+  const Duration epoch = fc.epoch;
+  for (auto _ : state) {
+    sim.run_for(epoch);
+    benchmark::DoNotOptimize(fleet.epochs());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(fleet.cell_count()));
+}
+BENCHMARK(BM_ShardedArbiterEpoch)->Arg(1)->Arg(4);
 
 void BM_TrajectoryPositionAt(benchmark::State& state) {
   // Closed-form O(1) state lookup on the highway route — this is the per-tick

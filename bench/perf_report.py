@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Perf-regression harness: micro + macro timings -> BENCH_micro.json.
 
-Runs the google-benchmark micro suite (``micro_sim``) plus one macro
-measurement (wall time of the fig5 throughput campaign at smoke scale) and
-writes a stable-schema JSON report::
+Runs the google-benchmark micro suite (``micro_sim``) plus two macro
+measurements (wall time of the fig5 throughput campaign at smoke scale, and
+of a million-terminal continental fleet hour) and writes a stable-schema
+JSON report::
 
     { "<bench>": { "ns_per_op": <float>, "items_per_s": <float> }, ... }
 
@@ -30,8 +31,18 @@ import sys
 import time
 from pathlib import Path
 
-MACRO_NAME = "MACRO_Fig5ThroughputWall"
-MACRO_ARGS = ["--scale=0.1", "--seeds=2", "--jobs=2"]
+# (report key, bench binary, argv). The fleet macro is the acceptance
+# workout for the hierarchical grid: 1M terminals, one simulated hour,
+# idle cells aggregated analytically, epochs sharded across 8 workers.
+MACROS = [
+    ("MACRO_Fig5ThroughputWall", "fig5_throughput",
+     ["--scale=0.1", "--seeds=2", "--jobs=2"]),
+    ("MACRO_FleetMillionWall", "fleet_scale",
+     ["--terminals=1000000", "--continental=1", "--shards=8", "--duration=3600s"]),
+]
+# --profile re-runs only the fig5 macro (the packet-level campaign with
+# subsystem wall sections; the fleet macro is analytic and has none).
+PROFILE_MACRO = MACROS[0]
 
 
 def run_micro(micro_sim: Path) -> dict:
@@ -60,10 +71,11 @@ def run_micro(micro_sim: Path) -> dict:
     return out
 
 
-def run_profile(fig5: Path) -> None:
-    """Re-runs the macro campaign with subsystem wall-profiling and echoes the
-    testbed's ``wall-profile`` stderr lines (obs::WallProfile report)."""
-    proc = subprocess.run([str(fig5), *MACRO_ARGS, "--profile=1"],
+def run_profile(bench_dir: Path) -> None:
+    """Re-runs the fig5 macro campaign with subsystem wall-profiling and echoes
+    the testbed's ``wall-profile`` stderr lines (obs::WallProfile report)."""
+    _, binary, argv = PROFILE_MACRO
+    proc = subprocess.run([str(bench_dir / binary), *argv, "--profile=1"],
                           check=True, capture_output=True, text=True)
     lines = [l for l in proc.stderr.splitlines() if l.startswith("wall-profile")]
     if lines:
@@ -74,17 +86,18 @@ def run_profile(fig5: Path) -> None:
         print("\nperf_report: --profile produced no wall-profile lines", file=sys.stderr)
 
 
-def run_macro(fig5: Path) -> dict:
-    """Times one end-to-end fig5 campaign (smoke scale) as a macro benchmark."""
-    start = time.monotonic_ns()
-    subprocess.run([str(fig5), *MACRO_ARGS], check=True, capture_output=True)
-    elapsed_ns = time.monotonic_ns() - start
-    return {
-        MACRO_NAME: {
+def run_macros(bench_dir: Path) -> dict:
+    """Times each end-to-end macro campaign once, wall-clock."""
+    out = {}
+    for name, binary, argv in MACROS:
+        start = time.monotonic_ns()
+        subprocess.run([str(bench_dir / binary), *argv], check=True, capture_output=True)
+        elapsed_ns = time.monotonic_ns() - start
+        out[name] = {
             "ns_per_op": float(elapsed_ns),
             "items_per_s": round(1e9 / elapsed_ns, 6),
         }
-    }
+    return out
 
 
 def _ns_per_op(entry):
@@ -144,9 +157,9 @@ def main() -> int:
     args = parser.parse_args()
 
     fresh = run_micro(args.bench_dir / "micro_sim")
-    fresh.update(run_macro(args.bench_dir / "fig5_throughput"))
+    fresh.update(run_macros(args.bench_dir))
     if args.profile:
-        run_profile(args.bench_dir / "fig5_throughput")
+        run_profile(args.bench_dir)
 
     if args.out is not None:
         args.out.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")

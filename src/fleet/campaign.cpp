@@ -42,6 +42,8 @@ FleetCampaign::Result FleetCampaign::run(const Config& config) {
     r.foreground_up_mbps = fleet->foreground_up_mbps();
     r.terminals = fleet->terminal_count();
     r.cells = fleet->cell_count();
+    r.supercells = fleet->aggregates().size();
+    r.aggregated_terminals = fleet->aggregated_terminal_count();
     r.epochs = fleet->epochs();
     const CellArbiter::Stats t = fleet->totals();
     r.attaches = t.attaches;
@@ -70,6 +72,8 @@ void merge(FleetCampaign::Result& into, const FleetCampaign::Result& from) {
   // a merge with a disabled-fleet cell stays sensible.
   into.terminals = std::max(into.terminals, from.terminals);
   into.cells = std::max(into.cells, from.cells);
+  into.supercells = std::max(into.supercells, from.supercells);
+  into.aggregated_terminals = std::max(into.aggregated_terminals, from.aggregated_terminals);
   into.epochs += from.epochs;
   into.attaches += from.attaches;
   into.detaches += from.detaches;

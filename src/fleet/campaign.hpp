@@ -37,7 +37,9 @@ struct FleetCampaign {
     stats::Samples foreground_down_mbps;    ///< what the measured stack sees
     stats::Samples foreground_up_mbps;
     std::uint64_t terminals = 0;  ///< background terminals (max across cells)
-    std::uint64_t cells = 0;      ///< contention domains (max across cells)
+    std::uint64_t cells = 0;      ///< hot contention domains (max across cells)
+    std::uint64_t supercells = 0;            ///< analytic aggregates (max)
+    std::uint64_t aggregated_terminals = 0;  ///< terminals folded analytically (max)
     std::uint64_t epochs = 0;
     std::uint64_t attaches = 0;
     std::uint64_t detaches = 0;

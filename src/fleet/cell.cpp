@@ -49,6 +49,23 @@ leo::GeoPoint CellGrid::center_of(CellId cell) const {
   return leo::GeoPoint{lat, lon, 0.0};
 }
 
+int CellGrid::ring_of(double lat_deg) const {
+  const double lat = std::clamp(lat_deg, -90.0, 90.0);
+  return std::clamp(static_cast<int>((lat + 90.0) / 180.0 * rings_), 0, rings_ - 1);
+}
+
+CellGrid::Bounds CellGrid::bounds_of(CellId cell) const {
+  const int ring = std::clamp(static_cast<int>(cell >> 32), 0, rings_ - 1);
+  const int bins = bins_in_ring(ring);
+  const int bin = std::clamp(static_cast<int>(cell & 0xFFFFFFFFull), 0, bins - 1);
+  Bounds b;
+  b.lat_min = -90.0 + static_cast<double>(ring) * 180.0 / rings_;
+  b.lat_max = -90.0 + static_cast<double>(ring + 1) * 180.0 / rings_;
+  b.lon_min = static_cast<double>(bin) * 360.0 / bins;
+  b.lon_max = static_cast<double>(bin + 1) * 360.0 / bins;
+  return b;
+}
+
 std::string CellGrid::to_string(CellId cell) {
   std::string out = "r";
   out += std::to_string(cell >> 32);
@@ -56,5 +73,10 @@ std::string CellGrid::to_string(CellId cell) {
   out += std::to_string(cell & 0xFFFFFFFFull);
   return out;
 }
+
+HierarchicalGrid::HierarchicalGrid(double cell_km, int supercell_factor)
+    : base_{cell_km},
+      coarse_{std::max(1.0, cell_km) * std::max(1, supercell_factor)},
+      factor_{std::max(1, supercell_factor)} {}
 
 }  // namespace slp::fleet

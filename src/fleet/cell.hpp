@@ -42,12 +42,62 @@ class CellGrid {
   /// "r<ring>b<bin>" — stable human-readable key for logs and metrics.
   [[nodiscard]] static std::string to_string(CellId cell);
 
- private:
+  // Ring/bin structure, exposed so placement can enumerate candidate cells
+  // without round-tripping every lattice point through cell_of().
   [[nodiscard]] int rings() const { return rings_; }
   [[nodiscard]] int bins_in_ring(int ring) const;
+  [[nodiscard]] static CellId id_of(int ring, int bin) {
+    return (static_cast<CellId>(ring) << 32) | static_cast<CellId>(bin);
+  }
+  /// Latitude ring containing `lat_deg` (clamped to the valid range).
+  [[nodiscard]] int ring_of(double lat_deg) const;
 
+  /// Geographic extent of a cell. Longitudes use the grid's internal
+  /// [0, 360) convention — normalize before treating them as conventional
+  /// [-180, 180) coordinates.
+  struct Bounds {
+    double lat_min = 0.0;
+    double lat_max = 0.0;
+    double lon_min = 0.0;  ///< [0, 360)
+    double lon_max = 0.0;  ///< (0, 360]
+  };
+  [[nodiscard]] Bounds bounds_of(CellId cell) const;
+
+ private:
   double cell_km_ = 24.0;
   int rings_ = 0;  ///< latitude rings covering [-90, 90]
+};
+
+/// Two-level continental/planet hierarchy: the base grid keyed by ordinary
+/// CellIds plus a coarse grid whose cells ("supercells") tile
+/// `supercell_factor` base cells per edge. Aggregated contention accounting
+/// lives at the supercell level (fleet.hpp); the mapping is pure geometry —
+/// no RNG, no state — so promotion/demotion decisions are deterministic.
+class HierarchicalGrid {
+ public:
+  explicit HierarchicalGrid(double cell_km = 24.0, int supercell_factor = 8);
+
+  [[nodiscard]] const CellGrid& base() const { return base_; }
+  [[nodiscard]] const CellGrid& coarse() const { return coarse_; }
+  [[nodiscard]] int supercell_factor() const { return factor_; }
+
+  /// Supercell containing a base cell (keyed off the base cell's centre).
+  [[nodiscard]] CellId super_of(CellId base_cell) const {
+    return coarse_.cell_of(base_.center_of(base_cell));
+  }
+  [[nodiscard]] leo::GeoPoint super_center(CellId super) const {
+    return coarse_.center_of(super);
+  }
+
+  /// Tag bit distinguishing supercell keys from base-cell keys when both
+  /// land in one stats::KeyedSamples (ring indices never reach bit 31, so
+  /// bit 63 is always free).
+  static constexpr CellId kAggregateKeyBit = 1ull << 63;
+
+ private:
+  CellGrid base_;
+  CellGrid coarse_;
+  int factor_ = 8;
 };
 
 }  // namespace slp::fleet

@@ -51,18 +51,26 @@ DemandModel::Demand DemandModel::at(std::uint64_t terminal_seed, TimePoint t) co
   const auto session =
       static_cast<std::uint64_t>(std::max<std::int64_t>(0, t.ns()) / p.session.ns());
 
-  double duty = p.duty;
-  if (config_.diurnal_amplitude > 0.0) {
-    const double phase =
-        2.0 * std::numbers::pi * t.to_seconds() / config_.diurnal_period.to_seconds();
-    duty *= std::clamp(1.0 + config_.diurnal_amplitude * std::sin(phase), 0.0, 2.0);
-  }
+  const double duty = p.duty * diurnal_factor(t);
   if (mix_uniform(terminal_seed ^ kActiveStream, session) >= duty) return {};
 
   // Per-session rate jitter in [0.5, 1.5): sessions differ, but the rate is
   // constant within a session so allocations move on session boundaries.
   const double jitter = 0.5 + mix_uniform(terminal_seed ^ kRateStream, session);
   return {p.down * (jitter * config_.scale_down), p.up * (jitter * config_.scale_up)};
+}
+
+double DemandModel::diurnal_factor(TimePoint t) const {
+  if (config_.diurnal_amplitude <= 0.0) return 1.0;
+  const double phase =
+      2.0 * std::numbers::pi * t.to_seconds() / config_.diurnal_period.to_seconds();
+  return std::clamp(1.0 + config_.diurnal_amplitude * std::sin(phase), 0.0, 2.0);
+}
+
+DemandModel::Demand DemandModel::expected_at(TimePoint t) const {
+  const double f = diurnal_factor(t);
+  const Demand e = expected();
+  return {e.down * f, e.up * f};
 }
 
 DemandModel::Demand DemandModel::expected() const {

@@ -92,6 +92,15 @@ class DemandModel {
   /// class-mix mean) — used to report the implied per-cell utilization.
   [[nodiscard]] Demand expected() const;
 
+  /// Expected demand of one average terminal *at time t*: expected() scaled
+  /// by the diurnal duty factor. This is the O(1) analytic term the
+  /// hierarchical fleet folds idle cells into (exact while duty * factor
+  /// stays <= 1, which holds for every default class profile).
+  [[nodiscard]] Demand expected_at(TimePoint t) const;
+
+  /// The duty multiplier at time t (1.0 when diurnal modulation is off).
+  [[nodiscard]] double diurnal_factor(TimePoint t) const;
+
  private:
   [[nodiscard]] const ClassProfile& profile(DemandClass c) const;
 

@@ -37,6 +37,7 @@ Fleet::Fleet(sim::Simulator& sim, leo::StarlinkAccess& access, Config config)
       access_{&access},
       config_{std::move(config)},
       placement_{make_placement(config_, sim)},
+      hier_{config_.placement.cell_km, config_.supercell_factor},
       demand_{config_.demand},
       demand_seed_{sim.fork_rng(config_.rng_label + "/demand").next()},
       epoch_timer_{sim},
@@ -44,49 +45,24 @@ Fleet::Fleet(sim::Simulator& sim, leo::StarlinkAccess& access, Config config)
       cell_util_up_{util_edges()},
       terminal_down_mbps_{mbps_edges()} {
   const leo::StarlinkAccess::Config& ac = access.config();
-  const CellGrid& grid = placement_.grid();
-  foreground_cell_id_ = grid.cell_of(ac.terminal);
+  foreground_cell_id_ = placement_.grid().cell_of(ac.terminal);
 
-  CellArbiter::Config arb;
-  arb.cell_downlink = ac.cell_downlink;
-  arb.cell_uplink = ac.cell_uplink;
-  arb.downlink_load = ac.downlink_load;
-  arb.uplink_load = ac.uplink_load;
+  arb_config_.cell_downlink = ac.cell_downlink;
+  arb_config_.cell_uplink = ac.cell_uplink;
+  arb_config_.downlink_load = ac.downlink_load;
+  arb_config_.uplink_load = ac.uplink_load;
 
-  const auto make_cell = [&](CellId id, const std::vector<TerminalId>* terms) {
-    Cell c;
-    c.id = id;
-    const bool foreground = id == foreground_cell_id_;
-    // The foreground cell's ambient fallback forks the access's own labels,
-    // honouring the fleet-of-one bit-identity contract (cell_arbiter.hpp).
-    const std::string base = foreground
-                                 ? ac.rng_label
-                                 : config_.rng_label + "/cell-" + CellGrid::to_string(id);
-    c.arbiter = std::make_unique<CellArbiter>(arb, sim.fork_rng(base + "/load-down"),
-                                              sim.fork_rng(base + "/load-up"));
-    if (terms != nullptr) c.terminals = *terms;
-    for (const TerminalId t : c.terminals) {
-      c.arbiter->attach(t, config_.terminal_weight, /*elastic=*/false);
+  // Hot set: without aggregation every populated cell runs its arbiter (the
+  // flat-grid behaviour); with it, only the foreground cell starts hot and
+  // everything else folds into its supercell's analytic term.
+  for (const Placement::CellRange& r : placement_.cells()) {
+    if (!config_.aggregate_idle || r.cell == foreground_cell_id_) {
+      make_cell(r.cell, &r);
+    } else {
+      fold_into_aggregate(r.cell, r.count);
     }
-    if (foreground) {
-      c.arbiter->attach(kForegroundId, config_.foreground_weight, /*elastic=*/true);
-    }
-    // Handover tracking: the foreground cell reads the access's scheduler in
-    // tick(); populated neighbour cells watch the sky from their own centre.
-    if (config_.handovers && !foreground && !c.terminals.empty()) ensure_scheduler(c);
-    cells_.push_back(std::move(c));
-  };
-
-  bool fg_placed = false;
-  for (const auto& [id, terms] : placement_.cells()) {
-    if (!fg_placed && id > foreground_cell_id_) {
-      make_cell(foreground_cell_id_, nullptr);
-      fg_placed = true;
-    }
-    make_cell(id, &terms);
-    if (id == foreground_cell_id_) fg_placed = true;
   }
-  if (!fg_placed) make_cell(foreground_cell_id_, nullptr);
+  if (find_cell(foreground_cell_id_) == nullptr) make_cell(foreground_cell_id_, nullptr);
   foreground_cell_ = find_cell(foreground_cell_id_);
 
   access.set_cell_share_model(this);
@@ -98,13 +74,19 @@ Fleet::Fleet(sim::Simulator& sim, leo::StarlinkAccess& access, Config config)
     obs_detaches_ = reg.counter("fleet.detaches");
     obs_handovers_ = reg.counter("fleet.handovers");
     obs_reallocations_ = reg.counter("fleet.reallocations");
+    obs_promotions_ = reg.counter("fleet.promotions");
+    obs_demotions_ = reg.counter("fleet.demotions");
     obs_util_down_ = reg.gauge("fleet.foreground_util_down");
     obs_util_up_ = reg.gauge("fleet.foreground_util_up");
     obs_epoch_handovers_ = reg.gauge("fleet.epoch_handovers");
     obs_epoch_reallocations_ = reg.gauge("fleet.epoch_reallocations");
-    reg.gauge("fleet.terminals").set(static_cast<double>(placement_.terminals().size()));
+    obs_hot_cells_ = reg.gauge("fleet.hot_cells");
+    obs_supercells_ = reg.gauge("fleet.supercells");
+    obs_aggregated_terminals_ = reg.gauge("fleet.aggregated_terminals");
+    reg.gauge("fleet.terminals").set(static_cast<double>(placement_.total_terminals()));
     reg.gauge("fleet.cells").set(static_cast<double>(cells_.size()));
   }
+  update_shape_gauges();
 
   // A fleet of one has no demands to evaluate and must stay event-silent so
   // the fallback path is byte-identical to running without a fleet.
@@ -130,6 +112,40 @@ Fleet::Cell* Fleet::find_cell(CellId id) {
   return (it != cells_.end() && it->id == id) ? &*it : nullptr;
 }
 
+void Fleet::make_cell(CellId id, const Placement::CellRange* range) {
+  Cell c;
+  c.id = id;
+  const bool foreground = id == foreground_cell_id_;
+  // The foreground cell's ambient fallback forks the access's own labels,
+  // honouring the fleet-of-one bit-identity contract (cell_arbiter.hpp).
+  // Label-keyed forks also make a promoted cell's streams identical whether
+  // the cell went hot at construction or mid-run.
+  const std::string base =
+      foreground ? access_->config().rng_label
+                 : config_.rng_label + "/cell-" + CellGrid::to_string(id);
+  c.arbiter = std::make_unique<CellArbiter>(arb_config_, sim_->fork_rng(base + "/load-down"),
+                                            sim_->fork_rng(base + "/load-up"));
+  if (range != nullptr) {
+    c.first_terminal = range->first;
+    c.terminal_count = range->count;
+  }
+  for (std::uint32_t k = 0; k < c.terminal_count; ++k) {
+    c.arbiter->attach(c.first_terminal + k, config_.terminal_weight, /*elastic=*/false);
+  }
+  if (foreground) {
+    c.arbiter->attach(kForegroundId, config_.foreground_weight, /*elastic=*/true);
+  }
+  for (int dir = 0; dir < 2; ++dir) {
+    if (load_override_[dir] >= 0.0) c.arbiter->set_load_override(dir, load_override_[dir]);
+  }
+  // Handover tracking: the foreground cell reads the access's scheduler in
+  // tick(); populated neighbour cells watch the sky from their own centre.
+  if (config_.handovers && !foreground && c.terminal_count > 0) ensure_scheduler(c);
+  const auto it = std::lower_bound(cells_.begin(), cells_.end(), id,
+                                   [](const Cell& cc, CellId key) { return cc.id < key; });
+  cells_.insert(it, std::move(c));
+}
+
 void Fleet::ensure_scheduler(Cell& c) {
   if (c.scheduler != nullptr) return;
   const leo::StarlinkAccess::Config& ac = access_->config();
@@ -150,47 +166,122 @@ void Fleet::ensure_scheduler(Cell& c) {
   c.had_sat = false;  // fresh vantage: restart the change tracker
 }
 
+void Fleet::fold_into_aggregate(CellId base, std::uint32_t count) {
+  const CellId super = hier_.super_of(base);
+  const auto it =
+      std::lower_bound(aggregates_.begin(), aggregates_.end(), super,
+                       [](const Aggregate& a, CellId key) { return a.super < key; });
+  if (it != aggregates_.end() && it->super == super) {
+    it->terminals += count;
+    it->cells += 1;
+  } else {
+    aggregates_.insert(it, Aggregate{super, count, 1});
+  }
+}
+
+void Fleet::take_from_aggregate(CellId base, std::uint32_t count) {
+  const CellId super = hier_.super_of(base);
+  const auto it =
+      std::lower_bound(aggregates_.begin(), aggregates_.end(), super,
+                       [](const Aggregate& a, CellId key) { return a.super < key; });
+  if (it == aggregates_.end() || it->super != super) return;
+  it->terminals -= std::min(count, it->terminals);
+  if (it->cells > 0) it->cells -= 1;
+  if (it->cells == 0 && it->terminals == 0) aggregates_.erase(it);
+}
+
+Fleet::Cell* Fleet::promote_cell(CellId id) {
+  Cell* existing = find_cell(id);
+  if (existing != nullptr) return existing;
+  const Placement::CellRange* range = placement_.find(id);
+  if (range != nullptr && config_.aggregate_idle) take_from_aggregate(id, range->count);
+  make_cell(id, range);
+  obs_promotions_.add();
+  return find_cell(id);
+}
+
+void Fleet::demote_cell(CellId id) {
+  if (!config_.aggregate_idle || id == foreground_cell_id_) return;
+  const auto it = std::lower_bound(cells_.begin(), cells_.end(), id,
+                                   [](const Cell& c, CellId key) { return c.id < key; });
+  if (it == cells_.end() || it->id != id || it->pinned) return;
+  // The cell's counters move to the retired accumulator so totals() stays
+  // monotonic across promote/demote cycles.
+  const CellArbiter::Stats& s = it->arbiter->stats();
+  retired_.attaches += s.attaches;
+  retired_.detaches += s.detaches;
+  retired_.handovers += s.handovers;
+  retired_.reallocations += s.reallocations;
+  retired_.epoch += s.epoch;
+  if (it->terminal_count > 0) fold_into_aggregate(id, it->terminal_count);
+  cells_.erase(it);
+  obs_demotions_.add();
+}
+
 bool Fleet::set_foreground_position(const leo::GeoPoint& p, TimePoint now) {
   const CellId target = placement_.grid().cell_of(p);
   if (target == foreground_cell_id_) return false;
-
-  Cell* old_cell = find_cell(foreground_cell_id_);
-  old_cell->arbiter->detach(kForegroundId);
-  // While it hosted the foreground, the departed cell tracked the access's
-  // own scheduler; if background members remain it now needs its own sky
-  // watcher at the cell centre.
-  if (config_.handovers && !old_cell->terminals.empty()) ensure_scheduler(*old_cell);
-
-  Cell* next = find_cell(target);
-  if (next == nullptr) {
-    const leo::StarlinkAccess::Config& ac = access_->config();
-    CellArbiter::Config arb;
-    arb.cell_downlink = ac.cell_downlink;
-    arb.cell_uplink = ac.cell_uplink;
-    arb.downlink_load = ac.downlink_load;
-    arb.uplink_load = ac.uplink_load;
-    Cell c;
-    c.id = target;
-    const std::string base = config_.rng_label + "/cell-" + CellGrid::to_string(target);
-    c.arbiter = std::make_unique<CellArbiter>(arb, sim_->fork_rng(base + "/load-down"),
-                                              sim_->fork_rng(base + "/load-up"));
-    for (int dir = 0; dir < 2; ++dir) {
-      if (load_override_[dir] >= 0.0) c.arbiter->set_load_override(dir, load_override_[dir]);
-    }
-    const auto it = std::lower_bound(cells_.begin(), cells_.end(), target,
-                                     [](const Cell& cc, CellId key) { return cc.id < key; });
-    cells_.insert(it, std::move(c));  // invalidates old_cell; not used below
-    next = find_cell(target);
-    if (auto* rec = sim_->obs()) {
-      rec->registry().gauge("fleet.cells").set(static_cast<double>(cells_.size()));
+  const CellId departed = foreground_cell_id_;
+  {
+    Cell* old_cell = find_cell(departed);
+    old_cell->arbiter->detach(kForegroundId);
+    // While it hosted the foreground, the departed cell tracked the access's
+    // own scheduler; if it stays hot with background members it now needs
+    // its own sky watcher at the cell centre.
+    const bool stays_hot = !config_.aggregate_idle || old_cell->pinned;
+    if (config_.handovers && stays_hot && old_cell->terminal_count > 0) {
+      ensure_scheduler(*old_cell);
     }
   }
+  Cell* next = promote_cell(target);  // may reallocate cells_
   next->arbiter->attach(kForegroundId, config_.foreground_weight, /*elastic=*/true);
   foreground_cell_id_ = target;
-  foreground_cell_ = next;
+  // Under aggregation the departed cell's members return to the analytic
+  // term (unless a vantage pins the cell hot); the flat mode keeps every
+  // visited cell live, as before.
+  demote_cell(departed);
+  foreground_cell_ = find_cell(target);
   (void)now;
   publish_stats();
+  update_shape_gauges();
   return true;
+}
+
+TerminalId Fleet::add_vantage(const leo::GeoPoint& where, double weight) {
+  const CellId cell = placement_.grid().cell_of(where);
+  Cell* c = promote_cell(cell);
+  c->pinned = true;
+  const TerminalId id = next_vantage_id_--;
+  c->arbiter->attach(id, weight, /*elastic=*/true);
+  vantages_.push_back({id, cell, weight});
+  foreground_cell_ = find_cell(foreground_cell_id_);  // promote may realloc cells_
+  update_shape_gauges();
+  return id;
+}
+
+CellId Fleet::vantage_cell(TerminalId vantage) const {
+  for (const Vantage& v : vantages_) {
+    if (v.id == vantage) return v.cell;
+  }
+  return 0;
+}
+
+double Fleet::vantage_available_fraction(TerminalId vantage, int direction, TimePoint t) {
+  const Vantage* v = nullptr;
+  for (const Vantage& x : vantages_) {
+    if (x.id == vantage) v = &x;
+  }
+  if (v == nullptr) return 0.0;
+  Cell* c = find_cell(v->cell);
+  if (c == nullptr) return 0.0;
+  const double pool = c->arbiter->available_fraction(direction, t);
+  // The elastic pool is split by weight among co-resident elastic members.
+  double elastic_weight = v->weight;
+  if (v->cell == foreground_cell_id_) elastic_weight += config_.foreground_weight;
+  for (const Vantage& x : vantages_) {
+    if (x.cell == v->cell && x.id != v->id) elastic_weight += x.weight;
+  }
+  return elastic_weight > 0.0 ? pool * v->weight / elastic_weight : pool;
 }
 
 CellArbiter* Fleet::arbiter(CellId cell) {
@@ -198,8 +289,41 @@ CellArbiter* Fleet::arbiter(CellId cell) {
   return c == nullptr ? nullptr : c->arbiter.get();
 }
 
+std::uint64_t Fleet::aggregated_terminal_count() const {
+  std::uint64_t total = 0;
+  for (const Aggregate& a : aggregates_) total += a.terminals;
+  return total;
+}
+
+double Fleet::analytic_util(int direction, const Aggregate& a, TimePoint t) const {
+  const phy::LoadProcess::Config& load = direction == CellArbiter::kUp
+                                             ? arb_config_.uplink_load
+                                             : arb_config_.downlink_load;
+  double util = load.floor;
+  if (a.cells > 0) {
+    // Mean per-cell offered load over the supercell: terminals spread evenly
+    // across its populated cells, each demanding the class-mix expectation
+    // at t. The same floor/ceiling clamps bound it that bound a real
+    // arbiter's contention term.
+    const DemandModel::Demand e = demand_.expected_at(t);
+    const double per_cell_bps =
+        static_cast<double>(a.terminals) / static_cast<double>(a.cells) *
+        (direction == CellArbiter::kUp ? e.up : e.down).bits_per_second();
+    const double nominal = (direction == CellArbiter::kUp ? arb_config_.cell_uplink
+                                                          : arb_config_.cell_downlink)
+                               .bits_per_second();
+    util = std::clamp(per_cell_bps / std::max(1.0, nominal), load.floor, load.ceiling);
+  }
+  // Scenario surges compose exactly like the arbiter's override: a floor
+  // under the modelled contention, capped at the ceiling.
+  if (load_override_[direction] >= 0.0) {
+    util = std::min(std::max(util, load_override_[direction]), load.ceiling);
+  }
+  return util;
+}
+
 CellArbiter::Stats Fleet::totals() const {
-  CellArbiter::Stats t;
+  CellArbiter::Stats t = retired_;
   for (const Cell& c : cells_) {
     const CellArbiter::Stats& s = c.arbiter->stats();
     t.attaches += s.attaches;
@@ -220,36 +344,87 @@ void Fleet::publish_stats() {
   published_ = t;
 }
 
+void Fleet::update_shape_gauges() {
+  obs_hot_cells_.set(static_cast<double>(cells_.size()));
+  obs_supercells_.set(static_cast<double>(aggregates_.size()));
+  obs_aggregated_terminals_.set(static_cast<double>(aggregated_terminal_count()));
+  if (auto* rec = sim_->obs()) {
+    rec->registry().gauge("fleet.cells").set(static_cast<double>(cells_.size()));
+  }
+}
+
+void Fleet::step_cell(Cell& c, TimePoint now, CellTick& out) {
+  out.active_down.clear();
+  // Cells without a scheduler of their own: only the current foreground
+  // cell may fall back to the access's scheduler (a cell the foreground
+  // migrated out of and left empty has nobody watching its sky).
+  if (config_.handovers && (c.scheduler != nullptr || c.id == foreground_cell_id_)) {
+    const leo::HandoverScheduler::Path& path = c.scheduler != nullptr
+                                                   ? c.scheduler->path_at(now)
+                                                   : access_->scheduler().path_at(now);
+    if (path.connected) {
+      if (c.had_sat && !(path.sat == c.last_sat)) c.arbiter->note_handover();
+      c.last_sat = path.sat;
+      c.had_sat = true;
+    }
+  }
+  for (std::uint32_t k = 0; k < c.terminal_count; ++k) {
+    const TerminalId id = c.first_terminal + k;
+    const DemandModel::Demand d = demand_.at(terminal_seed(id), now);
+    c.arbiter->set_demand(id, d.down, d.up);
+  }
+  c.arbiter->reallocate(now);
+  out.util_down = c.arbiter->utilization(CellArbiter::kDown, now);
+  out.util_up = c.arbiter->utilization(CellArbiter::kUp, now);
+  for (std::uint32_t k = 0; k < c.terminal_count; ++k) {
+    const TerminalId id = c.first_terminal + k;
+    if (demand_.at(terminal_seed(id), now).active()) {
+      out.active_down.emplace_back(
+          id, c.arbiter->allocation(id, CellArbiter::kDown).bits_per_second() / 1e6);
+    }
+  }
+}
+
+void Fleet::fold_cell(const Cell& c, const CellTick& t) {
+  cell_util_down_.add(c.id, t.util_down);
+  cell_util_up_.add(c.id, t.util_up);
+  for (const auto& [id, mbps] : t.active_down) terminal_down_mbps_.add(id, mbps);
+}
+
 void Fleet::tick() {
   const obs::SectionTimer wall{obs::Section::kArbiter};
   const TimePoint now = sim_->now();
-  for (Cell& c : cells_) {
-    // Cells without a scheduler of their own: only the current foreground
-    // cell may fall back to the access's scheduler (a cell the foreground
-    // migrated out of and left empty has nobody watching its sky).
-    if (config_.handovers && (c.scheduler != nullptr || c.id == foreground_cell_id_)) {
-      const leo::HandoverScheduler::Path& path = c.scheduler != nullptr
-                                                     ? c.scheduler->path_at(now)
-                                                     : access_->scheduler().path_at(now);
-      if (path.connected) {
-        if (c.had_sat && !(path.sat == c.last_sat)) c.arbiter->note_handover();
-        c.last_sat = path.sat;
-        c.had_sat = true;
-      }
+  const std::size_t n = cells_.size();
+  if (config_.shards == 1 || n <= 1) {
+    // Serial reference loop: step + fold per cell, in cell-id order.
+    CellTick scratch;
+    for (Cell& c : cells_) {
+      step_cell(c, now, scratch);
+      fold_cell(c, scratch);
     }
-    for (const TerminalId id : c.terminals) {
-      const DemandModel::Demand d = demand_.at(terminal_seed(id), now);
-      c.arbiter->set_demand(id, d.down, d.up);
-    }
-    c.arbiter->reallocate(now);
-    cell_util_down_.add(c.id, c.arbiter->utilization(CellArbiter::kDown, now));
-    cell_util_up_.add(c.id, c.arbiter->utilization(CellArbiter::kUp, now));
-    for (const TerminalId id : c.terminals) {
-      if (demand_.at(terminal_seed(id), now).active()) {
-        terminal_down_mbps_.add(
-            id, c.arbiter->allocation(id, CellArbiter::kDown).bits_per_second() / 1e6);
-      }
-    }
+  } else {
+    // Sharded epochs: contiguous cell-id ranges stepped on pool workers
+    // (disjoint per-cell state; each worker writes only its cells' scratch
+    // slots), then folded here in the same cell-id order as the serial
+    // loop — byte-identical output for any shard count.
+    if (pool_ == nullptr) pool_ = std::make_unique<runner::Pool>(config_.shards);
+    tick_scratch_.resize(n);
+    Cell* cells = cells_.data();
+    CellTick* ticks = tick_scratch_.data();
+    pool_->run_ranges(n, pool_->workers() * 4,
+                      [this, now, cells, ticks](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          step_cell(cells[i], now, ticks[i]);
+                        }
+                      });
+    for (std::size_t i = 0; i < n; ++i) fold_cell(cells_[i], tick_scratch_[i]);
+  }
+  // Aggregated supercells: one O(1) analytic term each, keyed with the
+  // aggregate bit so they never collide with base-cell keys.
+  for (const Aggregate& a : aggregates_) {
+    const CellId key = a.super | HierarchicalGrid::kAggregateKeyBit;
+    cell_util_down_.add(key, analytic_util(CellArbiter::kDown, a, now));
+    cell_util_up_.add(key, analytic_util(CellArbiter::kUp, a, now));
   }
   foreground_down_mbps_.add(access_->downlink_capacity(now).bits_per_second() / 1e6);
   foreground_up_mbps_.add(access_->uplink_capacity(now).bits_per_second() / 1e6);
@@ -292,7 +467,8 @@ double Fleet::available_fraction(int direction, TimePoint t) {
 
 void Fleet::set_load_override(int direction, double utilization) {
   // A scripted surge is regional: every cell's ambient floor rises, so both
-  // the foreground capacity and the neighbours' contention react.
+  // the foreground capacity and the neighbours' contention react. Aggregated
+  // supercells read load_override_ inside analytic_util directly.
   load_override_[direction] = utilization;
   for (Cell& c : cells_) c.arbiter->set_load_override(direction, utilization);
 }

@@ -18,13 +18,33 @@
 // evaluations plus O(active) water-filling, with no extra events per
 // terminal.
 //
+// Continental scale adds two more levers on top (both off by default):
+//
+//   * `aggregate_idle`: only cells hosting a measured vantage (the
+//     foreground, add_vantage() terminals, or cells a mobile foreground has
+//     promoted) run their arbiter ("hot" cells). Every other populated cell
+//     folds into its HierarchicalGrid supercell as a pair of counters
+//     (terminals, cells), whose utilization is computed analytically in
+//     O(1) per epoch from DemandModel::expected_at — a million terminals
+//     cost memory and time proportional to the hot set. Promotion and
+//     demotion happen deterministically when the foreground crosses a cell
+//     boundary, moving the cell's count between the aggregate and a live
+//     arbiter (lazy Placement ranges make the membership free).
+//
+//   * `shards`: hot-cell epochs are partitioned by cell-id order across a
+//     private runner::Pool. Per-cell state (arbiter, scheduler, ambient
+//     RNG streams) is disjoint by construction, workers write per-cell
+//     slots, and the fold into the keyed distributions happens on the sim
+//     thread in cell-id order afterwards — so any shard count produces
+//     byte-identical output to the serial loop (shards == 1 *is* the
+//     serial loop).
+//
 // Determinism: placement draws from one forked label stream; demand is
 // counter-based (no state, no draw order); per-cell ambient processes and
 // handover schedulers fork label streams keyed by the cell id. A fleet of
-// size 1 (just the foreground) attaches no background members anywhere, so
-// every capacity query falls back to the ambient LoadProcess pair forked
-// with StarlinkAccess's own labels — bit-identical to running without a
-// fleet at all.
+// size 1 attaches no background members anywhere, so every capacity query
+// falls back to the ambient LoadProcess pair forked with StarlinkAccess's
+// own labels — bit-identical to running without a fleet at all.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +57,7 @@
 #include "fleet/placement.hpp"
 #include "leo/access.hpp"
 #include "obs/registry.hpp"
+#include "runner/pool.hpp"
 #include "sim/simulator.hpp"
 #include "stats/groupby.hpp"
 #include "stats/quantiles.hpp"
@@ -45,7 +66,8 @@ namespace slp::fleet {
 
 class Fleet final : public leo::CellShareModel {
  public:
-  /// Reserved id for the foreground (packet-level) terminal.
+  /// Reserved id for the foreground (packet-level) terminal. Vantage ids
+  /// descend from kForegroundId - 1, background ids ascend from 0.
   static constexpr TerminalId kForegroundId = 0xFFFFFFFFu;
 
   struct Config {
@@ -62,6 +84,15 @@ class Fleet final : public leo::CellShareModel {
     /// Track per-cell serving-satellite changes (each one advances the
     /// cell's allocation epoch).
     bool handovers = true;
+    /// Analytic idle-cell aggregation (see file comment). Off = every
+    /// populated cell is hot, the pre-hierarchical behaviour.
+    bool aggregate_idle = false;
+    /// Base cells per supercell edge for the hierarchical grid.
+    int supercell_factor = 8;
+    /// Arbiter epoch shards: 1 = serial reference loop, 0 = hardware
+    /// concurrency, N = that many pool workers. Output is byte-identical
+    /// for every value.
+    int shards = 1;
     std::string rng_label = "fleet";
 
     [[nodiscard]] bool enabled() const { return size > 0; }
@@ -84,31 +115,67 @@ class Fleet final : public leo::CellShareModel {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const Placement& placement() const { return placement_; }
   [[nodiscard]] const DemandModel& demand_model() const { return demand_; }
+  [[nodiscard]] const HierarchicalGrid& hier_grid() const { return hier_; }
   [[nodiscard]] CellId foreground_cell() const { return foreground_cell_id_; }
+  /// Hot (arbiter-backed) cells.
   [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
-  [[nodiscard]] std::size_t terminal_count() const { return placement_.terminals().size(); }
+  [[nodiscard]] std::size_t terminal_count() const { return placement_.total_terminals(); }
   /// Stable per-terminal demand seed (hash stream base + id).
   [[nodiscard]] std::uint64_t terminal_seed(TerminalId id) const {
     return mix64(demand_seed_, id);
   }
-  /// Null for unknown cells.
+  /// Null for cells that are not hot.
   [[nodiscard]] CellArbiter* arbiter(CellId cell);
+
+  /// One analytically aggregated supercell: `terminals` background
+  /// terminals across `cells` populated base cells, contributing a single
+  /// O(1) utilization term per epoch.
+  struct Aggregate {
+    CellId super = 0;
+    std::uint32_t terminals = 0;
+    std::uint32_t cells = 0;
+  };
+  /// Supercell-id ordered; empty unless config().aggregate_idle.
+  [[nodiscard]] const std::vector<Aggregate>& aggregates() const { return aggregates_; }
+  [[nodiscard]] std::uint64_t aggregated_terminal_count() const;
+  /// The analytic utilization term for one aggregate at time t (clamped to
+  /// the ambient floor/ceiling; composes with load-surge overrides exactly
+  /// like a hot arbiter: util = max(analytic, override)).
+  [[nodiscard]] double analytic_util(int direction, const Aggregate& a, TimePoint t) const;
+
+  // --- measured vantages (measure::MultiVantageCampaign) ---------------
+  /// Attaches a measured vantage terminal — an elastic member, like the
+  /// foreground — in the cell containing `where`, promoting that cell out
+  /// of its aggregate if needed and pinning it hot for the fleet's
+  /// lifetime. Returns the vantage's reserved terminal id.
+  TerminalId add_vantage(const leo::GeoPoint& where, double weight = 1.0);
+  [[nodiscard]] std::size_t vantage_count() const { return vantages_.size(); }
+  [[nodiscard]] CellId vantage_cell(TerminalId vantage) const;
+  /// Capacity fraction the vantage's cell leaves to *this* vantage (the
+  /// elastic pool share, split by weight among co-resident elastic
+  /// members). The multi-vantage campaign's per-anchor capacity seam.
+  [[nodiscard]] double vantage_available_fraction(TerminalId vantage, int direction,
+                                                  TimePoint t);
 
   // --- mobility (src/mobility/) ---------------------------------------
   /// Re-homes the foreground terminal to the cell containing `p`: detaches
   /// it from its old arbiter, attaches it (elastic) to the new cell's —
-  /// creating that cell on first visit — and leaves the departed cell
-  /// serving its background members. Returns true when a cell boundary was
+  /// promoting/creating that cell on first visit — and, under
+  /// aggregate_idle, folds the departed cell back into its supercell
+  /// unless a vantage pins it. Returns true when a cell boundary was
   /// actually crossed. Draws no randomness beyond label-forked streams, so
   /// a moving foreground never perturbs the background fleet's draws.
   bool set_foreground_position(const leo::GeoPoint& p, TimePoint now);
 
-  /// Aggregated arbiter counters across all cells.
+  /// Aggregated arbiter counters across all hot cells, including cells
+  /// retired by demotion (monotonic across promote/demote cycles).
   [[nodiscard]] CellArbiter::Stats totals() const;
   /// Fleet-wide epoch ticks executed so far.
   [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
 
   // --- per-epoch accumulated distributions ----------------------------
+  /// Keys are base-cell ids for hot cells and
+  /// (super | HierarchicalGrid::kAggregateKeyBit) for aggregates.
   [[nodiscard]] const stats::KeyedSamples& cell_util(int direction) const {
     return direction == CellArbiter::kUp ? cell_util_up_ : cell_util_down_;
   }
@@ -126,7 +193,12 @@ class Fleet final : public leo::CellShareModel {
   struct Cell {
     CellId id = 0;
     std::unique_ptr<CellArbiter> arbiter;
-    std::vector<TerminalId> terminals;  ///< ascending; empty for the pure-foreground cell
+    /// Background members: the contiguous id range [first_terminal,
+    /// first_terminal + terminal_count) from the lazy placement; 0 for
+    /// pure-foreground/vantage cells.
+    TerminalId first_terminal = 0;
+    std::uint32_t terminal_count = 0;
+    bool pinned = false;  ///< hosts a vantage; never demoted
     /// Serving-satellite tracker. The foreground cell reads the access's own
     /// scheduler (null here); other cells get one at their cell centre,
     /// sharing the fleet's constellation.
@@ -135,9 +207,35 @@ class Fleet final : public leo::CellShareModel {
     bool had_sat = false;
   };
 
+  /// Per-cell epoch output, staged so sharded and serial ticks fold the
+  /// same values in the same (cell-id) order.
+  struct CellTick {
+    double util_down = 0.0;
+    double util_up = 0.0;
+    std::vector<std::pair<TerminalId, double>> active_down;  ///< (id, mbps)
+  };
+
   void tick();
+  /// Runs one cell's epoch (handover check, demand refresh, water-filling)
+  /// and stages its samples into `out`. Touches only this cell's state (and
+  /// the access's scheduler for the foreground cell), so disjoint cells may
+  /// step concurrently.
+  void step_cell(Cell& c, TimePoint now, CellTick& out);
+  /// Folds one staged epoch into the keyed distributions (sim thread only).
+  void fold_cell(const Cell& c, const CellTick& t);
   void publish_stats();
+  void update_shape_gauges();
   [[nodiscard]] Cell* find_cell(CellId id);
+  /// Makes `id` hot: returns the existing cell or builds one, pulling its
+  /// placement range out of the supercell aggregate when aggregation is on.
+  Cell* promote_cell(CellId id);
+  /// Folds an unpinned, non-foreground hot cell back into its aggregate
+  /// (no-op unless aggregate_idle). Its arbiter counters move into the
+  /// retired accumulator so totals() stays monotonic.
+  void demote_cell(CellId id);
+  void make_cell(CellId id, const Placement::CellRange* range);
+  void fold_into_aggregate(CellId base, std::uint32_t count);
+  void take_from_aggregate(CellId base, std::uint32_t count);
   /// Builds the cell-centre sky watcher for a cell that needs one.
   void ensure_scheduler(Cell& c);
 
@@ -145,15 +243,28 @@ class Fleet final : public leo::CellShareModel {
   leo::StarlinkAccess* access_;
   Config config_;
   Placement placement_;
+  HierarchicalGrid hier_;
   DemandModel demand_;
   std::uint64_t demand_seed_ = 0;
+  CellArbiter::Config arb_config_;
   /// Shared orbital state for the per-cell handover schedulers (the access
   /// owns its own instance; same shell config → same geometry).
   std::unique_ptr<leo::Constellation> constellation_;
-  std::vector<Cell> cells_;  ///< cell-id ordered
+  std::vector<Cell> cells_;  ///< hot cells, cell-id ordered
+  std::vector<Aggregate> aggregates_;
+  struct Vantage {
+    TerminalId id = 0;
+    CellId cell = 0;
+    double weight = 1.0;
+  };
+  std::vector<Vantage> vantages_;
+  TerminalId next_vantage_id_ = kForegroundId - 1;
   CellId foreground_cell_id_ = 0;
   Cell* foreground_cell_ = nullptr;
   sim::Timer epoch_timer_;
+  /// Lazily created on the first sharded tick; null while shards == 1.
+  std::unique_ptr<runner::Pool> pool_;
+  std::vector<CellTick> tick_scratch_;
 
   stats::KeyedSamples cell_util_down_;
   stats::KeyedSamples cell_util_up_;
@@ -166,16 +277,22 @@ class Fleet final : public leo::CellShareModel {
   double load_override_[2] = {-1.0, -1.0};
 
   CellArbiter::Stats published_{};
+  CellArbiter::Stats retired_{};  ///< counters of demoted cells
   std::uint64_t epochs_ = 0;
   obs::Counter obs_epochs_;
   obs::Counter obs_attaches_;
   obs::Counter obs_detaches_;
   obs::Counter obs_handovers_;
   obs::Counter obs_reallocations_;
+  obs::Counter obs_promotions_;
+  obs::Counter obs_demotions_;
   obs::Gauge obs_util_down_;
   obs::Gauge obs_util_up_;
   obs::Gauge obs_epoch_handovers_;
   obs::Gauge obs_epoch_reallocations_;
+  obs::Gauge obs_hot_cells_;
+  obs::Gauge obs_supercells_;
+  obs::Gauge obs_aggregated_terminals_;
   /// Start of the current epoch interval (previous tick), for trace spans.
   TimePoint last_tick_at_;
   bool ticked_ = false;

@@ -4,20 +4,25 @@
 // population centres with a thin rural tail, and the follow-up measurement
 // studies ("A Multifaceted Look at Starlink Performance", "Democratizing LEO
 // Satellite Network Measurement") sample exactly that mixture. We reproduce
-// it with a two-component draw per terminal:
+// it with a two-component density:
 //
-//   * with probability `urban_fraction`: a population-weighted city pick
-//     (leo::places anchors around the paper's vantage) plus a Gaussian
-//     scatter of `urban_sigma_km` around it;
-//   * otherwise: uniform over the configured rural bounding box.
+//   * `urban_fraction` of the fleet follows population-weighted Gaussian
+//     plumes of `urban_sigma_km` around the configured centres;
+//   * the rest fills the rural bounding box uniformly.
 //
-// Every terminal is then keyed to its CellGrid cell. Placement draws from
-// one forked Rng stream in terminal-index order, so a given (seed, config)
-// produces the identical fleet on every run, thread count, and query order.
+// The representation is deliberately *lazy*: generate() apportions the N
+// terminals into per-cell counts (largest-remainder over the per-cell
+// density mass, jittered per seed), assigns each cell a contiguous id range
+// in cell-id order, and stops there — O(#populated cells) memory, never
+// O(N). Concrete terminal coordinates only exist when a cell is
+// materialize()d, drawn from that cell's own seed-derived stream, so a
+// million-terminal continent where most cells are aggregated analytically
+// (fleet.hpp) costs memory proportional to the cells actually simulated.
+// Every query is bit-identical regardless of which cells are materialized,
+// in what order, or on which thread.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -40,6 +45,10 @@ struct PopulationCenter {
 /// Louvain-la-Neuve vantage itself, weighted by metro population.
 [[nodiscard]] std::vector<PopulationCenter> default_population_centers();
 
+/// Continental-scale centres: ~40 European metro areas weighted by
+/// population (millions), for million-terminal campaigns.
+[[nodiscard]] std::vector<PopulationCenter> european_population_centers();
+
 class Placement {
  public:
   struct Config {
@@ -55,33 +64,59 @@ class Placement {
     std::vector<PopulationCenter> centers;  ///< empty = default_population_centers()
   };
 
+  /// Continental preset: the European bounding box (36-60N, -10..32E) with
+  /// european_population_centers() and a metro-scale sigma. `terminals` is
+  /// left at 0 for the caller to fill.
+  [[nodiscard]] static Config continental_europe();
+
+  /// One populated cell: `count` terminals with the contiguous id range
+  /// [first, first + count). Ranges are assigned in cell-id order, so both
+  /// ids and cells ascend together.
+  struct CellRange {
+    CellId cell = 0;
+    TerminalId first = 0;
+    std::uint32_t count = 0;
+  };
+
   struct Terminal {
     TerminalId id = 0;
     leo::GeoPoint location;
     CellId cell = 0;
   };
 
-  /// Places `config.terminals` terminals; `rng` should be a label-forked
-  /// stream (e.g. sim.fork_rng("fleet/placement")) so placement never
-  /// perturbs other components.
+  /// Apportions `config.terminals` terminals into per-cell counts; `rng`
+  /// should be a label-forked stream (e.g. sim.fork_rng("fleet/placement"))
+  /// so placement never perturbs other components. O(#candidate cells);
+  /// draws exactly one value from `rng` (the per-cell stream base).
   [[nodiscard]] static Placement generate(const Config& config, Rng rng);
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const CellGrid& grid() const { return grid_; }
-  [[nodiscard]] const std::vector<Terminal>& terminals() const { return terminals_; }
-  /// Terminal ids per cell, cell-id ordered; ids ascend within a cell.
-  [[nodiscard]] const std::map<CellId, std::vector<TerminalId>>& cells() const {
-    return cells_;
-  }
+  /// Populated cells, cell-id ordered.
+  [[nodiscard]] const std::vector<CellRange>& cells() const { return cells_; }
   [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] std::uint32_t total_terminals() const { return total_; }
+  /// Null for cells with no terminals.
+  [[nodiscard]] const CellRange* find(CellId cell) const;
+
+  /// Materializes one cell's terminals on demand: coordinates are drawn
+  /// uniformly within the cell from a stream keyed by (placement seed,
+  /// cell id) — O(count), independent of every other cell, and identical
+  /// however often or late it is called.
+  [[nodiscard]] std::vector<Terminal> materialize(const CellRange& range) const;
+  [[nodiscard]] std::vector<Terminal> materialize(CellId cell) const;
+
+  /// The per-cell stream base (one draw from the generate() rng).
+  [[nodiscard]] std::uint64_t stream_seed() const { return stream_seed_; }
 
  private:
   Placement(Config config, CellGrid grid) : config_{std::move(config)}, grid_{grid} {}
 
   Config config_;
   CellGrid grid_;
-  std::vector<Terminal> terminals_;
-  std::map<CellId, std::vector<TerminalId>> cells_;
+  std::uint64_t stream_seed_ = 0;
+  std::vector<CellRange> cells_;  ///< cell-id ordered, counts > 0
+  std::uint32_t total_ = 0;
 };
 
 }  // namespace slp::fleet

@@ -193,4 +193,14 @@ std::vector<Gateway> default_european_gateways() {
   };
 }
 
+std::vector<Gateway> default_global_gateways() {
+  std::vector<Gateway> gws = default_european_gateways();
+  // Gateways close to the testbed's non-European anchor metros, so every
+  // multi-vantage terminal has a plausible bent-pipe exit nearby.
+  gws.push_back(Gateway{"newyork-us", GeoPoint{41.07, -74.54, 0.0}});
+  gws.push_back(Gateway{"fremont-us", GeoPoint{37.49, -121.93, 0.0}});
+  gws.push_back(Gateway{"singapore-sg", GeoPoint{1.33, 103.70, 0.0}});
+  return gws;
+}
+
 }  // namespace slp::leo

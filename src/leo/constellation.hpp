@@ -113,4 +113,9 @@ struct Gateway {
 
 [[nodiscard]] std::vector<Gateway> default_european_gateways();
 
+/// The European trio plus gateways near the testbed's overseas anchors
+/// (New York, Fremont, Singapore), for multi-vantage campaigns that span
+/// the paper's full anchor set.
+[[nodiscard]] std::vector<Gateway> default_global_gateways();
+
 }  // namespace slp::leo

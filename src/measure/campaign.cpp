@@ -214,6 +214,7 @@ MessageCampaign::Result MessageCampaign::run(const Config& config) {
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
   tb_config.fast_forward = config.fast_forward;
+  tb_config.fleet = config.fleet;
   Testbed bed{tb_config};
 
   Result result;
@@ -334,6 +335,7 @@ WebCampaign::Result WebCampaign::run(const Config& config) {
   tb_config.obs = config.obs;
   tb_config.scenario = config.scenario;
   tb_config.fast_forward = config.fast_forward;
+  if (config.access == AccessKind::kStarlink) tb_config.fleet = config.fleet;
   Testbed bed{tb_config};
 
   Result result;

@@ -126,6 +126,9 @@ struct MessageCampaign {
     bool pacing = false;
     obs::Options obs;
     std::shared_ptr<const scenario::Scenario> scenario;
+    /// Optional simulated-neighbour fleet (src/fleet/); size 0 keeps the
+    /// synthetic cell load, size N > 1 puts real contention under Figure 4b.
+    fleet::Fleet::Config fleet;
     bool fast_forward = true;  ///< see TestbedConfig::fast_forward
   };
 
@@ -183,6 +186,9 @@ struct WebCampaign {
     bool dns = true;
     obs::Options obs;
     std::shared_ptr<const scenario::Scenario> scenario;
+    /// Optional simulated-neighbour fleet (Starlink access only); puts real
+    /// contention under the Figure 6 page loads.
+    fleet::Fleet::Config fleet;
     bool fast_forward = true;  ///< see TestbedConfig::fast_forward
   };
 

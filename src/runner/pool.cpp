@@ -58,6 +58,21 @@ void Pool::drain() {
   }
 }
 
+void Pool::run_ranges(std::size_t n, int chunks,
+                      const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t parts = std::min<std::size_t>(std::max(1, chunks), n);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t end = begin + base + (p < extra ? 1 : 0);
+    submit([fn, begin, end] { fn(begin, end); });
+    begin = end;
+  }
+  drain();
+}
+
 std::uint64_t Pool::tasks_completed() const {
   std::lock_guard lock{mutex_};
   return completed_;

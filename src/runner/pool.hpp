@@ -46,6 +46,15 @@ class Pool {
   /// The pool is reusable after drain().
   void drain();
 
+  /// Splits [0, n) into `chunks` contiguous ranges (sizes within one of each
+  /// other) and runs `fn(begin, end)` for each on the pool, blocking until
+  /// all complete (submit + drain, so it shares drain()'s exception
+  /// behaviour). The determinism contract above still applies: `fn` must
+  /// write only per-index slots, and folding stays the caller's job, in
+  /// index order. Used by the fleet's sharded arbiter epochs.
+  void run_ranges(std::size_t n, int chunks,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
   [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
   /// Tasks that have finished (successfully or not) since construction.
   [[nodiscard]] std::uint64_t tasks_completed() const;

@@ -39,52 +39,110 @@ TEST(Placement, DeterministicPerSeedAndConfig) {
   config.terminals = 400;
   const Placement a = Placement::generate(config, Rng{123}.fork("fleet/placement"));
   const Placement b = Placement::generate(config, Rng{123}.fork("fleet/placement"));
-  ASSERT_EQ(a.terminals().size(), 400u);
-  ASSERT_EQ(b.terminals().size(), 400u);
-  for (std::size_t i = 0; i < a.terminals().size(); ++i) {
-    EXPECT_EQ(a.terminals()[i].id, b.terminals()[i].id);
-    EXPECT_EQ(a.terminals()[i].cell, b.terminals()[i].cell);
-    EXPECT_EQ(a.terminals()[i].location.lat_deg, b.terminals()[i].location.lat_deg);
-    EXPECT_EQ(a.terminals()[i].location.lon_deg, b.terminals()[i].location.lon_deg);
+  ASSERT_EQ(a.total_terminals(), 400u);
+  ASSERT_EQ(b.total_terminals(), 400u);
+  ASSERT_EQ(a.cells().size(), b.cells().size());
+  for (std::size_t i = 0; i < a.cells().size(); ++i) {
+    EXPECT_EQ(a.cells()[i].cell, b.cells()[i].cell);
+    EXPECT_EQ(a.cells()[i].first, b.cells()[i].first);
+    EXPECT_EQ(a.cells()[i].count, b.cells()[i].count);
+    const auto ta = a.materialize(a.cells()[i]);
+    const auto tb = b.materialize(b.cells()[i]);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j) {
+      EXPECT_EQ(ta[j].id, tb[j].id);
+      EXPECT_EQ(ta[j].cell, tb[j].cell);
+      EXPECT_EQ(ta[j].location.lat_deg, tb[j].location.lat_deg);
+      EXPECT_EQ(ta[j].location.lon_deg, tb[j].location.lon_deg);
+    }
   }
-  EXPECT_EQ(a.cells(), b.cells());
 
   const Placement c = Placement::generate(config, Rng{124}.fork("fleet/placement"));
-  bool any_differs = false;
-  for (std::size_t i = 0; i < c.terminals().size(); ++i) {
-    if (c.terminals()[i].location.lat_deg != a.terminals()[i].location.lat_deg) {
-      any_differs = true;
-      break;
-    }
+  bool any_differs = c.cells().size() != a.cells().size();
+  for (std::size_t i = 0; !any_differs && i < c.cells().size(); ++i) {
+    any_differs = c.cells()[i].cell != a.cells()[i].cell ||
+                  c.cells()[i].count != a.cells()[i].count;
+  }
+  if (!any_differs && !c.cells().empty()) {
+    const auto tc = c.materialize(c.cells().front());
+    const auto tac = a.materialize(a.cells().front());
+    any_differs = tc.front().location.lat_deg != tac.front().location.lat_deg;
   }
   EXPECT_TRUE(any_differs) << "different seeds should place different fleets";
 }
 
-TEST(Placement, CellsPartitionTheFleet) {
+TEST(Placement, LazyRangesPartitionTheFleet) {
   Placement::Config config;
   config.terminals = 300;
   const Placement p = Placement::generate(config, Rng{7});
-  std::size_t total = 0;
+  std::uint32_t next = 0;
   CellId prev_cell = 0;
   bool first = true;
-  for (const auto& [cell, ids] : p.cells()) {
-    EXPECT_FALSE(ids.empty());
+  for (const Placement::CellRange& r : p.cells()) {
+    EXPECT_GT(r.count, 0u);
     if (!first) {
-      EXPECT_LT(prev_cell, cell) << "cells() must be cell-id ordered";
+      EXPECT_LT(prev_cell, r.cell) << "cells() must be cell-id ordered";
     }
-    prev_cell = cell;
+    prev_cell = r.cell;
     first = false;
-    for (std::size_t i = 1; i < ids.size(); ++i) {
-      EXPECT_LT(ids[i - 1], ids[i]) << "ids ascend within a cell";
-    }
-    total += ids.size();
-    for (const TerminalId id : ids) {
-      ASSERT_LT(id, p.terminals().size());
-      EXPECT_EQ(p.terminals()[id].cell, cell);
+    EXPECT_EQ(r.first, next) << "id ranges must be contiguous in cell-id order";
+    next += r.count;
+    EXPECT_EQ(p.find(r.cell), &r);
+    const auto terms = p.materialize(r);
+    ASSERT_EQ(terms.size(), r.count);
+    for (std::size_t j = 0; j < terms.size(); ++j) {
+      EXPECT_EQ(terms[j].id, r.first + j);
+      EXPECT_EQ(terms[j].cell, r.cell);
+      EXPECT_EQ(p.grid().cell_of(terms[j].location), r.cell)
+          << "materialized coordinates must land inside their own cell";
     }
   }
-  EXPECT_EQ(total, 300u);
+  EXPECT_EQ(next, 300u);
+  EXPECT_EQ(p.total_terminals(), 300u);
   EXPECT_GT(p.cell_count(), 1u) << "300 terminals should span several cells";
+}
+
+TEST(Placement, MillionTerminalContinentStaysLazy) {
+  Placement::Config config = Placement::continental_europe();
+  config.terminals = 1'000'000;
+  const Placement p = Placement::generate(config, Rng{3}.fork("fleet/placement"));
+  EXPECT_EQ(p.total_terminals(), 1'000'000u);
+  EXPECT_GT(p.cell_count(), 1'000u) << "a continent spans many cells";
+  EXPECT_LT(p.cell_count(), 200'000u) << "state must be O(populated cells), never O(N)";
+  // Materialization is per-cell, order-independent, and repeatable.
+  const Placement::CellRange& mid = p.cells()[p.cells().size() / 2];
+  const auto once = p.materialize(mid);
+  const auto again = p.materialize(mid.cell);
+  ASSERT_EQ(once.size(), again.size());
+  for (std::size_t j = 0; j < once.size(); ++j) {
+    EXPECT_EQ(once[j].location.lat_deg, again[j].location.lat_deg);
+    EXPECT_EQ(once[j].location.lon_deg, again[j].location.lon_deg);
+  }
+}
+
+// ------------------------------------------------------ hierarchical grid
+
+TEST(HierarchicalGrid, SupercellsCoverBaseCellsWithoutKeyCollisions) {
+  const HierarchicalGrid h{24.0, 8};
+  Placement::Config config = Placement::continental_europe();
+  config.terminals = 5000;
+  const Placement p = Placement::generate(config, Rng{5});
+  std::size_t distinct_supers = 0;
+  CellId prev_super = 0;
+  bool first = true;
+  for (const Placement::CellRange& r : p.cells()) {
+    const CellId super = h.super_of(r.cell);
+    EXPECT_EQ(h.coarse().cell_of(h.base().center_of(r.cell)), super)
+        << "super_of must be the coarse cell containing the base-cell centre";
+    EXPECT_EQ(super & HierarchicalGrid::kAggregateKeyBit, 0u)
+        << "real grid ids never use the aggregate tag bit";
+    if (first || super != prev_super) ++distinct_supers;
+    prev_super = super;
+    first = false;
+  }
+  EXPECT_GT(distinct_supers, 1u);
+  EXPECT_LT(distinct_supers, p.cell_count())
+      << "a factor-8 supercell should fold many base cells";
 }
 
 // ---------------------------------------------------------------- demand
@@ -371,6 +429,155 @@ TEST(FleetCampaign, MergedResultIsJobsInvariant) {
   ASSERT_EQ(serial.foreground_down_mbps.size(), parallel.foreground_down_mbps.size());
   EXPECT_EQ(serial.foreground_down_mbps.summary().mean(),
             parallel.foreground_down_mbps.summary().mean());
+}
+
+// ------------------------------------- aggregation, sharding, vantages
+
+void expect_keyed_equal(const stats::KeyedSamples& a, const stats::KeyedSamples& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto ib = b.groups().begin();
+  for (const auto& [key, ga] : a.groups()) {
+    ASSERT_EQ(key, ib->first);
+    const stats::KeyedSamples::Group& gb = ib->second;
+    EXPECT_EQ(ga.summary.count(), gb.summary.count());
+    EXPECT_EQ(ga.summary.sum(), gb.summary.sum());
+    EXPECT_EQ(ga.summary.mean(), gb.summary.mean());
+    EXPECT_EQ(ga.summary.min(), gb.summary.min());
+    EXPECT_EQ(ga.summary.max(), gb.summary.max());
+    EXPECT_EQ(ga.counts, gb.counts);
+    ++ib;
+  }
+}
+
+TEST(FleetCampaign, ShardedEpochsAreByteIdenticalToSerial) {
+  // The tentpole determinism contract: any shard count produces the same
+  // bits as the serial reference loop, distributions included.
+  FleetCampaign::Config config;
+  config.seed = 21;
+  config.duration = Duration::seconds(40);
+  config.fleet.size = 400;
+  config.fleet.shards = 1;
+  const auto serial = FleetCampaign::run(config);
+  for (int shards : {2, 4, 8}) {
+    config.fleet.shards = shards;
+    const auto sharded = FleetCampaign::run(config);
+    EXPECT_EQ(serial.epochs, sharded.epochs);
+    EXPECT_EQ(serial.attaches, sharded.attaches);
+    EXPECT_EQ(serial.detaches, sharded.detaches);
+    EXPECT_EQ(serial.handovers, sharded.handovers);
+    EXPECT_EQ(serial.reallocations, sharded.reallocations);
+    expect_keyed_equal(serial.cell_util_down, sharded.cell_util_down);
+    expect_keyed_equal(serial.cell_util_up, sharded.cell_util_up);
+    expect_keyed_equal(serial.terminal_down_mbps, sharded.terminal_down_mbps);
+    ASSERT_EQ(serial.foreground_down_mbps.size(), sharded.foreground_down_mbps.size());
+    for (std::size_t i = 0; i < serial.foreground_down_mbps.size(); ++i) {
+      EXPECT_EQ(serial.foreground_down_mbps.values()[i],
+                sharded.foreground_down_mbps.values()[i]);
+    }
+  }
+}
+
+TEST(FleetCampaign, AggregationPreservesForegroundBytes) {
+  // Idle-cell aggregation only replaces cells the foreground never touches;
+  // the measured stack's capacity series must not move by a single bit.
+  FleetCampaign::Config config;
+  config.seed = 9;
+  config.duration = Duration::seconds(60);
+  config.fleet.size = 5000;
+  config.fleet.placement = Placement::continental_europe();
+  const auto hot = FleetCampaign::run(config);
+  config.fleet.aggregate_idle = true;
+  const auto agg = FleetCampaign::run(config);
+
+  EXPECT_EQ(hot.epochs, agg.epochs);
+  ASSERT_EQ(hot.foreground_down_mbps.size(), agg.foreground_down_mbps.size());
+  for (std::size_t i = 0; i < hot.foreground_down_mbps.size(); ++i) {
+    EXPECT_EQ(hot.foreground_down_mbps.values()[i], agg.foreground_down_mbps.values()[i]);
+    EXPECT_EQ(hot.foreground_up_mbps.values()[i], agg.foreground_up_mbps.values()[i]);
+  }
+
+  // Shape: the hot set collapses to the foreground cell, everything else
+  // folds into supercell counters that conserve the fleet's population.
+  EXPECT_GT(hot.cells, 100u);
+  EXPECT_EQ(agg.cells, 1u);
+  EXPECT_GT(agg.supercells, 1u);
+  EXPECT_EQ(hot.aggregated_terminals, 0u);
+  EXPECT_EQ(agg.terminals, hot.terminals) << "aggregation must conserve the population";
+  EXPECT_GE(agg.aggregated_terminals, hot.terminals - 100)
+      << "only the foreground cell's own members stay hot";
+  // Aggregates still contribute per-supercell utilization samples.
+  EXPECT_GT(agg.cell_util_down.size(), 1u);
+}
+
+TEST(Fleet, PromoteDemoteRoundTripRestoresAggregates) {
+  sim::Simulator sim{77};
+  sim::Network net{sim};
+  leo::StarlinkAccess access{net, {}};
+  Fleet::Config config;
+  config.size = 2000;
+  config.placement = Placement::continental_europe();
+  config.aggregate_idle = true;
+  Fleet fleet{sim, access, config};
+
+  const std::vector<Fleet::Aggregate> before = fleet.aggregates();
+  const std::size_t hot_before = fleet.cell_count();
+  const CellId home = fleet.foreground_cell();
+  const CellArbiter::Stats totals_before = fleet.totals();
+
+  const leo::GeoPoint berlin{52.52, 13.40};
+  ASSERT_TRUE(fleet.set_foreground_position(berlin, sim.now()));
+  EXPECT_NE(fleet.foreground_cell(), home);
+  ASSERT_TRUE(fleet.set_foreground_position(access.config().terminal, sim.now()));
+  EXPECT_EQ(fleet.foreground_cell(), home);
+
+  // Deterministic round trip: the aggregate counters and the hot set are
+  // exactly what they were before the excursion.
+  const std::vector<Fleet::Aggregate>& after = fleet.aggregates();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].super, after[i].super);
+    EXPECT_EQ(before[i].terminals, after[i].terminals);
+    EXPECT_EQ(before[i].cells, after[i].cells);
+  }
+  EXPECT_EQ(fleet.cell_count(), hot_before);
+  const CellArbiter::Stats totals_after = fleet.totals();
+  EXPECT_GE(totals_after.attaches, totals_before.attaches)
+      << "retired counters keep totals monotonic across demotion";
+}
+
+TEST(Fleet, VantagesPinCellsHotAndSplitTheElasticPool) {
+  sim::Simulator sim{31};
+  sim::Network net{sim};
+  leo::StarlinkAccess access{net, {}};
+  Fleet::Config config;
+  config.size = 2000;
+  config.placement = Placement::continental_europe();
+  config.aggregate_idle = true;
+  Fleet fleet{sim, access, config};
+
+  const std::size_t hot0 = fleet.cell_count();
+  const leo::GeoPoint amsterdam{52.37, 4.90};
+  const TerminalId v1 = fleet.add_vantage(amsterdam);
+  const TerminalId v2 = fleet.add_vantage(amsterdam);
+  EXPECT_EQ(fleet.vantage_count(), 2u);
+  EXPECT_EQ(fleet.vantage_cell(v1), fleet.vantage_cell(v2));
+  EXPECT_EQ(fleet.cell_count(), hot0 + 1) << "co-resident vantages share one hot cell";
+
+  const TimePoint now = sim.now();
+  const double f1 = fleet.vantage_available_fraction(v1, CellArbiter::kDown, now);
+  const double f2 = fleet.vantage_available_fraction(v2, CellArbiter::kDown, now);
+  EXPECT_GT(f1, 0.0);
+  EXPECT_DOUBLE_EQ(f1, f2) << "equal weights split the elastic pool evenly";
+  CellArbiter* arb = fleet.arbiter(fleet.vantage_cell(v1));
+  ASSERT_NE(arb, nullptr);
+  EXPECT_NEAR(f1 + f2, arb->available_fraction(CellArbiter::kDown, now), 1e-12);
+
+  // A foreground excursion through the vantage cell must not demote it.
+  ASSERT_TRUE(fleet.set_foreground_position(amsterdam, sim.now()));
+  ASSERT_TRUE(fleet.set_foreground_position(access.config().terminal, sim.now()));
+  EXPECT_NE(fleet.arbiter(fleet.vantage_cell(v1)), nullptr)
+      << "pinned cells survive demotion";
+  EXPECT_EQ(fleet.cell_count(), hot0 + 1);
 }
 
 }  // namespace
