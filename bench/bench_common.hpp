@@ -40,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "fleet/fleet.hpp"
@@ -107,9 +108,24 @@ inline void warn_unused(const Flags& flags) {
 ///                         of the cell size (--supercell-factor=K sets it
 ///                         directly)
 ///   --fleet-cell-km=F     base cell size for the fleet grid
+///   --fleet-mix=NAME      named traffic mix for the neighbour terminals:
+///                         default | streaming | realtime | mixed
+///                         (fleet::named_mix; "default" is byte-identical to
+///                         the pre-mix behaviour)
 inline fleet::Fleet::Config parse_fleet(const Flags& flags) {
   fleet::Fleet::Config fc;
   fc.size = static_cast<int>(flags.get_int("fleet", 0));
+  const std::string mix = flags.get("fleet-mix", "default");
+  try {
+    fc.demand = fleet::named_mix(mix);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "error: --fleet-mix=%s (known:", mix.c_str());
+    for (const auto name : fleet::mix_names()) {
+      std::fprintf(stderr, " %.*s", static_cast<int>(name.size()), name.data());
+    }
+    std::fprintf(stderr, ")\n");
+    std::exit(2);
+  }
   const bool continental = flags.get_bool("continental", false);
   if (continental) fc.placement = fleet::Placement::continental_europe();
   fc.placement.cell_km = flags.get_double("fleet-cell-km", fc.placement.cell_km);

@@ -4,6 +4,7 @@
 // performance envelope that makes the compressed campaigns tractable.
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <vector>
 
 #include "fleet/cell_arbiter.hpp"
@@ -13,6 +14,8 @@
 #include "leo/places.hpp"
 #include "mobility/obstruction.hpp"
 #include "mobility/routes.hpp"
+#include "qoe/abr.hpp"
+#include "qoe/vc.hpp"
 #include "quic/quic.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
@@ -284,6 +287,58 @@ void BM_ObstructionMaskQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObstructionMaskQuery);
+
+void BM_AbrLadderDecision(benchmark::State& state) {
+  // One rate-ladder pick per segment boundary: the ABR client's only
+  // per-segment control-plane cost (qoe::AbrVideoSession).
+  const qoe::AbrLadder ladder;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    const double buffer_s = static_cast<double>((i * 7) % 320) * 0.1;
+    benchmark::DoNotOptimize(ladder.pick(buffer_s));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbrLadderDecision);
+
+void BM_JitterBufferPlayout(benchmark::State& state) {
+  // The videoconference receiver's per-frame hot path (qoe::VcSession):
+  // datagram parts land in the reassembly maps, due frames are finalized
+  // against the playout deadline, and each 30-frame window folds into an
+  // E-model MOS.
+  constexpr std::uint32_t kParts = 3;
+  constexpr std::uint64_t kWindow = 30;
+  std::map<std::uint64_t, std::uint32_t> arrived;
+  std::map<std::uint64_t, TimePoint> complete_at;
+  std::uint64_t frame = 0;
+  std::uint64_t next_final = 0;
+  std::uint64_t window_bad = 0;
+  double mos_acc = 0.0;
+  for (auto _ : state) {
+    const TimePoint capture = TimePoint::epoch() + Duration::millis(static_cast<std::int64_t>(frame) * 33);
+    for (std::uint32_t p = 0; p < kParts; ++p) {
+      if (++arrived[frame] == kParts) complete_at[frame] = capture + Duration::millis(40);
+    }
+    ++frame;
+    while (next_final + 2 < frame) {  // two frames of reorder slack, as in VcSession
+      const auto it = complete_at.find(next_final);
+      const bool late = it == complete_at.end() ||
+                        it->second > capture + Duration::millis(120);
+      if (late) ++window_bad;
+      arrived.erase(next_final);
+      if (it != complete_at.end()) complete_at.erase(it);
+      if (++next_final % kWindow == 0) {
+        const double loss_pct = 100.0 * static_cast<double>(window_bad) / kWindow;
+        mos_acc += qoe::emodel_mos(85.0, loss_pct);
+        window_bad = 0;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(mos_acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JitterBufferPlayout);
 
 void BM_EventQueueCancelChurn(benchmark::State& state) {
   // Schedule + cancel without draining: exercises O(1) cancel, slot reuse and

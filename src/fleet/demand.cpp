@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
+#include <string>
 
 namespace slp::fleet {
 
@@ -21,6 +23,9 @@ std::string_view to_string(DemandClass c) {
     case DemandClass::kBulk: return "bulk";
     case DemandClass::kSpeedtest: return "speedtest";
     case DemandClass::kWeb: return "web";
+    case DemandClass::kVideo: return "video";
+    case DemandClass::kVc: return "vc";
+    case DemandClass::kGame: return "game";
     case DemandClass::kIdle: return "idle";
   }
   return "?";
@@ -31,6 +36,9 @@ const DemandModel::ClassProfile& DemandModel::profile(DemandClass c) const {
     case DemandClass::kBulk: return config_.bulk;
     case DemandClass::kSpeedtest: return config_.speedtest;
     case DemandClass::kWeb: return config_.web;
+    case DemandClass::kVideo: return config_.video;
+    case DemandClass::kVc: return config_.vc;
+    case DemandClass::kGame: return config_.game;
     case DemandClass::kIdle: return config_.idle;
   }
   return config_.idle;
@@ -38,11 +46,18 @@ const DemandModel::ClassProfile& DemandModel::profile(DemandClass c) const {
 
 DemandClass DemandModel::class_of(std::uint64_t terminal_seed) const {
   const double total = config_.bulk.fraction + config_.speedtest.fraction +
-                       config_.web.fraction + config_.idle.fraction;
+                       config_.web.fraction + config_.video.fraction + config_.vc.fraction +
+                       config_.game.fraction + config_.idle.fraction;
   double pick = mix_uniform(terminal_seed, kClassStream) * std::max(1e-12, total);
+  // The QoE classes draw after web with fraction 0 by default: subtracting
+  // zero never flips the comparison, so the stock mix assigns every terminal
+  // exactly the class it had before these classes existed.
   if ((pick -= config_.bulk.fraction) <= 0.0) return DemandClass::kBulk;
   if ((pick -= config_.speedtest.fraction) <= 0.0) return DemandClass::kSpeedtest;
   if ((pick -= config_.web.fraction) <= 0.0) return DemandClass::kWeb;
+  if ((pick -= config_.video.fraction) <= 0.0) return DemandClass::kVideo;
+  if ((pick -= config_.vc.fraction) <= 0.0) return DemandClass::kVc;
+  if ((pick -= config_.game.fraction) <= 0.0) return DemandClass::kGame;
   return DemandClass::kIdle;
 }
 
@@ -74,7 +89,8 @@ DemandModel::Demand DemandModel::expected_at(TimePoint t) const {
 }
 
 DemandModel::Demand DemandModel::expected() const {
-  const ClassProfile* profiles[] = {&config_.bulk, &config_.speedtest, &config_.web,
+  const ClassProfile* profiles[] = {&config_.bulk,  &config_.speedtest, &config_.web,
+                                    &config_.video, &config_.vc,        &config_.game,
                                     &config_.idle};
   double total = 0.0;
   double down = 0.0;
@@ -87,6 +103,46 @@ DemandModel::Demand DemandModel::expected() const {
   if (total <= 0.0) return {};
   return {DataRate::bps(down / total * config_.scale_down),
           DataRate::bps(up / total * config_.scale_up)};
+}
+
+DemandModel::Config named_mix(std::string_view name) {
+  DemandModel::Config c;  // the stock bulk/speedtest/web/idle mix
+  if (name == "default") return c;
+  if (name == "streaming") {
+    // Evening peak: a third of the fleet watching ABR video, web and idle
+    // trimmed to make room. Bulk/speedtest untouched so the heavy-hitter
+    // tail that shapes Figure 5 survives.
+    c.video.fraction = 0.30;
+    c.web.fraction = 0.30;
+    c.idle.fraction = 0.25;
+    return c;
+  }
+  if (name == "realtime") {
+    // Call/game heavy: latency-sensitive sessions dominate, speedtests and
+    // bulk pull back. This is the mix fig8 uses to stress jitter buffers.
+    c.vc.fraction = 0.20;
+    c.game.fraction = 0.25;
+    c.web.fraction = 0.25;
+    c.bulk.fraction = 0.05;
+    c.idle.fraction = 0.25;
+    return c;
+  }
+  if (name == "mixed") {
+    // All six application classes active in plausible shares.
+    c.bulk.fraction = 0.08;
+    c.speedtest.fraction = 0.02;
+    c.web.fraction = 0.30;
+    c.video.fraction = 0.20;
+    c.vc.fraction = 0.10;
+    c.game.fraction = 0.10;
+    c.idle.fraction = 0.20;
+    return c;
+  }
+  throw std::invalid_argument("unknown fleet mix: " + std::string(name));
+}
+
+std::vector<std::string_view> mix_names() {
+  return {"default", "streaming", "realtime", "mixed"};
 }
 
 }  // namespace slp::fleet

@@ -18,12 +18,23 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "util/units.hpp"
 
 namespace slp::fleet {
 
-enum class DemandClass : std::uint8_t { kBulk = 0, kSpeedtest, kWeb, kIdle };
+enum class DemandClass : std::uint8_t {
+  kBulk = 0,
+  kSpeedtest,
+  kWeb,
+  // Real-time application classes (src/qoe/): zero-fraction by default so
+  // the stock mix stays byte-identical; named mixes (named_mix) enable them.
+  kVideo,  ///< ABR streaming: high sustained downlink
+  kVc,     ///< videoconferencing: symmetric, latency-sensitive
+  kGame,   ///< game traffic: tiny rates, long duty
+  kIdle,
+};
 
 [[nodiscard]] std::string_view to_string(DemandClass c);
 
@@ -58,6 +69,14 @@ class DemandModel {
                            Duration::seconds(30), 0.04};
     ClassProfile web{0.45, DataRate::mbps(8), DataRate::mbps(1.5),
                      Duration::seconds(40), 0.50};
+    /// QoE session classes, disabled (fraction 0) in the default mix so the
+    /// stock exports stay byte-identical — named_mix() turns them on.
+    ClassProfile video{0.0, DataRate::mbps(6), DataRate::mbps(0.2),
+                       Duration::minutes(6), 0.45};
+    ClassProfile vc{0.0, DataRate::mbps(2.5), DataRate::mbps(2.5),
+                    Duration::minutes(30), 0.20};
+    ClassProfile game{0.0, DataRate::mbps(0.5), DataRate::mbps(0.3),
+                      Duration::minutes(20), 0.30};
     ClassProfile idle{0.40, DataRate::mbps(0.8), DataRate::mbps(0.4),
                       Duration::minutes(2), 0.30};
     /// Global demand multipliers — the calibration knobs that put the mean
@@ -106,5 +125,16 @@ class DemandModel {
 
   Config config_;
 };
+
+/// Named fleet traffic mixes for the `--fleet-mix` flag. Presets:
+///   "default"   — the stock bulk/speedtest/web/idle mix (fig-bench baseline)
+///   "streaming" — evening-peak video: a third of the fleet watching ABR
+///   "realtime"  — call/game heavy: vc + game sessions dominate
+///   "mixed"     — all six application classes active in plausible shares
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] DemandModel::Config named_mix(std::string_view name);
+
+/// The preset names, for flag validation and help text.
+[[nodiscard]] std::vector<std::string_view> mix_names();
 
 }  // namespace slp::fleet

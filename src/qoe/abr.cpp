@@ -1,0 +1,165 @@
+#include "qoe/abr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace slp::qoe {
+
+AbrVideoSession::AbrVideoSession(quic::QuicConnection& client, Config config)
+    : client_{&client},
+      config_{config},
+      empty_timer_{client.sim()},
+      refill_timer_{client.sim()} {
+  segments_total_ = static_cast<int>((config_.watch + config_.segment - Duration::nanos(1)) /
+                                     config_.segment);
+  segments_total_ = std::max(segments_total_, 1);
+}
+
+void AbrVideoSession::attach_server(quic::QuicConnection& server) {
+  server_ = &server;
+  // A request message arriving at the server streams the pending segment
+  // back. One request is outstanding at a time, so the byte count lives in
+  // the session rather than on the wire.
+  server.on_message = [this](std::uint64_t, std::uint64_t, TimePoint) {
+    if (server_ != nullptr && segment_remaining_ > 0) {
+      server_->send_stream(segment_remaining_);
+    }
+  };
+}
+
+void AbrVideoSession::start() {
+  session_start_ = client_->sim().now();
+  last_clock_ = session_start_;
+  client_->on_stream_data = [this](std::uint64_t delta) {
+    if (segment_remaining_ == 0) return;
+    const std::uint64_t used = std::min(segment_remaining_, delta);
+    segment_remaining_ -= used;
+    if (segment_remaining_ == 0) on_segment_complete();
+  };
+  if (client_->established()) {
+    request_next_segment();
+  } else {
+    client_->on_established = [this] { request_next_segment(); };
+  }
+}
+
+std::uint64_t AbrVideoSession::segment_bytes(int rung) const {
+  const double mbps = config_.ladder.rungs_mbps[static_cast<std::size_t>(rung)];
+  return static_cast<std::uint64_t>(mbps * 1e6 / 8.0 * config_.segment.to_seconds());
+}
+
+void AbrVideoSession::note(const char* what) {
+  obs::Recorder* rec = client_->sim().obs();
+  if (rec != nullptr && rec->options().metrics) {
+    rec->registry().counter(std::string{"qoe.abr."} + what).add();
+  }
+}
+
+void AbrVideoSession::request_next_segment() {
+  if (finished_ || segments_requested_ >= segments_total_) return;
+  advance_clock();
+  const int rung = config_.ladder.pick(buffer_s_);
+  if (segments_requested_ > 0 && rung != current_rung_) {
+    metrics_.quality_switches++;
+    note("switch");
+  }
+  current_rung_ = rung;
+  segments_requested_++;
+  downloading_ = true;
+  segment_remaining_ = segment_bytes(rung);
+  segment_started_ = client_->sim().now();
+  client_->send_message(config_.request_bytes);
+}
+
+void AbrVideoSession::on_segment_complete() {
+  advance_clock();
+  downloading_ = false;
+  const TimePoint now = client_->sim().now();
+  const double dl_s = (now - segment_started_).to_seconds();
+  const double bytes = static_cast<double>(segment_bytes(current_rung_));
+  if (dl_s > 0.0) metrics_.segment_mbps.push_back(bytes * 8.0 / 1e6 / dl_s);
+  metrics_.segments_downloaded++;
+  metrics_.mean_rung_mbps +=
+      config_.ladder.rungs_mbps[static_cast<std::size_t>(current_rung_)];
+  note("segment");
+  buffer_s_ += config_.segment.to_seconds();
+
+  // Nothing more will arrive after the last segment: play out whatever is
+  // buffered instead of waiting for a threshold that can no longer be met.
+  const bool last = segments_requested_ >= segments_total_;
+  if (!started_ && (buffer_s_ >= config_.startup_buffer_s || last)) {
+    started_ = true;
+    playing_ = true;
+    metrics_.startup_delay = now - session_start_;
+    last_clock_ = now;
+  } else if (rebuffering_ && (buffer_s_ >= config_.resume_buffer_s || last)) {
+    rebuffering_ = false;
+    playing_ = true;
+    metrics_.rebuffer_time += now - rebuffer_start_;
+    last_clock_ = now;
+  }
+  if (playing_) arm_empty_timer();
+
+  if (last) {
+    // Everything requested; playback drains the buffer and the empty timer
+    // closes the session (started_ is guaranteed true above).
+    return;
+  }
+  if (playing_ && buffer_s_ > config_.max_buffer_s) {
+    // Buffer full: hold the next request until it drains back to the cap.
+    refill_timer_.arm(Duration::from_seconds(buffer_s_ - config_.max_buffer_s),
+                      [this] { request_next_segment(); });
+    return;
+  }
+  request_next_segment();
+}
+
+void AbrVideoSession::advance_clock() {
+  const TimePoint now = client_->sim().now();
+  if (playing_) {
+    const double elapsed = (now - last_clock_).to_seconds();
+    const double played = std::min(elapsed, buffer_s_);
+    buffer_s_ -= played;
+    metrics_.play_time += Duration::from_seconds(played);
+  }
+  last_clock_ = now;
+}
+
+void AbrVideoSession::arm_empty_timer() {
+  empty_timer_.cancel();
+  empty_timer_.arm(Duration::from_seconds(buffer_s_), [this] {
+    advance_clock();
+    buffer_s_ = 0.0;
+    playing_ = false;
+    if (segments_requested_ >= segments_total_ && !downloading_) {
+      finish();
+      return;
+    }
+    rebuffering_ = true;
+    rebuffer_start_ = client_->sim().now();
+    metrics_.rebuffer_events++;
+    metrics_.rebuffer_at.push_back(rebuffer_start_);
+    note("rebuffer");
+  });
+}
+
+void AbrVideoSession::finish() {
+  if (finished_) return;
+  advance_clock();
+  finished_ = true;
+  empty_timer_.cancel();
+  refill_timer_.cancel();
+  if (rebuffering_) {
+    metrics_.rebuffer_time += client_->sim().now() - rebuffer_start_;
+    rebuffering_ = false;
+  }
+  if (metrics_.segments_downloaded > 0) {
+    metrics_.mean_rung_mbps /= metrics_.segments_downloaded;
+  }
+  if (on_complete) on_complete(metrics_);
+}
+
+}  // namespace slp::qoe

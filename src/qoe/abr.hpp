@@ -1,0 +1,124 @@
+// abr.hpp — buffer-based adaptive-bitrate video over H3/QUIC.
+//
+// "A Multifaceted Look at Starlink Performance" (PAPERS.md) measures ABR
+// streaming QoE over Starlink and finds rebuffer events clustering at the
+// 15-second handover-slot boundaries. This model reproduces the client side
+// of that experiment: a BBA-style buffer-based rate-ladder controller
+// (reservoir/cushion thresholds map the playout buffer level to a rung),
+// segment-by-segment downloads over one QUIC connection, and the standard
+// QoE metric set — startup delay, rebuffer ratio, quality switches, mean
+// selected bitrate.
+//
+// The session owns both connection ends (campaign-side wiring, like
+// measure::MessageCampaign): a small upstream request message triggers the
+// server end to stream the segment's bytes back, so the whole request /
+// response exchange rides the real transport with real loss recovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "quic/quic.hpp"
+#include "util/units.hpp"
+
+namespace slp::qoe {
+
+/// Pure rate-ladder decision logic, separated from the session so the
+/// controller can be unit-tested and micro-benched without a simulator.
+/// Thresholds are in seconds of buffered video.
+struct AbrLadder {
+  std::vector<double> rungs_mbps = {0.4, 0.75, 1.2, 2.4, 4.8, 8.0, 16.0};
+  double reservoir_s = 8.0;  ///< at/below: lowest rung
+  double cushion_s = 24.0;   ///< at/above: highest rung
+
+  /// BBA-style map of buffer level to rung index: lowest rung inside the
+  /// reservoir, highest at/above the cushion, linear in between.
+  [[nodiscard]] int pick(double buffer_s) const {
+    if (rungs_mbps.size() <= 1 || buffer_s <= reservoir_s) return 0;
+    const int top = static_cast<int>(rungs_mbps.size()) - 1;
+    if (buffer_s >= cushion_s) return top;
+    const double f = (buffer_s - reservoir_s) / (cushion_s - reservoir_s);
+    return 1 + static_cast<int>(f * static_cast<double>(top - 1));
+  }
+};
+
+class AbrVideoSession {
+ public:
+  struct Config {
+    AbrLadder ladder;
+    Duration segment = Duration::seconds(4);
+    double startup_buffer_s = 4.0;   ///< start playing at this buffer level
+    double resume_buffer_s = 4.0;    ///< leave a rebuffer stall at this level
+    double max_buffer_s = 30.0;      ///< pause downloads above this
+    Duration watch = Duration::minutes(2);  ///< content length to consume
+    std::uint64_t request_bytes = 400;      ///< upstream segment request
+  };
+
+  struct Metrics {
+    Duration startup_delay = Duration::zero();
+    Duration play_time = Duration::zero();
+    Duration rebuffer_time = Duration::zero();
+    int rebuffer_events = 0;
+    int quality_switches = 0;
+    int segments_downloaded = 0;
+    double mean_rung_mbps = 0.0;  ///< segment-weighted selected bitrate
+    /// Sim timestamps at which a rebuffer stall began (for slot-phase
+    /// clustering against the 15 s handover grid).
+    std::vector<TimePoint> rebuffer_at;
+    /// Per-segment download throughput samples (Mbit/s).
+    std::vector<double> segment_mbps;
+    [[nodiscard]] double rebuffer_ratio() const {
+      const double total = (play_time + rebuffer_time).to_seconds();
+      return total > 0.0 ? rebuffer_time.to_seconds() / total : 0.0;
+    }
+  };
+
+  /// `client` must be a fresh client-side connection (not yet established).
+  /// The campaign's listener hands over the accepted peer end via
+  /// attach_server() — which always happens before the client handshake
+  /// completes, so the first segment request finds the server wired up.
+  AbrVideoSession(quic::QuicConnection& client, Config config);
+
+  /// Installs the content-server behaviour (answer a request message by
+  /// streaming the pending segment's bytes) on the accepted connection.
+  void attach_server(quic::QuicConnection& server);
+
+  void start();
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  std::function<void(const Metrics&)> on_complete;
+
+ private:
+  void request_next_segment();
+  void on_segment_complete();
+  void advance_clock();      ///< drains the buffer by played wall time
+  void arm_empty_timer();    ///< schedules the rebuffer-start event
+  void finish();
+  [[nodiscard]] std::uint64_t segment_bytes(int rung) const;
+  void note(const char* what);
+
+  quic::QuicConnection* client_;
+  quic::QuicConnection* server_;
+  Config config_;
+  Metrics metrics_;
+
+  double buffer_s_ = 0.0;
+  bool playing_ = false;
+  bool rebuffering_ = false;
+  bool downloading_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+  int current_rung_ = 0;
+  int segments_requested_ = 0;
+  int segments_total_ = 0;
+  std::uint64_t segment_remaining_ = 0;
+  TimePoint session_start_;
+  TimePoint segment_started_;
+  TimePoint last_clock_;     ///< last buffer-drain accounting point
+  TimePoint rebuffer_start_;
+  sim::Timer empty_timer_;   ///< fires when the playout buffer runs dry
+  sim::Timer refill_timer_;  ///< resumes downloads after a max-buffer pause
+};
+
+}  // namespace slp::qoe

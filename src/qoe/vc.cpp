@@ -1,0 +1,175 @@
+#include "qoe/vc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace slp::qoe {
+
+double emodel_mos(double delay_ms, double loss_pct, double bpl) {
+  const double d = delay_ms;
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+  const double ppl = std::clamp(loss_pct, 0.0, 100.0);
+  const double ie_eff = 95.0 * ppl / (ppl + bpl);
+  const double r = 93.2 - id - ie_eff;
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return 4.5;
+  const double mos = 1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r);
+  return std::clamp(mos, 1.0, 5.0);
+}
+
+VcSession::VcSession(quic::QuicConnection& client, Config config)
+    : client_{&client}, config_{config}, tick_timer_{client.sim()}, drain_timer_{client.sim()} {
+  frames_total_ = static_cast<std::uint64_t>(config_.duration.to_seconds() * config_.frame_rate);
+  up_.metrics = &metrics_.up;
+  down_.metrics = &metrics_.down;
+
+  const auto shape = [this](Dir& dir, DataRate rate) {
+    dir.frame_bytes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(rate.bits_per_second() / 8.0 / config_.frame_rate));
+    dir.parts_per_frame = static_cast<std::uint32_t>(
+        (dir.frame_bytes + config_.dgram_bytes - 1) / config_.dgram_bytes);
+  };
+  shape(up_, config_.up);
+  shape(down_, config_.down);
+}
+
+void VcSession::attach_server(quic::QuicConnection& server) {
+  server_ = &server;
+  up_.conn = client_;
+  down_.conn = server_;
+  wire_receiver(up_, server);     // client -> server frames arrive at the server
+  wire_receiver(down_, *client_); // server -> client frames arrive at the client
+}
+
+void VcSession::wire_receiver(Dir& dir, quic::QuicConnection& receiving_end) {
+  receiving_end.on_dgram = [this, &dir](std::uint64_t, std::uint64_t cookie, std::uint32_t,
+                                        TimePoint queued_at) {
+    const std::uint64_t frame = cookie;
+    if (frame < dir.next_final) return;  // straggler past its deadline
+    const std::uint32_t got = ++dir.arrived[frame];
+    if (got == dir.parts_per_frame) {
+      dir.complete_at[frame] = dir.conn->sim().now();
+      (void)queued_at;
+    }
+  };
+  dir.conn->on_dgram_lost = [&dir](std::uint64_t, std::uint64_t) {
+    dir.metrics->datagrams_lost++;
+  };
+}
+
+void VcSession::start() {
+  if (client_->established()) {
+    start_ = client_->sim().now();
+    send_frame(up_);
+    send_frame(down_);
+  } else {
+    client_->on_established = [this] {
+      start_ = client_->sim().now();
+      send_frame(up_);
+      send_frame(down_);
+    };
+  }
+}
+
+TimePoint VcSession::capture_time(std::uint64_t frame) const {
+  return start_ + Duration::from_seconds(static_cast<double>(frame) / config_.frame_rate);
+}
+
+void VcSession::send_frame(Dir& dir) {
+  if (finished_ || dir.next_frame >= frames_total_) return;
+  const std::uint64_t frame = dir.next_frame++;
+  std::uint64_t remaining = dir.frame_bytes;
+  for (std::uint32_t part = 0; part < dir.parts_per_frame; ++part) {
+    const std::uint32_t bytes =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(config_.dgram_bytes, remaining));
+    dir.conn->send_datagram(bytes, /*cookie=*/frame);
+    remaining -= bytes;
+  }
+  dir.metrics->frames_sent++;
+  finalize_due(dir);
+
+  // One shared tick drives both directions (they run at the same cadence):
+  // the up sender arms the next tick, the down sender rides along.
+  if (&dir == &up_) {
+    if (dir.next_frame < frames_total_) {
+      tick_timer_.arm(std::max(Duration::zero(),
+                               capture_time(dir.next_frame) - dir.conn->sim().now()),
+                      [this] {
+        send_frame(up_);
+        send_frame(down_);
+      });
+    } else {
+      // Let the tail frames meet their deadlines, then close the books.
+      drain_timer_.arm(config_.playout_delay + config_.window + Duration::millis(50),
+                       [this] { finish(); });
+    }
+  }
+}
+
+void VcSession::finalize_due(Dir& dir) {
+  const TimePoint now = dir.conn->sim().now();
+  while (dir.next_final < dir.next_frame &&
+         capture_time(dir.next_final) + config_.playout_delay <= now) {
+    const std::uint64_t frame = dir.next_final++;
+    const TimePoint capture = capture_time(frame);
+
+    const auto done = dir.complete_at.find(frame);
+    const bool playable =
+        done != dir.complete_at.end() && done->second <= capture + config_.playout_delay;
+    if (playable) {
+      dir.metrics->frames_playable++;
+      dir.metrics->transit_ms.push_back((done->second - capture).to_millis());
+    } else {
+      dir.metrics->frames_missed++;
+    }
+    dir.arrived.erase(frame);
+    if (done != dir.complete_at.end()) dir.complete_at.erase(done);
+
+    const auto w = static_cast<std::int64_t>(capture.since_epoch() / config_.window);
+    if (w != dir.window_index) {
+      flush_window(dir);
+      dir.window_index = w;
+    }
+    dir.window_due++;
+    if (!playable) dir.window_bad++;
+  }
+}
+
+void VcSession::flush_window(Dir& dir) {
+  if (dir.window_index < 0 || dir.window_due == 0) return;
+  Window win;
+  win.mid = TimePoint::epoch() +
+            config_.window * (static_cast<double>(dir.window_index) + 0.5);
+  win.loss_pct =
+      100.0 * static_cast<double>(dir.window_bad) / static_cast<double>(dir.window_due);
+  win.mos = emodel_mos(config_.playout_delay.to_millis() + config_.codec_delay_ms,
+                       win.loss_pct, config_.bpl);
+  dir.metrics->windows.push_back(win);
+  if (win.loss_pct > 0.0) {
+    obs::Recorder* rec = client_->sim().obs();
+    if (rec != nullptr && rec->options().metrics) {
+      rec->registry().counter("qoe.vc.degraded_windows").add();
+    }
+  }
+  dir.window_due = 0;
+  dir.window_bad = 0;
+}
+
+void VcSession::finish() {
+  if (finished_) return;
+  // Finalize everything still pending (all deadlines have passed by now).
+  for (Dir* dir : {&up_, &down_}) {
+    finalize_due(*dir);
+    flush_window(*dir);
+  }
+  finished_ = true;
+  tick_timer_.cancel();
+  drain_timer_.cancel();
+  if (on_complete) on_complete(metrics_);
+}
+
+}  // namespace slp::qoe

@@ -1,0 +1,118 @@
+// vc.hpp — videoconference QoE over QUIC datagrams.
+//
+// Models an RTP-like call riding the QUIC datagram extension (RFC 9221
+// semantics: congestion-controlled, never retransmitted): fixed-cadence
+// frames in both directions, each split into MTU-sized datagrams, a fixed
+// jitter-buffer playout deadline at the receiver, and an E-model-style MOS
+// per window computed from the playout delay and the share of frames that
+// missed their deadline. "A Multifaceted Look at Starlink Performance"
+// (PAPERS.md) runs exactly this shape of experiment and sees MOS dips at the
+// 15 s handover-slot boundaries — the per-window timestamps exported here
+// let the campaign reproduce that clustering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "quic/quic.hpp"
+#include "util/units.hpp"
+
+namespace slp::qoe {
+
+/// ITU-T G.107 E-model, reduced to the terms this experiment moves:
+///   R = 93.2 - Id(delay) - Ie_eff(loss),  Id = 0.024d + 0.11(d-177.3)H(d-177.3)
+///   Ie_eff = (95 - 0) * Ppl / (Ppl + Bpl)
+/// mapped to MOS by the standard cubic. `delay_ms` is mouth-to-ear one-way
+/// delay, `loss_pct` in [0, 100], `bpl` the codec's loss robustness.
+[[nodiscard]] double emodel_mos(double delay_ms, double loss_pct, double bpl = 16.0);
+
+class VcSession {
+ public:
+  struct Config {
+    double frame_rate = 30.0;                   ///< frames per second, each way
+    DataRate up = DataRate::mbps(2.5);          ///< client -> server video
+    DataRate down = DataRate::mbps(2.5);        ///< server -> client video
+    Duration duration = Duration::minutes(1);
+    Duration playout_delay = Duration::millis(120);  ///< jitter-buffer depth
+    double codec_delay_ms = 25.0;               ///< capture+encode+decode
+    Duration window = Duration::seconds(1);     ///< MOS evaluation window
+    double bpl = 16.0;                          ///< E-model loss robustness
+    std::uint32_t dgram_bytes = 1200;           ///< per-datagram payload cap
+  };
+
+  /// One MOS evaluation window of one direction.
+  struct Window {
+    TimePoint mid;          ///< capture-time middle of the window
+    double mos = 0.0;
+    double loss_pct = 0.0;  ///< frames late or missing at their deadline
+  };
+
+  struct DirMetrics {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_playable = 0;
+    std::uint64_t frames_missed = 0;   ///< not complete at the deadline
+    std::uint64_t datagrams_lost = 0;  ///< sender-side loss declarations
+    std::vector<Window> windows;
+    /// Per-playable-frame network transit (capture -> fully arrived), ms.
+    std::vector<double> transit_ms;
+  };
+
+  struct Metrics {
+    DirMetrics up;    ///< client -> server
+    DirMetrics down;  ///< server -> client
+  };
+
+  /// `client` must be a fresh client-side connection; the campaign's
+  /// listener hands the accepted server end over via attach_server() before
+  /// the handshake completes (see AbrVideoSession).
+  VcSession(quic::QuicConnection& client, Config config);
+
+  void attach_server(quic::QuicConnection& server);
+  void start();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  std::function<void(const Metrics&)> on_complete;
+
+ private:
+  /// One direction of the call: a sender clocking frames out of `conn` and
+  /// the matching receiver/jitter-buffer state living on the peer's hooks.
+  struct Dir {
+    quic::QuicConnection* conn = nullptr;  ///< sending end
+    DirMetrics* metrics = nullptr;
+    std::uint64_t frame_bytes = 0;
+    std::uint32_t parts_per_frame = 1;
+    std::uint64_t next_frame = 0;       ///< sender frame counter
+    std::uint64_t next_final = 0;       ///< oldest frame not yet finalized
+    std::int64_t window_index = -1;     ///< capture window being accumulated
+    std::uint64_t window_due = 0;
+    std::uint64_t window_bad = 0;
+    /// frame id -> datagram parts arrived (erased once finalized).
+    std::map<std::uint64_t, std::uint32_t> arrived;
+    std::map<std::uint64_t, TimePoint> complete_at;
+  };
+
+  void wire_receiver(Dir& dir, quic::QuicConnection& receiving_end);
+  void send_frame(Dir& dir);
+  void finalize_due(Dir& dir);
+  void flush_window(Dir& dir);
+  void finish();
+  [[nodiscard]] TimePoint capture_time(std::uint64_t frame) const;
+
+  quic::QuicConnection* client_;
+  quic::QuicConnection* server_ = nullptr;
+  Config config_;
+  Metrics metrics_;
+  Dir up_;
+  Dir down_;
+  TimePoint start_;
+  std::uint64_t frames_total_ = 0;  ///< per direction
+  bool finished_ = false;
+  sim::Timer tick_timer_;   ///< drives both directions' frame cadence
+  sim::Timer drain_timer_;  ///< finalizes the tail after the last frame
+};
+
+}  // namespace slp::qoe

@@ -215,6 +215,25 @@ std::uint64_t QuicConnection::send_message(std::uint64_t bytes) {
   return id;
 }
 
+std::uint64_t QuicConnection::send_datagram(std::uint32_t bytes, std::uint64_t cookie) {
+  const std::uint64_t id = next_dgram_id_++;
+  MsgChunk chunk;
+  chunk.msg_id = id;
+  chunk.len = std::min(std::max<std::uint32_t>(bytes, 1), config_.max_payload);
+  chunk.last = true;
+  chunk.unreliable = true;
+  chunk.total = cookie;
+  chunk.queued_at = stack_->sim().now();
+  // Datagrams share the message send queue (deterministic FIFO with message
+  // chunks) and count toward cwnd/bytes_in_flight like any ack-eliciting
+  // packet, but are NOT charged against connection flow control (RFC 9221:
+  // DATAGRAM frames are not flow controlled).
+  msg_queue_.push_back(chunk);
+  stats_.datagrams_sent++;
+  maybe_send();
+  return id;
+}
+
 // ------------------------------------------------------------- send path
 
 bool QuicConnection::has_data_to_send() const {
@@ -267,6 +286,10 @@ void QuicConnection::send_one_packet(bool force_probe) {
         append_chunk(*payload, front);
         budget -= front.len;
         msg_queue_.pop_front();
+      } else if (front.unreliable) {
+        // A datagram must ride whole in one packet — never split. It waits
+        // for the next packet's full budget.
+        break;
       } else {
         // Split the chunk.
         MsgChunk part = front;
@@ -534,6 +557,12 @@ std::uint64_t merge_range(std::map<std::uint64_t, std::uint64_t>& ranges, std::u
 
 void QuicConnection::deliver_chunks(const Payload& payload) {
   for_each_chunk(payload, [this](const MsgChunk& chunk) {
+    if (chunk.unreliable) {
+      // Datagram: no reassembly, no flow-control accounting, delivered as-is.
+      stats_.datagrams_delivered++;
+      if (on_dgram) on_dgram(chunk.msg_id, chunk.total, chunk.len, chunk.queued_at);
+      return;
+    }
     MsgReassembly& r = reassembly_[chunk.msg_id];
     if (r.done) return;
     r.total = chunk.total;
@@ -678,7 +707,15 @@ void QuicConnection::on_packet_lost_internal(std::uint64_t pn, SentPacket& sp) {
   }
   if (has_chunks(sp)) {
     util::SmallVector<MsgChunk, 8> all;
-    for_each_chunk(sp, [&all](const MsgChunk& c) { all.push_back(c); });
+    for_each_chunk(sp, [this, &all](const MsgChunk& c) {
+      if (c.unreliable) {
+        // Datagrams are never retransmitted: count the drop, tell the app.
+        stats_.datagrams_lost++;
+        if (on_dgram_lost) on_dgram_lost(c.msg_id, c.total);
+        return;
+      }
+      all.push_back(c);
+    });
     while (!all.empty()) {
       msg_queue_.push_front(all.back());
       all.pop_back();
@@ -824,7 +861,14 @@ void QuicConnection::on_loss_timer() {
     }
     if (has_chunks(sp)) {
       util::SmallVector<MsgChunk, 8> all;
-      for_each_chunk(sp, [&all](const MsgChunk& c) { all.push_back(c); });
+      for_each_chunk(sp, [this, &all](const MsgChunk& c) {
+        if (c.unreliable) {
+          stats_.datagrams_lost++;
+          if (on_dgram_lost) on_dgram_lost(c.msg_id, c.total);
+          return;
+        }
+        all.push_back(c);
+      });
       while (!all.empty()) {
         msg_queue_.push_front(all.back());
         all.pop_back();

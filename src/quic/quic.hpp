@@ -97,12 +97,28 @@ class QuicConnection {
   /// Sends one application message (datagram-like, but reliable: chunks are
   /// retransmitted on loss). Returns the message id.
   std::uint64_t send_message(std::uint64_t bytes);
+  /// RFC 9221 DATAGRAM frame: congestion-controlled but NOT flow-controlled
+  /// and NEVER retransmitted — a copy declared lost is simply gone (the
+  /// sender hears about it via `on_dgram_lost`). `bytes` is clamped to the
+  /// single-packet budget (`max_payload`); `cookie` is an opaque app tag
+  /// echoed to both the receive and loss callbacks (frame id, seq, ...).
+  /// Returns the datagram id.
+  std::uint64_t send_datagram(std::uint32_t bytes, std::uint64_t cookie = 0);
 
   std::function<void()> on_established;
   /// In-order stream-0 delivery progress (newly delivered byte count).
   std::function<void(std::uint64_t)> on_stream_data;
   /// A complete message arrived. `queued_at` is when the sender queued it.
   std::function<void(std::uint64_t msg_id, std::uint64_t bytes, TimePoint queued_at)> on_message;
+  /// An unreliable datagram arrived (exactly once per delivered copy; no
+  /// reassembly, no ordering guarantee). `queued_at` = sender queue time.
+  std::function<void(std::uint64_t dgram_id, std::uint64_t cookie, std::uint32_t bytes,
+                     TimePoint queued_at)>
+      on_dgram;
+  /// Sender side: a datagram's carrying packet was declared lost; it will
+  /// NOT be retransmitted. Spurious loss declarations can fire this even
+  /// though the copy later arrives, exactly like real QUIC datagrams.
+  std::function<void(std::uint64_t dgram_id, std::uint64_t cookie)> on_dgram_lost;
   std::function<void()> on_error;
   /// Sender-side stream progress: cumulative stream bytes acknowledged.
   /// Retransmitted ranges may be counted twice if the original also arrived
@@ -123,6 +139,9 @@ class QuicConnection {
     std::uint64_t stream_bytes_delivered = 0;
     std::uint64_t stream_bytes_acked = 0;   ///< sender side, approximate
     std::uint64_t messages_delivered = 0;
+    std::uint64_t datagrams_sent = 0;       ///< unreliable sends queued
+    std::uint64_t datagrams_delivered = 0;  ///< copies that arrived
+    std::uint64_t datagrams_lost = 0;       ///< copies declared lost (no rtx)
     std::uint64_t ptos = 0;
     std::uint64_t largest_pn_sent = 0;
   };
@@ -149,6 +168,10 @@ class QuicConnection {
     std::uint64_t offset = 0;
     std::uint32_t len = 0;
     bool last = false;
+    /// RFC 9221 datagram: single-chunk, never split across packets, never
+    /// re-queued on loss, bypasses flow control and reassembly. `total`
+    /// carries the application cookie instead of a message length.
+    bool unreliable = false;
     TimePoint queued_at;
     std::uint64_t total = 0;
   };
@@ -268,6 +291,7 @@ class QuicConnection {
 
   // message sender
   std::uint64_t next_msg_id_ = 0;
+  std::uint64_t next_dgram_id_ = 0;
   std::deque<MsgChunk> msg_queue_;  ///< chunks not yet sent (incl. rtx)
 
   // flow control (sender view of peer's window)

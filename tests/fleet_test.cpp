@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "fleet/campaign.hpp"
 #include "fleet/cell_arbiter.hpp"
@@ -164,7 +165,7 @@ TEST(DemandModel, PureAndQueryOrderIndependent) {
 
 TEST(DemandModel, ClassMixFollowsConfiguredFractions) {
   const DemandModel model{DemandModel::Config{}};
-  int counts[4] = {0, 0, 0, 0};
+  int counts[7] = {};
   const int n = 20000;
   for (int i = 0; i < n; ++i) {
     counts[static_cast<int>(model.class_of(mix64(99, static_cast<std::uint64_t>(i))))]++;
@@ -173,7 +174,47 @@ TEST(DemandModel, ClassMixFollowsConfiguredFractions) {
   EXPECT_NEAR(counts[0] / double(n), def.bulk.fraction, 0.02);
   EXPECT_NEAR(counts[1] / double(n), def.speedtest.fraction, 0.02);
   EXPECT_NEAR(counts[2] / double(n), def.web.fraction, 0.02);
-  EXPECT_NEAR(counts[3] / double(n), def.idle.fraction, 0.02);
+  // QoE classes are disabled in the stock mix.
+  EXPECT_EQ(counts[static_cast<int>(DemandClass::kVideo)], 0);
+  EXPECT_EQ(counts[static_cast<int>(DemandClass::kVc)], 0);
+  EXPECT_EQ(counts[static_cast<int>(DemandClass::kGame)], 0);
+  EXPECT_NEAR(counts[static_cast<int>(DemandClass::kIdle)] / double(n),
+              def.idle.fraction, 0.02);
+}
+
+TEST(DemandModel, DefaultMixUnchangedByQoeClasses) {
+  // The zero-fraction QoE classes must be invisible: every terminal keeps
+  // the exact class and demand it had before they existed, so the stock
+  // fig-bench exports stay byte-identical.
+  const DemandModel model{named_mix("default")};
+  for (int i = 0; i < 5000; ++i) {
+    const DemandClass c = model.class_of(mix64(7, static_cast<std::uint64_t>(i)));
+    EXPECT_TRUE(c == DemandClass::kBulk || c == DemandClass::kSpeedtest ||
+                c == DemandClass::kWeb || c == DemandClass::kIdle);
+  }
+}
+
+TEST(DemandModel, NamedMixesEnableQoeClasses) {
+  for (std::string_view name : mix_names()) {
+    EXPECT_NO_THROW(static_cast<void>(named_mix(name)));
+  }
+  EXPECT_THROW(static_cast<void>(named_mix("nope")), std::invalid_argument);
+
+  const DemandModel model{named_mix("mixed")};
+  int counts[7] = {};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<int>(model.class_of(mix64(99, static_cast<std::uint64_t>(i))))]++;
+  }
+  const DemandModel::Config mixed = named_mix("mixed");
+  EXPECT_NEAR(counts[static_cast<int>(DemandClass::kVideo)] / double(n),
+              mixed.video.fraction, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(DemandClass::kVc)] / double(n),
+              mixed.vc.fraction, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(DemandClass::kGame)] / double(n),
+              mixed.game.fraction, 0.02);
+  // expected() folds the new classes into the class-mix mean.
+  EXPECT_GT(model.expected().down.bits_per_second(), 0.0);
 }
 
 // --------------------------------------------------------------- arbiter

@@ -384,5 +384,92 @@ TEST_F(QuicLinkTest, OutageTriggersPtoAndRecovers) {
   EXPECT_GT(conn.stats().ptos, 0u);
 }
 
+TEST_F(QuicLinkTest, DatagramsDeliverWithCookies) {
+  build(DataRate::mbps(50), 10_ms);
+  std::vector<std::uint64_t> cookies;
+  std::uint64_t bytes_seen = 0;
+  server_->listen(443, [&](QuicConnection& c) {
+    c.on_dgram = [&](std::uint64_t, std::uint64_t cookie, std::uint32_t bytes, TimePoint) {
+      cookies.push_back(cookie);
+      bytes_seen += bytes;
+    };
+  });
+  QuicConnection& conn = client_->connect(kServerAddr, 443);
+  conn.on_established = [&conn] {
+    for (std::uint64_t i = 0; i < 10; ++i) conn.send_datagram(900, /*cookie=*/100 + i);
+  };
+  sim_.run();
+  EXPECT_EQ(conn.stats().datagrams_sent, 10u);
+  ASSERT_EQ(cookies.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(cookies[i], 100 + i);
+  EXPECT_EQ(bytes_seen, 9'000u);
+  EXPECT_EQ(conn.stats().datagrams_lost, 0u);
+}
+
+TEST_F(QuicLinkTest, DatagramLossIsNotRetransmitted) {
+  build(DataRate::mbps(50), 10_ms);
+  // Drop exactly one datagram-bearing packet (handshakes are 1200B; the
+  // datagrams below ride ~942B packets).
+  class DropNthSmall final : public sim::LossModel {
+   public:
+    bool should_drop(TimePoint, const sim::Packet& pkt) override {
+      if (pkt.size_bytes >= 1000 || pkt.size_bytes < 500) return false;
+      return ++count_ == 5;
+    }
+    int count_ = 0;
+  };
+  DropNthSmall drop;
+  link_->set_loss(0, &drop);
+  std::vector<std::uint64_t> delivered;
+  std::vector<std::uint64_t> dropped;
+  QuicConnection* server_conn = nullptr;
+  server_->listen(443, [&](QuicConnection& c) {
+    server_conn = &c;
+    c.on_dgram = [&](std::uint64_t, std::uint64_t cookie, std::uint32_t, TimePoint) {
+      delivered.push_back(cookie);
+    };
+  });
+  QuicConnection& conn = client_->connect(kServerAddr, 443);
+  conn.on_dgram_lost = [&](std::uint64_t, std::uint64_t cookie) { dropped.push_back(cookie); };
+  conn.on_established = [&conn] {
+    // Pace one datagram per 5 ms so each rides its own packet; the stream of
+    // later packets lets packet-threshold loss detection declare the gap.
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      conn.sim().schedule_in(Duration::millis(5 * static_cast<std::int64_t>(i)),
+                             [&conn, i] { conn.send_datagram(900, /*cookie=*/i); });
+    }
+  };
+  sim_.run();
+  EXPECT_EQ(conn.stats().datagrams_sent, 20u);
+  // Exactly one copy was dropped on the wire, declared lost at the sender,
+  // and NEVER retransmitted: 19 distinct cookies arrive, the dropped cookie
+  // never does, and no cookie arrives twice.
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(conn.stats().datagrams_lost, 1u);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->stats().datagrams_delivered, 19u);
+  ASSERT_EQ(delivered.size(), 19u);
+  std::set<std::uint64_t> unique(delivered.begin(), delivered.end());
+  EXPECT_EQ(unique.size(), 19u) << "a datagram was delivered twice (retransmitted?)";
+  EXPECT_FALSE(unique.contains(dropped[0])) << "lost datagram was retransmitted";
+  // The reliable-path counters stay untouched: the loss did not enqueue any
+  // retransmission content.
+  EXPECT_EQ(conn.stats().messages_delivered, 0u);
+}
+
+TEST_F(QuicLinkTest, DatagramOversizeClampsToSinglePacket) {
+  build(DataRate::mbps(50), 10_ms);
+  std::uint32_t seen = 0;
+  server_->listen(443, [&](QuicConnection& c) {
+    c.on_dgram = [&](std::uint64_t, std::uint64_t, std::uint32_t bytes, TimePoint) {
+      seen = bytes;
+    };
+  });
+  QuicConnection& conn = client_->connect(kServerAddr, 443);
+  conn.on_established = [&conn] { conn.send_datagram(50'000); };
+  sim_.run();
+  EXPECT_EQ(seen, 1350u);  // clamped to max_payload, delivered whole
+}
+
 }  // namespace
 }  // namespace slp::quic
